@@ -1,0 +1,123 @@
+// Package repro's top-level benchmarks regenerate every table and figure
+// of the paper's evaluation (§VI). Each benchmark runs the corresponding
+// experiment harness end to end and reports the headline simulated metric
+// alongside Go's own timing.
+//
+// By default the benchmarks run the 50x scaled-down Quick configuration so
+// `go test -bench=.` completes in minutes. Set SCRATCHPIPE_FULL=1 to run
+// the paper-scale configuration (8 tables x 10M rows); expect several
+// minutes per benchmark.
+package repro
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func benchConfig() bench.Config {
+	if os.Getenv("SCRATCHPIPE_FULL") != "" {
+		return bench.Default()
+	}
+	cfg := bench.Quick()
+	return cfg
+}
+
+func runFigure(b *testing.B, name string, run func(bench.Config) (*bench.Table, error)) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab, err := run(cfg)
+		if err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+		if i == 0 && testing.Verbose() {
+			b.Logf("\n%s", tab)
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates the dataset locality characterization.
+func BenchmarkFigure3(b *testing.B) { runFigure(b, "fig3", bench.Figure3) }
+
+// BenchmarkFigure5 regenerates the motivation time breakdown.
+func BenchmarkFigure5(b *testing.B) { runFigure(b, "fig5", bench.Figure5) }
+
+// BenchmarkFigure6 regenerates the static-cache hit-rate curves.
+func BenchmarkFigure6(b *testing.B) { runFigure(b, "fig6", bench.Figure6) }
+
+// BenchmarkFigure12a regenerates the baseline latency breakdown sweep.
+func BenchmarkFigure12a(b *testing.B) { runFigure(b, "fig12a", bench.Figure12a) }
+
+// BenchmarkFigure12b regenerates ScratchPipe's per-stage latencies.
+func BenchmarkFigure12b(b *testing.B) { runFigure(b, "fig12b", bench.Figure12b) }
+
+// BenchmarkFigure13 regenerates the end-to-end speedup comparison.
+func BenchmarkFigure13(b *testing.B) { runFigure(b, "fig13", bench.Figure13) }
+
+// BenchmarkFigure14 regenerates the energy comparison.
+func BenchmarkFigure14(b *testing.B) { runFigure(b, "fig14", bench.Figure14) }
+
+// BenchmarkFigure15a regenerates the embedding-dimension sensitivity.
+func BenchmarkFigure15a(b *testing.B) { runFigure(b, "fig15a", bench.Figure15a) }
+
+// BenchmarkFigure15b regenerates the lookup-count sensitivity.
+func BenchmarkFigure15b(b *testing.B) { runFigure(b, "fig15b", bench.Figure15b) }
+
+// BenchmarkTableI regenerates the training-cost comparison.
+func BenchmarkTableI(b *testing.B) { runFigure(b, "tablei", bench.TableI) }
+
+// BenchmarkOverhead regenerates the §VI-D provisioning study.
+func BenchmarkOverhead(b *testing.B) { runFigure(b, "overhead", bench.OverheadStudy) }
+
+// BenchmarkSensitivityExtra regenerates the §VI-E policy/batch/MLP study.
+func BenchmarkSensitivityExtra(b *testing.B) { runFigure(b, "sensitivity", bench.SensitivityExtra) }
+
+// BenchmarkAblation regenerates the window/pipelining ablation.
+func BenchmarkAblation(b *testing.B) { runFigure(b, "ablation", bench.AblationWindows) }
+
+// Example of the headline comparison, runnable as a test: it asserts the
+// paper's qualitative result on the quick configuration.
+func TestHeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("headline shape check is not short")
+	}
+	cfg := benchConfig()
+	pts, err := bench.CollectFigure13(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.ScratchPipe >= p.Static {
+			t.Errorf("%s cache %.0f%%: ScratchPipe (%.2f ms) not faster than static (%.2f ms)",
+				p.Class, p.CacheFrac*100, p.ScratchPipe*1e3, p.Static*1e3)
+		}
+		if p.ScratchPipe >= p.StrawMan {
+			t.Errorf("%s cache %.0f%%: pipelining bought nothing (%.2f vs %.2f ms)",
+				p.Class, p.CacheFrac*100, p.ScratchPipe*1e3, p.StrawMan*1e3)
+		}
+		if p.Static > p.Hybrid*1.05 {
+			t.Errorf("%s cache %.0f%%: static cache slower than no cache (%.2f vs %.2f ms)",
+				p.Class, p.CacheFrac*100, p.Static*1e3, p.Hybrid*1e3)
+		}
+	}
+	// Speedup must shrink as locality grows (the paper's crossover
+	// structure): compare Random vs High at the same cache size.
+	var spRandom, spHigh float64
+	for _, p := range pts {
+		if p.CacheFrac == 0.02 {
+			_, _, sp := p.SpeedupVsStatic()
+			switch fmt.Sprint(p.Class) {
+			case "Random":
+				spRandom = sp
+			case "High":
+				spHigh = sp
+			}
+		}
+	}
+	if spRandom <= spHigh {
+		t.Errorf("speedup vs static should shrink with locality: Random %.2fx vs High %.2fx", spRandom, spHigh)
+	}
+}

@@ -1,0 +1,77 @@
+// Command spbench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	spbench [-experiment all|fig3|fig5|fig6|fig6classes|fig12a|fig12b|
+//	         fig13|fig14|fig15a|fig15b|tablei|overhead|sensitivity|ablation]
+//	        [-iters N] [-quick] [-seed S]
+//
+// With -quick the paper-scale tables (10M rows) shrink 50x, which changes
+// absolute hit rates slightly but preserves every qualitative shape; use it
+// for smoke runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+var experiments = map[string]func(bench.Config) (*bench.Table, error){
+	"fig3":        bench.Figure3,
+	"fig5":        bench.Figure5,
+	"fig6":        bench.Figure6,
+	"fig6classes": bench.Figure6Classes,
+	"fig12a":      bench.Figure12a,
+	"fig12b":      bench.Figure12b,
+	"fig13":       bench.Figure13,
+	"fig14":       bench.Figure14,
+	"fig15a":      bench.Figure15a,
+	"fig15b":      bench.Figure15b,
+	"tablei":      bench.TableI,
+	"overhead":    bench.OverheadStudy,
+	"sensitivity": bench.SensitivityExtra,
+	"ablation":    bench.AblationWindows,
+}
+
+func main() {
+	exp := flag.String("experiment", "all", "experiment to run (all or one of fig3..ablation)")
+	iters := flag.Int("iters", 0, "measured iterations per data point (0 = default)")
+	quick := flag.Bool("quick", false, "use the 50x scaled-down configuration")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	cfg := bench.Default()
+	if *quick {
+		cfg = bench.Quick()
+	}
+	if *iters > 0 {
+		cfg.Iters = *iters
+	}
+	cfg.Seed = *seed
+
+	if *exp == "all" {
+		tables, err := bench.AllExperiments(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spbench:", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+		return
+	}
+	run, ok := experiments[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "spbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	t, err := run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println(t)
+}

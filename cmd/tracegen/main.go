@@ -1,0 +1,108 @@
+// Command tracegen generates synthetic embedding-access traces and prints
+// their locality characterization (the Figure 3 analysis).
+//
+// Usage:
+//
+//	tracegen -class High -tables 8 -rows 10000000 -lookups 20 \
+//	         -batch 2048 -batches 32 -out trace.bin
+//	tracegen -characterize -rows 1000000
+//
+// Without -out, the trace is generated and characterized but not written.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	classFlag := flag.String("class", "Medium", "locality class: Random|Low|Medium|High")
+	tables := flag.Int("tables", 8, "number of embedding tables")
+	rows := flag.Int64("rows", 10_000_000, "rows per table")
+	lookups := flag.Int("lookups", 20, "lookups per table per sample")
+	batch := flag.Int("batch", 2048, "mini-batch size")
+	batches := flag.Int("batches", 16, "number of mini-batches to generate")
+	seed := flag.Int64("seed", 42, "random seed")
+	out := flag.String("out", "", "output trace file (optional)")
+	characterize := flag.Bool("characterize", false, "print the dataset-preset characterization instead")
+	flag.Parse()
+
+	if *characterize {
+		printCharacterization(*rows, *seed)
+		return
+	}
+
+	class, err := trace.ParseClass(*classFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := trace.NewGenerator(trace.GeneratorConfig{
+		NumTables:    *tables,
+		RowsPerTable: *rows,
+		Lookups:      *lookups,
+		BatchSize:    *batch,
+		Class:        class,
+		Seed:         *seed,
+		MetadataOnly: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bs := make([]*trace.Batch, 0, *batches)
+	for i := 0; i < *batches; i++ {
+		bs = append(bs, gen.Next())
+	}
+
+	// Characterize table 0 of the generated trace.
+	var total, unique int
+	seen := make(map[int64]struct{})
+	for _, b := range bs {
+		for _, id := range b.Tables[0] {
+			total++
+			if _, ok := seen[id]; !ok {
+				seen[id] = struct{}{}
+				unique++
+			}
+		}
+	}
+	fmt.Printf("generated %d batches: %d tables x %d rows, %d lookups, batch %d (class %s)\n",
+		len(bs), *tables, *rows, *lookups, *batch, class)
+	fmt.Printf("table 0: %d total IDs, %d distinct (%.1f%% of table touched)\n",
+		total, unique, 100*float64(unique)/float64(*rows))
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := trace.WriteTrace(f, *rows, bs); err != nil {
+			log.Fatal(err)
+		}
+		info, err := f.Stat()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%.1f MB)\n", *out, float64(info.Size())/1e6)
+	}
+}
+
+func printCharacterization(rows, seed int64) {
+	fmt.Println("Sorted access concentration of the dataset presets (Figure 3):")
+	for _, name := range trace.DatasetNames {
+		ds, err := trace.NewDataset(name, rows)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, tbl := range ds.Tables {
+			fmt.Printf("%-12s %-8s top-0.1%%: %5.1f%%  top-2%%: %5.1f%%  top-10%%: %5.1f%%  top-30%%: %5.1f%%\n",
+				name, tbl.Name,
+				tbl.Dist.CDF(0.001)*100, tbl.Dist.CDF(0.02)*100,
+				tbl.Dist.CDF(0.10)*100, tbl.Dist.CDF(0.30)*100)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Locality study: reproduce the paper's motivation (Figures 3 and 6) —
+// how concentrated real RecSys embedding accesses are, and why a static
+// top-N cache cannot capture low-locality working sets.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/scratchpipe"
+)
+
+func main() {
+	const rows = 1_000_000
+	fracs := []float64{0.02, 0.05, 0.10, 0.20, 0.40, 0.65, 1.0}
+
+	fmt.Println("Static-cache hit rate vs cache size (Figure 6)")
+	fmt.Printf("%-12s %-8s", "dataset", "table")
+	for _, f := range fracs {
+		fmt.Printf(" %6.0f%%", f*100)
+	}
+	fmt.Println()
+	for _, name := range scratchpipe.DatasetNames {
+		ds, err := scratchpipe.NewDataset(name, rows)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, tbl := range ds.Tables {
+			fmt.Printf("%-12s %-8s", name, tbl.Name)
+			for _, hr := range scratchpipe.HitRateCurve(tbl.Dist, fracs) {
+				fmt.Printf(" %6.1f%%", hr*100)
+			}
+			fmt.Println()
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("Synthetic locality classes used by the performance experiments:")
+	fmt.Printf("%-8s", "class")
+	for _, f := range fracs {
+		fmt.Printf(" %6.0f%%", f*100)
+	}
+	fmt.Println()
+	for _, class := range scratchpipe.Classes {
+		d, err := scratchpipe.ClassDistribution(class, rows)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s", class)
+		for _, hr := range scratchpipe.HitRateCurve(d, fracs) {
+			fmt.Printf(" %6.1f%%", hr*100)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("Reading: for Criteo-like tables a 2% cache already catches >80% of")
+	fmt.Println("accesses, but for Alibaba-like (Low) traces >65% of the table must be")
+	fmt.Println("cached to reach 90% — impossible within tens of GBs of GPU memory,")
+	fmt.Println("which is exactly the paper's motivation for a prefetching scratchpad.")
+}

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// tinyConfig shrinks everything so every runner executes in well under a
+// second; shapes, not absolute numbers, are asserted.
+func tinyConfig() Config {
+	cfg := Quick()
+	cfg.Model.RowsPerTable = 50_000
+	cfg.Model.BatchSize = 64
+	cfg.Model.Lookups = 4
+	cfg.Iters = 8
+	return cfg
+}
+
+func checkTable(t *testing.T, tab *Table, wantRows int) {
+	t.Helper()
+	if tab.Title == "" {
+		t.Error("empty title")
+	}
+	if len(tab.Rows) != wantRows {
+		t.Errorf("%s: %d rows, want %d", tab.Title, len(tab.Rows), wantRows)
+	}
+	for i, row := range tab.Rows {
+		if len(row) > len(tab.Columns) {
+			t.Errorf("%s: row %d has %d cells for %d columns", tab.Title, i, len(row), len(tab.Columns))
+		}
+	}
+	s := tab.String()
+	if !strings.Contains(s, tab.Title) {
+		t.Errorf("rendered table missing title")
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	tab, err := Figure3(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2+2+2+7 dataset tables.
+	checkTable(t, tab, 13)
+}
+
+func TestFigure5(t *testing.T) {
+	tab, err := Figure5(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 3*len(trace.Classes))
+}
+
+func TestFigure6(t *testing.T) {
+	tab, err := Figure6(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 13)
+	tab2, err := Figure6Classes(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab2, len(trace.Classes))
+}
+
+func TestFigure12(t *testing.T) {
+	tab, err := Figure12a(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, len(trace.Classes)*(1+len(CacheFracs)))
+	tab2, err := Figure12b(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab2, len(trace.Classes)*len(CacheFracs))
+}
+
+func TestFigure13(t *testing.T) {
+	tab, err := Figure13(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One row per point plus the summary row.
+	checkTable(t, tab, len(trace.Classes)*len(CacheFracs)+1)
+}
+
+func TestFigure14(t *testing.T) {
+	tab, err := Figure14(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, len(trace.Classes))
+}
+
+func TestFigure15(t *testing.T) {
+	tab, err := Figure15a(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, len(trace.Classes)*3)
+	tab2, err := Figure15b(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab2, len(trace.Classes)*3)
+}
+
+func TestTableI(t *testing.T) {
+	tab, err := TableI(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, len(trace.Classes)*2)
+}
+
+func TestOverheadStudy(t *testing.T) {
+	tab, err := OverheadStudy(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, len(trace.Classes)*2)
+}
+
+func TestSensitivityExtra(t *testing.T) {
+	tab, err := SensitivityExtra(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 policies x 2 classes + 3 batch sizes + 2 MLP-intensive rows.
+	checkTable(t, tab, 3*2+3+2)
+}
+
+func TestAblationWindows(t *testing.T) {
+	tab, err := AblationWindows(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 2*7)
+}
+
+func TestSpeedupPoint(t *testing.T) {
+	p := SpeedupPoint{Hybrid: 4, Static: 2, StrawMan: 1, ScratchPipe: 0.5}
+	h, sm, sp := p.SpeedupVsStatic()
+	if h != 0.5 || sm != 2 || sp != 4 {
+		t.Fatalf("speedups %v %v %v", h, sm, sp)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "T", Columns: []string{"a", "long-column"}}
+	tab.AddRow("1", "2")
+	s := tab.String()
+	if !strings.Contains(s, "long-column") || !strings.Contains(s, "== T ==") {
+		t.Fatalf("rendered:\n%s", s)
+	}
+}

@@ -1,0 +1,140 @@
+// Package checkpoint serializes and restores full training state: the
+// dense model parameters, every embedding table, and (for stateful
+// optimizers) the per-row optimizer state. Engines must Flush their GPU
+// caches before checkpointing so the CPU tables are authoritative — the
+// same invariant the paper's eviction write-backs maintain continuously.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/engine"
+)
+
+// magic identifies the checkpoint format.
+const magic = "SPCKPT01"
+
+type header struct {
+	NumTables    int32
+	RowsPerTable int64
+	EmbeddingDim int32
+	StateDim     int32
+	NumParams    int32
+}
+
+// Save writes env's complete training state to w. The caller must have
+// flushed engine-side caches first.
+func Save(w io.Writer, env *engine.Env) error {
+	if !env.Cfg.Functional {
+		return fmt.Errorf("checkpoint: metadata-mode environments hold no state to save")
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	params := env.Model.Params()
+	h := header{
+		NumTables:    int32(env.Cfg.Model.NumTables),
+		RowsPerTable: env.Cfg.Model.RowsPerTable,
+		EmbeddingDim: int32(env.Cfg.Model.EmbeddingDim),
+		StateDim:     int32(env.StateDim),
+		NumParams:    int32(len(params)),
+	}
+	if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := binary.Write(bw, binary.LittleEndian, int64(len(p.Weights()))); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, p.Weights()); err != nil {
+			return err
+		}
+	}
+	for t := 0; t < env.Cfg.Model.NumTables; t++ {
+		tbl := env.Tables[t]
+		for r := int64(0); r < tbl.Rows(); r++ {
+			if err := binary.Write(bw, binary.LittleEndian, tbl.Row(r)); err != nil {
+				return err
+			}
+		}
+	}
+	if env.StateDim > 0 {
+		for t := 0; t < env.Cfg.Model.NumTables; t++ {
+			st := env.StateTables[t]
+			for r := int64(0); r < st.Rows(); r++ {
+				if err := binary.Write(bw, binary.LittleEndian, st.Row(r)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load restores a checkpoint written by Save into env, which must have
+// been constructed with the same model configuration and optimizer.
+func Load(r io.Reader, env *engine.Env) error {
+	if !env.Cfg.Functional {
+		return fmt.Errorf("checkpoint: cannot load into a metadata-mode environment")
+	}
+	br := bufio.NewReaderSize(r, 1<<20)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if string(got) != magic {
+		return fmt.Errorf("checkpoint: bad magic %q", got)
+	}
+	var h header
+	if err := binary.Read(br, binary.LittleEndian, &h); err != nil {
+		return err
+	}
+	params := env.Model.Params()
+	switch {
+	case int(h.NumTables) != env.Cfg.Model.NumTables:
+		return fmt.Errorf("checkpoint: %d tables, environment has %d", h.NumTables, env.Cfg.Model.NumTables)
+	case h.RowsPerTable != env.Cfg.Model.RowsPerTable:
+		return fmt.Errorf("checkpoint: %d rows/table, environment has %d", h.RowsPerTable, env.Cfg.Model.RowsPerTable)
+	case int(h.EmbeddingDim) != env.Cfg.Model.EmbeddingDim:
+		return fmt.Errorf("checkpoint: dim %d, environment has %d", h.EmbeddingDim, env.Cfg.Model.EmbeddingDim)
+	case int(h.StateDim) != env.StateDim:
+		return fmt.Errorf("checkpoint: optimizer state dim %d, environment has %d", h.StateDim, env.StateDim)
+	case int(h.NumParams) != len(params):
+		return fmt.Errorf("checkpoint: %d dense params, environment has %d", h.NumParams, len(params))
+	}
+	for i, p := range params {
+		var n int64
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return err
+		}
+		if n != int64(len(p.Weights())) {
+			return fmt.Errorf("checkpoint: param %d has %d weights, environment has %d", i, n, len(p.Weights()))
+		}
+		if err := binary.Read(br, binary.LittleEndian, p.Weights()); err != nil {
+			return err
+		}
+	}
+	for t := 0; t < env.Cfg.Model.NumTables; t++ {
+		tbl := env.Tables[t]
+		for r := int64(0); r < tbl.Rows(); r++ {
+			if err := binary.Read(br, binary.LittleEndian, tbl.Row(r)); err != nil {
+				return fmt.Errorf("checkpoint: table %d row %d: %w", t, r, err)
+			}
+		}
+	}
+	if env.StateDim > 0 {
+		for t := 0; t < env.Cfg.Model.NumTables; t++ {
+			st := env.StateTables[t]
+			for r := int64(0); r < st.Rows(); r++ {
+				if err := binary.Read(br, binary.LittleEndian, st.Row(r)); err != nil {
+					return fmt.Errorf("checkpoint: state table %d row %d: %w", t, r, err)
+				}
+			}
+		}
+	}
+	return nil
+}

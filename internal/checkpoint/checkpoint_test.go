@@ -1,0 +1,181 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dlrm"
+	"repro/internal/engine"
+	"repro/internal/hw"
+	"repro/internal/opt"
+	"repro/internal/trace"
+)
+
+func tinyModel() dlrm.Config {
+	return dlrm.Config{
+		NumTables:    2,
+		EmbeddingDim: 8,
+		Lookups:      3,
+		DenseDim:     4,
+		RowsPerTable: 300,
+		BatchSize:    8,
+		BottomHidden: []int{8},
+		TopHidden:    []int{8},
+		LR:           0.05,
+	}
+}
+
+func newEnvKind(t *testing.T, optimizer string, seed int64) *engine.Env {
+	t.Helper()
+	env, err := engine.NewEnv(engine.EnvConfig{
+		Model:      tinyModel(),
+		System:     hw.DefaultSystem(),
+		Class:      trace.Medium,
+		Seed:       seed,
+		Functional: true,
+		Optimizer:  opt.Kind(optimizer),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for _, optimizer := range []string{"sgd", "adagrad"} {
+		env := newEnvKind(t, optimizer, 5)
+		eng := engine.NewHybrid(env)
+		if _, err := eng.Run(10); err != nil {
+			t.Fatal(err)
+		}
+
+		var buf bytes.Buffer
+		if err := Save(&buf, env); err != nil {
+			t.Fatalf("%s: save: %v", optimizer, err)
+		}
+
+		// Restore into a fresh environment (different seed: its
+		// initial weights differ, proving Load overwrites them).
+		fresh := newEnvKind(t, optimizer, 99)
+		if err := Load(bytes.NewReader(buf.Bytes()), fresh); err != nil {
+			t.Fatalf("%s: load: %v", optimizer, err)
+		}
+		for i := range env.Tables {
+			if !env.Tables[i].Equal(fresh.Tables[i]) {
+				t.Fatalf("%s: table %d differs after round trip", optimizer, i)
+			}
+		}
+		for i := range env.StateTables {
+			if !env.StateTables[i].Equal(fresh.StateTables[i]) {
+				t.Fatalf("%s: state table %d differs after round trip", optimizer, i)
+			}
+		}
+		pa, pb := env.Model.Params(), fresh.Model.Params()
+		for i := range pa {
+			wa, wb := pa[i].Weights(), pb[i].Weights()
+			for j := range wa {
+				if wa[j] != wb[j] {
+					t.Fatalf("%s: param %d[%d] differs", optimizer, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestResumeEquivalence: train 20 iterations straight through, versus
+// train 10, checkpoint, restore into a fresh environment, and train 10
+// more on the same remaining batch stream. Final state must be identical —
+// the checkpoint captures everything that matters.
+func TestResumeEquivalence(t *testing.T) {
+	// Continuous run.
+	cont := newEnvKind(t, "adagrad", 7)
+	engCont := engine.NewHybrid(cont)
+	if _, err := engCont.Run(20); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: same env config, first half.
+	half := newEnvKind(t, "adagrad", 7)
+	engHalf := engine.NewHybrid(half)
+	if _, err := engHalf.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, half); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into the SAME env (its generator has already consumed 10
+	// batches, so training continues from batch 10 like the continuous
+	// run).
+	if err := Load(bytes.NewReader(buf.Bytes()), half); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engHalf.Run(10); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range cont.Tables {
+		if !cont.Tables[i].Equal(half.Tables[i]) {
+			t.Fatalf("table %d differs between continuous and resumed runs", i)
+		}
+	}
+	for i := range cont.StateTables {
+		if !cont.StateTables[i].Equal(half.StateTables[i]) {
+			t.Fatalf("state table %d differs between continuous and resumed runs", i)
+		}
+	}
+}
+
+func TestLoadRejectsMismatchedShapes(t *testing.T) {
+	env := newEnvKind(t, "sgd", 11)
+	var buf bytes.Buffer
+	if err := Save(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	other, err := engine.NewEnv(engine.EnvConfig{
+		Model: func() dlrm.Config {
+			m := tinyModel()
+			m.EmbeddingDim = 16
+			return m
+		}(),
+		System:     hw.DefaultSystem(),
+		Class:      trace.Medium,
+		Seed:       11,
+		Functional: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Fatal("mismatched checkpoint accepted")
+	}
+}
+
+func TestMetadataModeRejected(t *testing.T) {
+	env, err := engine.NewEnv(engine.EnvConfig{
+		Model:  tinyModel(),
+		System: hw.DefaultSystem(),
+		Class:  trace.Medium,
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(&bytes.Buffer{}, env); err == nil {
+		t.Fatal("metadata-mode save accepted")
+	}
+	if err := Load(bytes.NewReader(nil), env); err == nil {
+		t.Fatal("metadata-mode load accepted")
+	}
+}
+
+func TestLoadRejectsCorruptStream(t *testing.T) {
+	env := newEnvKind(t, "sgd", 13)
+	if err := Load(bytes.NewReader([]byte("NOTACKPT")), env); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if err := Load(bytes.NewReader(nil), env); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}

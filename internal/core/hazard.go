@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ResKind names a shared resource class for hazard tracking.
+type ResKind int
+
+const (
+	// ResGPUSlot is one scratchpad Storage slot of one table.
+	ResGPUSlot ResKind = iota
+	// ResCPURow is one row of one CPU embedding table.
+	ResCPURow
+)
+
+// String implements fmt.Stringer.
+func (k ResKind) String() string {
+	switch k {
+	case ResGPUSlot:
+		return "gpu-slot"
+	case ResCPURow:
+		return "cpu-row"
+	}
+	return fmt.Sprintf("ResKind(%d)", int(k))
+}
+
+// Violation is one detected ordering hazard on a shared resource. Two
+// accesses by different mini-batches conflict when at least one writes and
+// either (a) they land in the same pipeline cycle (physically unordered —
+// in the parallel pipeline they race), or (b) the physically later access
+// belongs to the logically earlier batch, meaning a stale value was read or
+// a newer value was overwritten (the RAW-1..4 hazards of §IV-B).
+// Under the paper's hold-mask discipline none of these can occur; the
+// checker exists to prove that, and to demonstrate the hazards reappear
+// when tests deliberately shrink the windows.
+type Violation struct {
+	Cycle int
+	Kind  ResKind
+	Table int
+	Index int64
+	// First/Second describe the two conflicting accesses in physical
+	// (cycle) order.
+	First, Second AccessInfo
+}
+
+// AccessInfo identifies one recorded access.
+type AccessInfo struct {
+	Stage Stage
+	Seq   int // mini-batch sequence number
+	Cycle int
+	Write bool
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s table %d index %d: batch %d %s(write=%t)@cycle %d vs batch %d %s(write=%t)@cycle %d",
+		v.Kind, v.Table, v.Index,
+		v.First.Seq, v.First.Stage, v.First.Write, v.First.Cycle,
+		v.Second.Seq, v.Second.Stage, v.Second.Write, v.Second.Cycle)
+}
+
+type resKey struct {
+	kind  ResKind
+	table int
+	index int64
+}
+
+type resState struct {
+	lastWrite AccessInfo
+	hasWrite  bool
+	lastRead  AccessInfo // the read with the highest batch seq so far
+	hasRead   bool
+}
+
+// HazardChecker records resource accesses across pipeline cycles and
+// detects conflicts between in-flight mini-batches. It is safe for
+// concurrent use (the parallel pipeline's stages report from separate
+// goroutines). Enable it on small runs; it keeps one entry per touched
+// resource.
+type HazardChecker struct {
+	mu              sync.Mutex
+	cycle           int
+	state           map[resKey]*resState
+	violations      []Violation
+	totalViolations int
+	maxRecord       int
+}
+
+// NewHazardChecker returns a checker that retains at most maxViolations
+// violations (more are counted but not stored); maxViolations <= 0 retains
+// all.
+func NewHazardChecker(maxViolations int) *HazardChecker {
+	return &HazardChecker{
+		state:     make(map[resKey]*resState),
+		maxRecord: maxViolations,
+	}
+}
+
+// BeginCycle advances the checker's cycle clock; wire it to the pipeline's
+// cycle-start hook.
+func (h *HazardChecker) BeginCycle(cycle int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.cycle = cycle
+}
+
+func (h *HazardChecker) record(v Violation) {
+	if h.maxRecord <= 0 || len(h.violations) < h.maxRecord {
+		h.violations = append(h.violations, v)
+	}
+	h.totalViolations++
+}
+
+// Access records that stage of mini-batch seq touched (kind, table, index)
+// during the current cycle.
+func (h *HazardChecker) Access(stage Stage, kind ResKind, table int, index int64, write bool, seq int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	k := resKey{kind: kind, table: table, index: index}
+	cur := AccessInfo{Stage: stage, Seq: seq, Cycle: h.cycle, Write: write}
+	st, ok := h.state[k]
+	if !ok {
+		st = &resState{}
+		h.state[k] = st
+	}
+	conflict := func(prev AccessInfo) bool {
+		if prev.Seq == seq {
+			return false // same batch: ordered by its own stage sequence
+		}
+		if prev.Cycle == cur.Cycle {
+			return true // physically unordered
+		}
+		return seq < prev.Seq // logically earlier batch physically later
+	}
+	// A previous write conflicts with any later-unordered access.
+	if st.hasWrite && conflict(st.lastWrite) {
+		h.record(Violation{Cycle: h.cycle, Kind: kind, Table: table, Index: index,
+			First: st.lastWrite, Second: cur})
+	}
+	if write && st.hasRead && conflict(st.lastRead) {
+		h.record(Violation{Cycle: h.cycle, Kind: kind, Table: table, Index: index,
+			First: st.lastRead, Second: cur})
+	}
+	if write {
+		if !st.hasWrite || seq >= st.lastWrite.Seq {
+			st.lastWrite = cur
+			st.hasWrite = true
+		}
+	} else {
+		if !st.hasRead || seq >= st.lastRead.Seq {
+			st.lastRead = cur
+			st.hasRead = true
+		}
+	}
+}
+
+// Violations returns the recorded violations.
+func (h *HazardChecker) Violations() []Violation {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Violation, len(h.violations))
+	copy(out, h.violations)
+	return out
+}
+
+// Count returns the total number of violations detected (including those
+// beyond the retention limit).
+func (h *HazardChecker) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.totalViolations
+}

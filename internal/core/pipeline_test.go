@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type testJob struct {
+	seq    int
+	trace  []string // stages executed, in order
+	mu     sync.Mutex
+	shared *[]string
+	smu    *sync.Mutex
+}
+
+func (j *testJob) Seq() int { return j.seq }
+
+func recordingStages(t *testing.T) ([NumStages]StageFunc, *[]string, *sync.Mutex) {
+	var log []string
+	var mu sync.Mutex
+	var stages [NumStages]StageFunc
+	for s := StageLoad; s < NumStages; s++ {
+		s := s
+		stages[s] = func(cycle int, job Job) error {
+			tj := job.(*testJob)
+			tj.mu.Lock()
+			tj.trace = append(tj.trace, s.String())
+			tj.mu.Unlock()
+			mu.Lock()
+			log = append(log, fmt.Sprintf("c%d:%s:j%d", cycle, s, tj.seq))
+			mu.Unlock()
+			return nil
+		}
+	}
+	return stages, &log, &mu
+}
+
+func TestPipelineJobTraversal(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		stages, _, _ := recordingStages(t)
+		p := NewPipeline(stages, parallel)
+		var completed []int
+		jobs := make([]*testJob, 8)
+		for i := range jobs {
+			jobs[i] = &testJob{seq: i}
+		}
+		for i := 0; i < len(jobs); i++ {
+			done, err := p.RunCycle(jobs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done != nil {
+				completed = append(completed, done.(*testJob).seq)
+			}
+		}
+		if err := p.Drain(func(j Job) error {
+			completed = append(completed, j.(*testJob).seq)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(completed) != 8 {
+			t.Fatalf("parallel=%v: %d jobs completed", parallel, len(completed))
+		}
+		for i, seq := range completed {
+			if seq != i {
+				t.Fatalf("parallel=%v: completion order %v", parallel, completed)
+			}
+		}
+		// Every job visited all six stages in order.
+		for _, j := range jobs {
+			if len(j.trace) != int(NumStages) {
+				t.Fatalf("job %d executed %v", j.seq, j.trace)
+			}
+			for s, name := range j.trace {
+				if name != Stage(s).String() {
+					t.Fatalf("job %d stage order %v", j.seq, j.trace)
+				}
+			}
+		}
+		if p.InFlight() != 0 {
+			t.Fatalf("pipeline not empty after drain: %d", p.InFlight())
+		}
+	}
+}
+
+func TestPipelineConcurrencyShape(t *testing.T) {
+	stages, log, mu := recordingStages(t)
+	p := NewPipeline(stages, false)
+	for i := 0; i < 10; i++ {
+		if _, err := p.RunCycle(&testJob{seq: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// At cycle 5 (0-based), all six stages must have executed: jobs 5..0.
+	var atCycle5 int
+	for _, e := range *log {
+		if strings.HasPrefix(e, "c5:") {
+			atCycle5++
+		}
+	}
+	if atCycle5 != int(NumStages) {
+		t.Fatalf("cycle 5 executed %d stages, want %d", atCycle5, NumStages)
+	}
+}
+
+func TestPipelineStageError(t *testing.T) {
+	var stages [NumStages]StageFunc
+	stages[StageCollect] = func(cycle int, job Job) error {
+		return fmt.Errorf("boom")
+	}
+	p := NewPipeline(stages, false)
+	if _, err := p.RunCycle(&testJob{seq: 0}); err != nil {
+		t.Fatalf("cycle 0: %v", err)
+	}
+	if _, err := p.RunCycle(nil); err != nil {
+		t.Fatalf("cycle 1: %v", err)
+	}
+	// Cycle 2: job reaches Collect.
+	if _, err := p.RunCycle(nil); err == nil {
+		t.Fatal("stage error not propagated")
+	}
+}
+
+func TestPipelineNilStagesAreNoOps(t *testing.T) {
+	var stages [NumStages]StageFunc
+	p := NewPipeline(stages, false)
+	done, err := p.RunCycle(&testJob{seq: 0})
+	if err != nil || done != nil {
+		t.Fatalf("done=%v err=%v", done, err)
+	}
+	if err := p.Drain(nil); err != nil {
+		t.Fatal(err)
+	}
+	if p.Cycle() != int(NumStages) {
+		t.Fatalf("cycles = %d", p.Cycle())
+	}
+}
+
+func TestPipelineCycleHookAndAccessors(t *testing.T) {
+	var hooks []int
+	stages, _, _ := recordingStages(t)
+	p := NewPipeline(stages, false)
+	p.SetCycleStartHook(func(c int) { hooks = append(hooks, c) })
+	j0 := &testJob{seq: 0}
+	if _, err := p.RunCycle(j0); err != nil {
+		t.Fatal(err)
+	}
+	if len(hooks) != 1 || hooks[0] != 0 {
+		t.Fatalf("hooks %v", hooks)
+	}
+	if p.AtStage(StageLoad) != Job(j0) {
+		t.Fatal("AtStage(Load) mismatch")
+	}
+	exec := p.LastExecuted()
+	if exec[StageLoad] != Job(j0) {
+		t.Fatal("LastExecuted mismatch")
+	}
+	if p.InFlight() != 1 {
+		t.Fatalf("in flight %d", p.InFlight())
+	}
+}
+
+func TestStageString(t *testing.T) {
+	want := []string{"Load", "Plan", "Collect", "Exchange", "Insert", "Train"}
+	for i, s := range Stages {
+		if s.String() != want[i] {
+			t.Errorf("stage %d = %s", i, s)
+		}
+	}
+	if Stage(99).String() == "" {
+		t.Error("unknown stage string empty")
+	}
+}
+
+func TestHazardCheckerOrdering(t *testing.T) {
+	h := NewHazardChecker(0)
+	h.BeginCycle(0)
+	// Batch 0 writes a CPU row at cycle 0; batch 2 reads it at cycle 1:
+	// physically and logically ordered -> no violation.
+	h.Access(StageInsert, ResCPURow, 0, 42, true, 0)
+	h.BeginCycle(1)
+	h.Access(StageCollect, ResCPURow, 0, 42, false, 2)
+	if h.Count() != 0 {
+		t.Fatalf("ordered accesses flagged: %v", h.Violations())
+	}
+	// Batch 1 (logically earlier than 2) writes the same row at cycle 2
+	// AFTER batch 2's read: stale-read hazard.
+	h.BeginCycle(2)
+	h.Access(StageInsert, ResCPURow, 0, 42, true, 1)
+	if h.Count() != 1 {
+		t.Fatalf("stale write not flagged: count=%d", h.Count())
+	}
+}
+
+func TestHazardCheckerSameCycleConflict(t *testing.T) {
+	h := NewHazardChecker(0)
+	h.BeginCycle(5)
+	h.Access(StageTrain, ResGPUSlot, 1, 7, true, 3)
+	h.Access(StageCollect, ResGPUSlot, 1, 7, false, 6)
+	if h.Count() != 1 {
+		t.Fatalf("same-cycle write/read not flagged")
+	}
+	// Reads alone never conflict.
+	h2 := NewHazardChecker(0)
+	h2.BeginCycle(0)
+	h2.Access(StageCollect, ResCPURow, 0, 1, false, 0)
+	h2.Access(StageCollect, ResCPURow, 0, 1, false, 5)
+	if h2.Count() != 0 {
+		t.Fatal("read/read flagged")
+	}
+	// Same batch touching its own resource across stages is fine.
+	h3 := NewHazardChecker(0)
+	h3.BeginCycle(0)
+	h3.Access(StageInsert, ResGPUSlot, 0, 2, true, 4)
+	h3.Access(StageTrain, ResGPUSlot, 0, 2, true, 4)
+	if h3.Count() != 0 {
+		t.Fatal("same-batch accesses flagged")
+	}
+}
+
+func TestHazardCheckerRetentionLimit(t *testing.T) {
+	h := NewHazardChecker(2)
+	h.BeginCycle(0)
+	for i := 0; i < 5; i++ {
+		h.Access(StageTrain, ResGPUSlot, 0, int64(i), true, 1)
+		h.Access(StageCollect, ResGPUSlot, 0, int64(i), true, 2)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if len(h.Violations()) != 2 {
+		t.Fatalf("retained = %d", len(h.Violations()))
+	}
+	if h.Violations()[0].String() == "" {
+		t.Error("violation string empty")
+	}
+}

@@ -1,0 +1,503 @@
+// Package core implements the paper's primary contribution: the
+// ScratchPipe GPU scratchpad — an embedding cache that "always hits"
+// because the Plan stage looks forward in the training dataset — together
+// with the 6-stage software pipeline and the hold-mask hazard discipline of
+// §IV (Algorithm 1, Figures 8-11).
+//
+// The Scratchpad here is the control plane only: it maps sparse feature IDs
+// to cache slots and decides what to prefetch, evict, and protect. Moving
+// the actual embedding vectors (and accounting for the bytes moved) is the
+// training engine's job, which lets the same control logic drive both the
+// functional float32 simulation and the paper-scale metadata simulation.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// Config configures one per-table scratchpad manager. The paper
+// instantiates one manager per embedding table (§VI-G).
+type Config struct {
+	// Slots is the nominal cache capacity in embedding rows (the
+	// "2-10% of the CPU table" swept in the evaluation).
+	Slots int
+	// Reserve is extra slot capacity provisioned for the worst case in
+	// which every slot the sliding window needs is distinct (§VI-D's
+	// 960 MB provisioning). Victim selection prefers evicting over
+	// consuming reserve slots; reserve usage is reported in Stats.
+	Reserve int
+	// Policy selects the replacement policy among unprotected slots
+	// (paper default LRU; §VI-E also studies LFU and Random).
+	Policy cache.PolicyKind
+	// PolicySeed seeds the Random policy.
+	PolicySeed int64
+	// PastWindow is the number of previous in-flight mini-batches whose
+	// slots may not be evicted (3 in the paper: the Plan->Train
+	// distance, removing RAW-2/3).
+	PastWindow int
+	// FutureWindow is the number of upcoming mini-batches whose
+	// currently-cached rows may not be evicted (2 in the paper: the
+	// Collect->Insert distance, removing RAW-4).
+	FutureWindow int
+}
+
+// DefaultWindows returns the paper's pipeline window shape.
+func DefaultWindows() (past, future int) { return 3, 2 }
+
+// Validate reports a descriptive error for an unusable configuration.
+func (c Config) Validate() error {
+	if c.Slots <= 0 {
+		return fmt.Errorf("core: scratchpad: Slots %d <= 0", c.Slots)
+	}
+	if c.Reserve < 0 {
+		return fmt.Errorf("core: scratchpad: Reserve %d < 0", c.Reserve)
+	}
+	if c.PastWindow < 0 || c.FutureWindow < 0 {
+		return fmt.Errorf("core: scratchpad: negative window (past %d, future %d)", c.PastWindow, c.FutureWindow)
+	}
+	if c.Policy == "" {
+		return fmt.Errorf("core: scratchpad: empty policy")
+	}
+	return nil
+}
+
+// Fill schedules one missed embedding: fetch row ID from the CPU table
+// ([Collect]) and store it into Slot ([Insert]).
+type Fill struct {
+	ID   int64
+	Slot int32
+}
+
+// Eviction schedules one victim: read Slot from the scratchpad ([Collect])
+// and write its dirty contents back to CPU row OldID ([Insert]). The paper
+// notes every cached embedding is dirty because all cached rows are
+// training targets, so every eviction writes back.
+type Eviction struct {
+	OldID int64
+	Slot  int32
+}
+
+// PlanResult is the [Plan] stage's output for one mini-batch on one table:
+// a stable ID->slot resolution the batch carries through the rest of the
+// pipeline, plus the prefetch (Fills) and write-back (Evictions) schedules.
+type PlanResult struct {
+	// Seq is the batch sequence number the plan belongs to.
+	Seq int
+	// UniqueIDs lists the batch's distinct sparse IDs in
+	// first-appearance order; Slots[i] is the scratchpad slot assigned
+	// to UniqueIDs[i].
+	UniqueIDs []int64
+	Slots     []int32
+	slotOf    map[int64]int32
+	// OccHits and OccMisses count per-occurrence hits/misses; an
+	// occurrence of an ID already scheduled for fill by this same batch
+	// counts as a hit (the row will be resident by [Train]).
+	OccHits, OccMisses int
+	// Fills and Evictions drive [Collect], [Exchange] and [Insert].
+	Fills     []Fill
+	Evictions []Eviction
+	// ReserveAllocs counts fills placed into reserve (overflow) slots
+	// because no unprotected victim existed.
+	ReserveAllocs int
+}
+
+// Slot returns the slot assigned to id, panicking if id was not part of
+// the planned batch (which would be a pipeline bug).
+func (r *PlanResult) Slot(id int64) int32 {
+	s, ok := r.slotOf[id]
+	if !ok {
+		panic(fmt.Sprintf("core: plan %d: id %d was not planned", r.Seq, id))
+	}
+	return s
+}
+
+// Stats aggregates scratchpad activity for the timing model and reports.
+type Stats struct {
+	// Queries/Hits/Misses are per-occurrence counts over all planned
+	// batches.
+	Queries, Hits, Misses int64
+	// UniqueQueries/UniqueHits/UniqueMisses are per-distinct-ID counts.
+	UniqueQueries, UniqueHits, UniqueMisses int64
+	// Fills is the number of CPU->GPU row prefetches scheduled
+	// (== UniqueMisses).
+	Fills int64
+	// Evictions is the number of victim rows written back GPU->CPU.
+	Evictions int64
+	// ReserveAllocs counts allocations that had to use reserve slots.
+	ReserveAllocs int64
+	// ReservePeak is the high-water mark of simultaneously occupied
+	// reserve slots (the §VI-D overhead metric).
+	ReservePeak int
+	// Planned counts Plan calls; Released counts Release calls.
+	Planned, Released int64
+}
+
+// Scratchpad is the per-table cache manager: the Hit-Map, the hold
+// discipline that substitutes for Algorithm 1's Hold-mask bitmask queue,
+// and the replacement policy.
+//
+// Where the paper ages a per-slot bitmask by shifting it every cycle, this
+// implementation keeps an explicit per-slot hold counter plus a FIFO of
+// in-flight batches' slot sets: a slot is protected exactly while some
+// batch inside the sliding window references it, which is the same
+// predicate the bitmask encodes ("mask != 0"), in a form that is testable
+// and O(touched slots) instead of O(cache size) per cycle.
+type Scratchpad struct {
+	cfg    Config
+	policy cache.Policy
+
+	hitMap map[int64]int32 // sparse ID -> slot
+	key    []int64         // slot -> sparse ID (-1 when empty)
+	holds  []int32         // slot -> # in-flight batches referencing it
+
+	// pinStamp[slot] == pinEpoch marks the slot as pinned by the
+	// current Plan's sliding window (epoch stamping avoids clearing or
+	// hashing a per-plan set; checks are O(1) array reads).
+	pinStamp []int64
+	pinEpoch int64
+	// hintStamp[slot] == pinEpoch marks the slot as merely *hinted*:
+	// a batch beyond the hazard window will reference it, so prefer not
+	// to evict it — but evicting it is safe if nothing else is
+	// available (Belady-style deep look-ahead, §III-C's "intelligently
+	// store (and evict) not just the current but also future").
+	hintStamp   []int64
+	hintRelaxed bool // victim search fell back to hinted slots this Plan
+
+	freePrimary []int32 // unused slots in [0, Slots)
+	freeReserve []int32 // unused slots in [Slots, Slots+Reserve)
+
+	inFlight     []heldBatch // FIFO, oldest first
+	reserveInUse int
+	sweepArmed   bool // victim sweep armed for the current Plan
+
+	stats Stats
+}
+
+type heldBatch struct {
+	seq   int
+	slots []int32
+}
+
+// NewScratchpad builds a scratchpad manager from cfg.
+func NewScratchpad(cfg Config) (*Scratchpad, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	total := cfg.Slots + cfg.Reserve
+	policy, err := cache.NewPolicy(cfg.Policy, total, cfg.PolicySeed)
+	if err != nil {
+		return nil, err
+	}
+	s := &Scratchpad{
+		cfg:       cfg,
+		policy:    policy,
+		hitMap:    make(map[int64]int32),
+		key:       make([]int64, total),
+		holds:     make([]int32, total),
+		pinStamp:  make([]int64, total),
+		hintStamp: make([]int64, total),
+	}
+	for i := range s.key {
+		s.key[i] = -1
+	}
+	for i := cfg.Slots - 1; i >= 0; i-- {
+		s.freePrimary = append(s.freePrimary, int32(i))
+	}
+	for i := total - 1; i >= cfg.Slots; i-- {
+		s.freeReserve = append(s.freeReserve, int32(i))
+	}
+	return s, nil
+}
+
+// Capacity returns the nominal slot count (excluding reserve).
+func (s *Scratchpad) Capacity() int { return s.cfg.Slots }
+
+// TotalSlots returns nominal + reserve capacity.
+func (s *Scratchpad) TotalSlots() int { return s.cfg.Slots + s.cfg.Reserve }
+
+// Len returns the number of cached rows.
+func (s *Scratchpad) Len() int { return len(s.hitMap) }
+
+// Contains reports whether sparse ID id currently has a slot.
+func (s *Scratchpad) Contains(id int64) bool {
+	_, ok := s.hitMap[id]
+	return ok
+}
+
+// InFlight returns the number of batches currently holding slots.
+func (s *Scratchpad) InFlight() int { return len(s.inFlight) }
+
+// Stats returns accumulated counters.
+func (s *Scratchpad) Stats() Stats { return s.stats }
+
+// Plan runs the [Plan] stage for one mini-batch: queries the Hit-Map,
+// assigns slots to missed IDs by evicting unprotected victims (or drawing
+// on free/reserve slots), and registers the batch's holds. future holds the
+// sparse IDs of the next FutureWindow mini-batches (outer index: distance
+// ahead); their currently-cached slots are pinned against eviction for the
+// duration of this call, which removes RAW-4 exactly as §IV-C prescribes.
+//
+// Plan fails only when slots+reserve cannot accommodate the window's
+// worst-case working set; size Reserve with WorstCaseReserve to make that
+// impossible.
+func (s *Scratchpad) Plan(seq int, ids []int64, future [][]int64) (*PlanResult, error) {
+	return s.PlanWithHints(seq, ids, future, nil)
+}
+
+// PlanWithHints is Plan with deep look-ahead: hints carries the sparse IDs
+// of batches *beyond* the hazard window (distance > FutureWindow). Hinted
+// rows are demoted, not protected: victim selection prefers unhinted slots
+// and falls back to hinted ones only when nothing else is evictable, so
+// safety is unchanged while soon-to-be-reused rows tend to stay resident.
+func (s *Scratchpad) PlanWithHints(seq int, ids []int64, future, hints [][]int64) (*PlanResult, error) {
+	if got := len(future); got > s.cfg.FutureWindow {
+		return nil, fmt.Errorf("core: plan %d: %d future batches exceeds future window %d", seq, got, s.cfg.FutureWindow)
+	}
+	// Pin the scratchpad locations of every ID inside the sliding
+	// window that holds do not already cover: the *current* batch's own
+	// IDs (an early miss must not evict a row a later occurrence of
+	// this same batch still needs — its refill would read the CPU copy
+	// before our own write-back lands) and the next FutureWindow
+	// batches' IDs (evicting those would race their [Collect] against
+	// our [Insert] write-back, RAW-4). This is the paper's "three past,
+	// one current, and two future" superset.
+	s.pinEpoch++
+	pin := func(idList []int64) {
+		for _, id := range idList {
+			if slot, ok := s.hitMap[id]; ok {
+				s.pinStamp[slot] = s.pinEpoch
+			}
+		}
+	}
+	pin(ids)
+	for _, fids := range future {
+		pin(fids)
+	}
+	for _, hids := range hints {
+		for _, id := range hids {
+			if slot, ok := s.hitMap[id]; ok {
+				s.hintStamp[slot] = s.pinEpoch
+			}
+		}
+	}
+
+	res := &PlanResult{Seq: seq, slotOf: make(map[int64]int32)}
+	s.hintRelaxed = len(hints) == 0
+	evictable := func(slot int) bool {
+		if s.holds[slot] != 0 || s.pinStamp[slot] == s.pinEpoch || s.key[slot] < 0 {
+			return false
+		}
+		return s.hintRelaxed || s.hintStamp[slot] != s.pinEpoch
+	}
+
+	// Pass 1: classify every occurrence against the Hit-Map, register
+	// hits (hold + recency touch), and record misses in first-appearance
+	// order with placeholder slots.
+	var held []int32
+	var missIdx []int
+	for _, id := range ids {
+		if _, ok := res.slotOf[id]; ok {
+			// Repeated occurrence within the batch: already
+			// resolved (or scheduled for fill); resident by
+			// [Train] either way.
+			res.OccHits++
+			continue
+		}
+		if slot, ok := s.hitMap[id]; ok {
+			res.OccHits++
+			res.slotOf[id] = slot
+			res.UniqueIDs = append(res.UniqueIDs, id)
+			res.Slots = append(res.Slots, slot)
+			s.policy.OnAccess(int(slot))
+			s.holds[slot]++
+			held = append(held, slot)
+			continue
+		}
+		res.OccMisses++
+		res.slotOf[id] = -1
+		res.UniqueIDs = append(res.UniqueIDs, id)
+		res.Slots = append(res.Slots, -1)
+		missIdx = append(missIdx, len(res.Slots)-1)
+	}
+
+	// Pass 2: allocate slots for the misses. Hits are already touched,
+	// so the policies' victim sweeps (armed lazily once the free list
+	// runs dry) walk the eviction order exactly once per Plan.
+	s.sweepArmed = false
+	for _, k := range missIdx {
+		id := res.UniqueIDs[k]
+		slot, evicted, fromReserve, err := s.allocate(evictable)
+		if err != nil {
+			return nil, fmt.Errorf("core: plan %d: %w", seq, err)
+		}
+		if evicted >= 0 {
+			res.Evictions = append(res.Evictions, Eviction{OldID: evicted, Slot: slot})
+		}
+		if fromReserve {
+			res.ReserveAllocs++
+		}
+		s.hitMap[id] = slot
+		s.key[slot] = id
+		s.policy.OnInsert(int(slot))
+		s.holds[slot]++
+		held = append(held, slot)
+		res.slotOf[id] = slot
+		res.Slots[k] = slot
+		res.Fills = append(res.Fills, Fill{ID: id, Slot: slot})
+	}
+	s.inFlight = append(s.inFlight, heldBatch{seq: seq, slots: held})
+
+	s.stats.Planned++
+	s.stats.Queries += int64(len(ids))
+	s.stats.Hits += int64(res.OccHits)
+	s.stats.Misses += int64(res.OccMisses)
+	s.stats.UniqueQueries += int64(len(res.UniqueIDs))
+	s.stats.UniqueMisses += int64(len(res.Fills))
+	s.stats.UniqueHits += int64(len(res.UniqueIDs) - len(res.Fills))
+	s.stats.Fills += int64(len(res.Fills))
+	s.stats.Evictions += int64(len(res.Evictions))
+	s.stats.ReserveAllocs += int64(res.ReserveAllocs)
+	return res, nil
+}
+
+// allocate finds a slot for a missed ID: free primary slot first, then an
+// unprotected victim, then a reserve slot. evicted is the displaced sparse
+// ID or -1.
+func (s *Scratchpad) allocate(evictable func(int) bool) (slot int32, evicted int64, fromReserve bool, err error) {
+	if n := len(s.freePrimary); n > 0 {
+		slot = s.freePrimary[n-1]
+		s.freePrimary = s.freePrimary[:n-1]
+		return slot, -1, false, nil
+	}
+	// Arm the policy's victim sweep on first eviction need of this Plan
+	// (after the free list is exhausted, so free-slot OnInserts can no
+	// longer disturb the sweep cursor).
+	if !s.sweepArmed {
+		s.policy.BeginVictimSweep()
+		s.sweepArmed = true
+	}
+	if v := s.policy.Victim(evictable); v >= 0 {
+		old := s.key[v]
+		delete(s.hitMap, old)
+		s.key[v] = -1
+		return int32(v), old, false, nil
+	}
+	// Every unprotected slot is merely hinted (deep look-ahead says a
+	// later batch wants it): relax the preference — evicting hinted
+	// rows is safe, just suboptimal — and sweep once more.
+	if !s.hintRelaxed {
+		s.hintRelaxed = true
+		s.policy.BeginVictimSweep()
+		if v := s.policy.Victim(evictable); v >= 0 {
+			old := s.key[v]
+			delete(s.hitMap, old)
+			s.key[v] = -1
+			return int32(v), old, false, nil
+		}
+	}
+	if n := len(s.freeReserve); n > 0 {
+		slot = s.freeReserve[n-1]
+		s.freeReserve = s.freeReserve[:n-1]
+		s.reserveInUse++
+		if s.reserveInUse > s.stats.ReservePeak {
+			s.stats.ReservePeak = s.reserveInUse
+		}
+		return slot, -1, true, nil
+	}
+	return 0, -1, false, fmt.Errorf("scratchpad exhausted: %d slots + %d reserve all protected (in-flight %d batches)",
+		s.cfg.Slots, s.cfg.Reserve, len(s.inFlight))
+}
+
+// Release drops the oldest in-flight batch's holds. The engine calls it
+// when that batch enters [Train]: from that point the batch's slots may be
+// chosen as victims again (their eviction read would happen strictly after
+// the training writes, per the pipeline's stage spacing).
+func (s *Scratchpad) Release(seq int) error {
+	if len(s.inFlight) == 0 {
+		return fmt.Errorf("core: release %d: no in-flight batches", seq)
+	}
+	hb := s.inFlight[0]
+	if hb.seq != seq {
+		return fmt.Errorf("core: release %d: oldest in-flight batch is %d (releases must be FIFO)", seq, hb.seq)
+	}
+	s.inFlight = s.inFlight[1:]
+	for _, slot := range hb.slots {
+		if s.holds[slot] <= 0 {
+			return fmt.Errorf("core: release %d: slot %d hold underflow", seq, slot)
+		}
+		s.holds[slot]--
+	}
+	s.stats.Released++
+	return nil
+}
+
+// Held reports whether a slot is currently protected by any in-flight
+// batch (the hold-mask "!= 0" predicate); exported for invariant tests.
+func (s *Scratchpad) Held(slot int32) bool { return s.holds[slot] != 0 }
+
+// Key returns the sparse ID cached in slot, or -1. Exported for tests.
+func (s *Scratchpad) Key(slot int32) int64 { return s.key[slot] }
+
+// Prewarm fills the scratchpad's free capacity with IDs drawn from sample
+// before training starts, approximating the steady-state content of an LRU
+// cache under the trace's access distribution (the most recent distinct
+// draws). onFill, when non-nil, is invoked for every inserted row so
+// functional engines can copy the corresponding embedding values into the
+// storage array. It returns the number of rows inserted.
+//
+// Prewarm draws at most 8x the nominal capacity: rows that have not
+// appeared within that many draws are cold enough that their absence from
+// the warm cache has negligible effect on measured hit rates, and an
+// unbounded fill would degenerate into a coupon-collector walk over the
+// distribution's long tail.
+func (s *Scratchpad) Prewarm(sample func() int64, onFill func(id int64, slot int32)) int {
+	if len(s.inFlight) != 0 {
+		panic("core: Prewarm with batches in flight")
+	}
+	inserted := 0
+	limit := 8*s.cfg.Slots + 100
+	for draws := 0; len(s.freePrimary) > 0 && draws < limit; draws++ {
+		id := sample()
+		if _, ok := s.hitMap[id]; ok {
+			continue
+		}
+		n := len(s.freePrimary)
+		slot := s.freePrimary[n-1]
+		s.freePrimary = s.freePrimary[:n-1]
+		s.hitMap[id] = slot
+		s.key[slot] = id
+		s.policy.OnInsert(int(slot))
+		if onFill != nil {
+			onFill(id, slot)
+		}
+		inserted++
+	}
+	return inserted
+}
+
+// ForEach visits every cached (sparse ID, slot) pair in unspecified order;
+// engines use it to flush dirty cached rows back to the CPU tables at the
+// end of training.
+func (s *Scratchpad) ForEach(f func(id int64, slot int32)) {
+	for id, slot := range s.hitMap {
+		f(id, slot)
+	}
+}
+
+// WorstCaseReserve returns the reserve capacity that guarantees Plan can
+// never fail: with windowBatches = past + current + future batches in
+// flight, at most windowBatches*maxUniquePerBatch slots are protected
+// simultaneously, so provisioning that many slots beyond... the nominal
+// capacity guarantees an unprotected slot (or a free reserve slot) always
+// exists. This is the paper's §VI-D worst-case sizing (6 mini-batches'
+// gathers, 960 MB under the default configuration).
+func WorstCaseReserve(cfg Config, maxUniquePerBatch int) int {
+	window := cfg.PastWindow + 1 + cfg.FutureWindow
+	need := window*maxUniquePerBatch + 1
+	if need <= cfg.Slots {
+		return 0
+	}
+	return need - cfg.Slots
+}

@@ -1,0 +1,41 @@
+// Package cost reproduces Table I's training-cost arithmetic: AWS EC2 P3
+// on-demand pricing multiplied by the simulated time to run one million
+// training iterations. ScratchPipe's pitch is that a single-GPU p3.2xlarge
+// matching (a fraction of) an 8-GPU p3.16xlarge's throughput wins on cost.
+package cost
+
+import "fmt"
+
+// Instance is one AWS EC2 instance type.
+type Instance struct {
+	// Name is the instance type ("p3.2xlarge").
+	Name string
+	// PricePerHour is the on-demand USD price the paper quotes.
+	PricePerHour float64
+	// GPUs is the V100 count.
+	GPUs int
+}
+
+// The instances of Table I.
+var (
+	P32xlarge  = Instance{Name: "p3.2xlarge", PricePerHour: 3.06, GPUs: 1}
+	P316xlarge = Instance{Name: "p3.16xlarge", PricePerHour: 24.48, GPUs: 8}
+)
+
+// CostFor returns the USD cost of running iters iterations at iterTime
+// seconds each on inst.
+func CostFor(inst Instance, iterTime float64, iters int64) float64 {
+	if iterTime < 0 || iters < 0 {
+		return 0
+	}
+	hours := iterTime * float64(iters) / 3600
+	return hours * inst.PricePerHour
+}
+
+// MillionIterCost is Table I's "1M Iter. Cost" column.
+func MillionIterCost(inst Instance, iterTime float64) float64 {
+	return CostFor(inst, iterTime, 1_000_000)
+}
+
+// FormatUSD renders a dollar amount Table I style.
+func FormatUSD(v float64) string { return fmt.Sprintf("$ %.2f", v) }

@@ -1,0 +1,47 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableIPricing(t *testing.T) {
+	// The paper's Table I quotes: p3.2xlarge $3.06/hr, p3.16xlarge
+	// $24.48/hr.
+	if P32xlarge.PricePerHour != 3.06 || P316xlarge.PricePerHour != 24.48 {
+		t.Fatalf("prices %v %v", P32xlarge.PricePerHour, P316xlarge.PricePerHour)
+	}
+	if P32xlarge.GPUs != 1 || P316xlarge.GPUs != 8 {
+		t.Fatalf("gpu counts %d %d", P32xlarge.GPUs, P316xlarge.GPUs)
+	}
+}
+
+func TestMillionIterCostMatchesPaperRows(t *testing.T) {
+	// Table I, Random row: ScratchPipe 47.82 ms/iter on p3.2xlarge ->
+	// $40.64 per 1M iterations.
+	got := MillionIterCost(P32xlarge, 47.82e-3)
+	if math.Abs(got-40.64) > 0.05 {
+		t.Errorf("ScratchPipe Random cost = %v, want ~40.64", got)
+	}
+	// 8 GPU Random row: 16.22 ms -> $110.3.
+	got = MillionIterCost(P316xlarge, 16.22e-3)
+	if math.Abs(got-110.3) > 0.2 {
+		t.Errorf("8-GPU Random cost = %v, want ~110.3", got)
+	}
+}
+
+func TestCostForEdgeCases(t *testing.T) {
+	if CostFor(P32xlarge, -1, 100) != 0 || CostFor(P32xlarge, 1, -1) != 0 {
+		t.Error("negative inputs should cost zero")
+	}
+	if CostFor(P32xlarge, 3600, 1) != P32xlarge.PricePerHour {
+		t.Error("one hour should cost exactly the hourly price")
+	}
+}
+
+func TestFormatUSD(t *testing.T) {
+	if got := FormatUSD(40.635); !strings.HasPrefix(got, "$ 40.6") {
+		t.Errorf("FormatUSD = %q", got)
+	}
+}

@@ -1,0 +1,189 @@
+// Package embed implements the embedding-layer primitives of Figure 2:
+// embedding gather, per-sample sum reduction (forward), and gradient
+// duplication, coalescing and scatter update (backward).
+//
+// There is exactly one implementation of each primitive, parameterized over
+// a RowStore. The baseline engine points the primitives at the CPU-resident
+// Table; the cached engines point them at a GPU cache view. Because every
+// engine executes the *same float operations in the same order*, the
+// bitwise-equivalence tests between ScratchPipe and the sequential baseline
+// are meaningful.
+package embed
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// RowStore is anything that can hand out embedding rows by sparse ID: the
+// CPU embedding table itself, or a GPU embedding cache that remaps IDs to
+// cache slots.
+type RowStore interface {
+	// Dim returns the embedding dimension.
+	Dim() int
+	// Row returns a mutable view of the embedding vector for sparse ID
+	// id. Reads and in-place updates go through the same view, matching
+	// the paper's observation that embedding tables are both read and
+	// written during training.
+	Row(id int64) []float32
+}
+
+// Table is one CPU-memory embedding table: Rows embedding vectors of
+// dimension Dim stored contiguously.
+type Table struct {
+	rows int64
+	dim  int
+	data []float32
+}
+
+// NewTable allocates a rows x dim table initialized with small uniform
+// values from the deterministic rng (matching DLRM's sqrt(1/rows) scale).
+func NewTable(rows int64, dim int, rng *rand.Rand) (*Table, error) {
+	if rows <= 0 || dim <= 0 {
+		return nil, fmt.Errorf("embed: table: invalid shape %dx%d", rows, dim)
+	}
+	t := &Table{rows: rows, dim: dim, data: make([]float32, rows*int64(dim))}
+	scale := float32(1.0 / float64(dim))
+	for i := range t.data {
+		t.data[i] = (rng.Float32()*2 - 1) * scale
+	}
+	return t, nil
+}
+
+// NewZeroTable allocates a rows x dim table of zeros (optimizer-state
+// tables start empty).
+func NewZeroTable(rows int64, dim int) (*Table, error) {
+	if rows <= 0 || dim <= 0 {
+		return nil, fmt.Errorf("embed: zero table: invalid shape %dx%d", rows, dim)
+	}
+	return &Table{rows: rows, dim: dim, data: make([]float32, rows*int64(dim))}, nil
+}
+
+// Rows returns the number of rows.
+func (t *Table) Rows() int64 { return t.rows }
+
+// Dim implements RowStore.
+func (t *Table) Dim() int { return t.dim }
+
+// Row implements RowStore.
+func (t *Table) Row(id int64) []float32 {
+	if id < 0 || id >= t.rows {
+		panic(fmt.Sprintf("embed: table: row %d out of [0,%d)", id, t.rows))
+	}
+	off := id * int64(t.dim)
+	return t.data[off : off+int64(t.dim)]
+}
+
+// Clone deep-copies the table (used by equivalence tests to snapshot
+// initial state).
+func (t *Table) Clone() *Table {
+	c := &Table{rows: t.rows, dim: t.dim, data: make([]float32, len(t.data))}
+	copy(c.data, t.data)
+	return c
+}
+
+// Equal reports whether two tables hold bitwise-identical contents.
+func (t *Table) Equal(o *Table) bool {
+	if t.rows != o.rows || t.dim != o.dim {
+		return false
+	}
+	for i, v := range t.data {
+		if v != o.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Gather reads the embedding vectors for ids from store into a
+// len(ids) x dim matrix (Figure 2a, "embedding gather").
+func Gather(store RowStore, ids []int64) *tensor.Matrix {
+	dim := store.Dim()
+	out := tensor.New(len(ids), dim)
+	for i, id := range ids {
+		copy(out.Row(i), store.Row(id))
+	}
+	return out
+}
+
+// ReduceSum pools gathered embeddings per sample: gathered is
+// (batch*lookups) x dim in sample-major order and the result is batch x dim
+// with out[s] = sum of the lookups vectors of sample s, accumulated in
+// lookup order (Figure 2a, "reduced output tensor").
+func ReduceSum(gathered *tensor.Matrix, batch, lookups int) *tensor.Matrix {
+	if gathered.Rows != batch*lookups {
+		panic(fmt.Sprintf("embed: reduce: %d gathered rows for batch %d x lookups %d", gathered.Rows, batch, lookups))
+	}
+	out := tensor.New(batch, gathered.Cols)
+	for s := 0; s < batch; s++ {
+		dst := out.Row(s)
+		for l := 0; l < lookups; l++ {
+			src := gathered.Row(s*lookups + l)
+			for j, v := range src {
+				dst[j] += v
+			}
+		}
+	}
+	return out
+}
+
+// CoalescedGrads is the output of gradient duplication + coalescing
+// (Figure 2b): one summed gradient per distinct row, in first-appearance
+// order of the row within the batch's ID list.
+type CoalescedGrads struct {
+	// IDs lists the distinct rows to update.
+	IDs []int64
+	// Grads is len(IDs) x dim; Grads[k] is the coalesced gradient for
+	// IDs[k].
+	Grads *tensor.Matrix
+}
+
+// DuplicateCoalesce expands the pooled gradient (batch x dim) back to the
+// per-ID gradients (each ID of sample s receives pooledGrad[s], because the
+// reduction was a plain sum) and coalesces duplicates by summing in batch
+// order. The first-appearance ordering makes every engine's float
+// accumulation identical.
+func DuplicateCoalesce(ids []int64, pooledGrad *tensor.Matrix, lookups int) CoalescedGrads {
+	if len(ids) != pooledGrad.Rows*lookups {
+		panic(fmt.Sprintf("embed: coalesce: %d ids for %d samples x %d lookups", len(ids), pooledGrad.Rows, lookups))
+	}
+	index := make(map[int64]int, len(ids))
+	var uniq []int64
+	dim := pooledGrad.Cols
+	var rowsData []float32
+	for i, id := range ids {
+		k, ok := index[id]
+		if !ok {
+			k = len(uniq)
+			index[id] = k
+			uniq = append(uniq, id)
+			rowsData = append(rowsData, make([]float32, dim)...)
+		}
+		dst := rowsData[k*dim : (k+1)*dim]
+		src := pooledGrad.Row(i / lookups)
+		for j, v := range src {
+			dst[j] += v
+		}
+	}
+	return CoalescedGrads{IDs: uniq, Grads: tensor.FromSlice(len(uniq), dim, rowsData)}
+}
+
+// ScatterSGD applies one SGD step to the coalesced gradients:
+// row[id] -= lr * grad (Figure 2b, "gradient scatter / optimizer").
+func ScatterSGD(store RowStore, g CoalescedGrads, lr float32) {
+	for k, id := range g.IDs {
+		row := store.Row(id)
+		grad := g.Grads.Row(k)
+		for j, gv := range grad {
+			row[j] -= lr * gv
+		}
+	}
+}
+
+// ForwardPooled is the complete embedding-layer forward for one table:
+// gather all ids from store and reduce per sample.
+func ForwardPooled(store RowStore, ids []int64, batch, lookups int) *tensor.Matrix {
+	return ReduceSum(Gather(store, ids), batch, lookups)
+}

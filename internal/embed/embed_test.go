@@ -1,0 +1,230 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func newTable(t *testing.T, rows int64, dim int) *Table {
+	t.Helper()
+	tbl, err := NewTable(rows, dim, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestTableBasics(t *testing.T) {
+	tbl := newTable(t, 10, 4)
+	if tbl.Rows() != 10 || tbl.Dim() != 4 {
+		t.Fatalf("shape %dx%d", tbl.Rows(), tbl.Dim())
+	}
+	r := tbl.Row(3)
+	r[0] = 42
+	if tbl.Row(3)[0] != 42 {
+		t.Fatal("Row does not alias storage")
+	}
+	c := tbl.Clone()
+	c.Row(3)[0] = 7
+	if tbl.Row(3)[0] != 42 {
+		t.Fatal("Clone aliases storage")
+	}
+	if tbl.Equal(c) {
+		t.Fatal("Equal missed a difference")
+	}
+	if _, err := NewTable(0, 4, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero rows accepted")
+	}
+}
+
+func TestTableRowBounds(t *testing.T) {
+	tbl := newTable(t, 10, 4)
+	for _, id := range []int64{-1, 10} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Row(%d) did not panic", id)
+				}
+			}()
+			tbl.Row(id)
+		}()
+	}
+}
+
+func TestGatherReduce(t *testing.T) {
+	tbl := newTable(t, 10, 2)
+	// Make rows recognizable.
+	for i := int64(0); i < 10; i++ {
+		tbl.Row(i)[0] = float32(i)
+		tbl.Row(i)[1] = float32(i * 10)
+	}
+	ids := []int64{1, 2, 3, 4} // batch 2, lookups 2
+	g := Gather(tbl, ids)
+	if g.Rows != 4 || g.Cols != 2 {
+		t.Fatalf("gather shape %dx%d", g.Rows, g.Cols)
+	}
+	if g.At(2, 0) != 3 {
+		t.Fatalf("gather[2] = %v", g.Row(2))
+	}
+	pooled := ReduceSum(g, 2, 2)
+	// Sample 0: rows 1+2 = (3, 30); sample 1: rows 3+4 = (7, 70).
+	if pooled.At(0, 0) != 3 || pooled.At(0, 1) != 30 || pooled.At(1, 0) != 7 || pooled.At(1, 1) != 70 {
+		t.Fatalf("pooled = %v", pooled.Data)
+	}
+}
+
+func TestDuplicateCoalesceKnown(t *testing.T) {
+	// Batch of 2 samples, 2 lookups each; row 5 appears in both samples
+	// (the Figure 2b scenario: gradients must coalesce).
+	ids := []int64{5, 1, 5, 2}
+	pooledGrad := tensor.FromSlice(2, 2, []float32{
+		1, 2, // sample 0 gradient
+		10, 20, // sample 1 gradient
+	})
+	g := DuplicateCoalesce(ids, pooledGrad, 2)
+	// First-appearance order: 5, 1, 2.
+	if len(g.IDs) != 3 || g.IDs[0] != 5 || g.IDs[1] != 1 || g.IDs[2] != 2 {
+		t.Fatalf("ids = %v", g.IDs)
+	}
+	// Row 5: grad(sample0) + grad(sample1) = (11, 22).
+	if g.Grads.At(0, 0) != 11 || g.Grads.At(0, 1) != 22 {
+		t.Fatalf("coalesced row 5 = %v", g.Grads.Row(0))
+	}
+	if g.Grads.At(1, 0) != 1 || g.Grads.At(2, 0) != 10 {
+		t.Fatalf("grads = %v", g.Grads.Data)
+	}
+}
+
+// TestCoalescePreservesSumsProperty: coalescing never loses gradient mass —
+// for every row, the coalesced gradient equals the sum of the pooled
+// gradients of the samples referencing it.
+func TestCoalescePreservesSumsProperty(t *testing.T) {
+	f := func(rawIDs []uint8, seed int64) bool {
+		const batch, lookups, dim = 4, 3, 2
+		ids := make([]int64, batch*lookups)
+		for i := range ids {
+			v := int64(0)
+			if i < len(rawIDs) {
+				v = int64(rawIDs[i] % 7)
+			}
+			ids[i] = v
+		}
+		rng := rand.New(rand.NewSource(seed))
+		pooled := tensor.New(batch, dim)
+		for i := range pooled.Data {
+			pooled.Data[i] = float32(rng.Intn(17) - 8) // integer grads: exact float math
+		}
+		g := DuplicateCoalesce(ids, pooled, lookups)
+		// Reference: accumulate per row directly.
+		want := map[int64][]float32{}
+		for i, id := range ids {
+			if want[id] == nil {
+				want[id] = make([]float32, dim)
+			}
+			for j := 0; j < dim; j++ {
+				want[id][j] += pooled.At(i/lookups, j)
+			}
+		}
+		if len(g.IDs) != len(want) {
+			return false
+		}
+		for k, id := range g.IDs {
+			for j := 0; j < dim; j++ {
+				if g.Grads.At(k, j) != want[id][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScatterSGD(t *testing.T) {
+	tbl := newTable(t, 4, 2)
+	before := append([]float32(nil), tbl.Row(2)...)
+	g := CoalescedGrads{
+		IDs:   []int64{2},
+		Grads: tensor.FromSlice(1, 2, []float32{1, -2}),
+	}
+	ScatterSGD(tbl, g, 0.5)
+	if tbl.Row(2)[0] != before[0]-0.5 || tbl.Row(2)[1] != before[1]+1 {
+		t.Fatalf("scatter result %v from %v", tbl.Row(2), before)
+	}
+}
+
+// TestReduceLinearityProperty: reducing the concatenation of two gathers
+// equals the sum of reducing them separately (with exact integer floats).
+func TestReduceLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const batch, lookups, dim = 3, 2, 2
+		a := tensor.New(batch*lookups, dim)
+		b := tensor.New(batch*lookups, dim)
+		for i := range a.Data {
+			a.Data[i] = float32(rng.Intn(9) - 4)
+			b.Data[i] = float32(rng.Intn(9) - 4)
+		}
+		sum := tensor.New(batch*lookups, dim)
+		for i := range sum.Data {
+			sum.Data[i] = a.Data[i] + b.Data[i]
+		}
+		ra, rb, rsum := ReduceSum(a, batch, lookups), ReduceSum(b, batch, lookups), ReduceSum(sum, batch, lookups)
+		for i := range rsum.Data {
+			if rsum.Data[i] != ra.Data[i]+rb.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForwardPooledMatchesManual(t *testing.T) {
+	tbl := newTable(t, 20, 3)
+	ids := []int64{4, 4, 7, 9, 0, 1}
+	pooled := ForwardPooled(tbl, ids, 3, 2)
+	manual := ReduceSum(Gather(tbl, ids), 3, 2)
+	for i := range manual.Data {
+		if pooled.Data[i] != manual.Data[i] {
+			t.Fatal("ForwardPooled diverges from manual gather+reduce")
+		}
+	}
+}
+
+func TestReducePanicsOnShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched reduce accepted")
+		}
+	}()
+	ReduceSum(tensor.New(5, 2), 2, 2)
+}
+
+func TestDuplicateCoalescePanicsOnShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched coalesce accepted")
+		}
+	}()
+	DuplicateCoalesce([]int64{1, 2, 3}, tensor.New(1, 2), 2)
+}
+
+func TestInitScale(t *testing.T) {
+	tbl := newTable(t, 100, 16)
+	for i := int64(0); i < 100; i++ {
+		for _, v := range tbl.Row(i) {
+			if math.Abs(float64(v)) > 1.0/16+1e-9 {
+				t.Fatalf("init value %v exceeds 1/dim", v)
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Package energy models system-level power the way the paper measures it
+// (§VI-C): socket-level CPU power via pcm-power and GPU power via
+// nvidia-smi, multiplied by execution time. Here power states are constants
+// per device and energy integrates the simulated busy/idle times.
+package energy
+
+// PowerModel holds device power states in watts.
+type PowerModel struct {
+	// CPUActive is socket+DRAM power while the CPU executes embedding
+	// work; CPUIdle while it waits.
+	CPUActive, CPUIdle float64
+	// GPUActive/GPUIdle are the per-GPU equivalents.
+	GPUActive, GPUIdle float64
+}
+
+// Default returns constants for the paper's platform: Xeon E5-2698v4
+// (135 W TDP plus DDR4 power) and V100 (300 W board cap; sustained
+// training draw below cap).
+func Default() PowerModel {
+	return PowerModel{
+		CPUActive: 165,
+		CPUIdle:   60,
+		GPUActive: 250,
+		GPUIdle:   50,
+	}
+}
+
+// IterationEnergy returns joules consumed by one training iteration given
+// its wall time and per-device busy times (all simulated seconds), for a
+// system with numGPUs GPUs. Busy times are clamped to the available
+// device-seconds.
+func (p PowerModel) IterationEnergy(wall, cpuBusy, gpuBusy float64, numGPUs int) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	if cpuBusy > wall {
+		cpuBusy = wall
+	}
+	if cpuBusy < 0 {
+		cpuBusy = 0
+	}
+	gpuSeconds := wall * float64(numGPUs)
+	if gpuBusy > gpuSeconds {
+		gpuBusy = gpuSeconds
+	}
+	if gpuBusy < 0 {
+		gpuBusy = 0
+	}
+	e := cpuBusy*p.CPUActive + (wall-cpuBusy)*p.CPUIdle
+	e += gpuBusy*p.GPUActive + (gpuSeconds-gpuBusy)*p.GPUIdle
+	return e
+}

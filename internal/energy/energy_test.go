@@ -1,0 +1,71 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIterationEnergyBasics(t *testing.T) {
+	p := PowerModel{CPUActive: 100, CPUIdle: 10, GPUActive: 200, GPUIdle: 20}
+	// Fully busy for 1 s on both devices, one GPU.
+	if got := p.IterationEnergy(1, 1, 1, 1); math.Abs(got-300) > 1e-9 {
+		t.Errorf("fully busy = %v, want 300", got)
+	}
+	// Fully idle.
+	if got := p.IterationEnergy(1, 0, 0, 1); math.Abs(got-30) > 1e-9 {
+		t.Errorf("idle = %v, want 30", got)
+	}
+	// Zero wall time costs nothing.
+	if got := p.IterationEnergy(0, 1, 1, 1); got != 0 {
+		t.Errorf("zero wall = %v", got)
+	}
+	// Busy clamps to wall.
+	if got := p.IterationEnergy(1, 5, 5, 1); math.Abs(got-300) > 1e-9 {
+		t.Errorf("clamped = %v, want 300", got)
+	}
+	// Negative busy clamps to zero.
+	if got := p.IterationEnergy(1, -1, -1, 1); math.Abs(got-30) > 1e-9 {
+		t.Errorf("negative busy = %v, want 30", got)
+	}
+}
+
+func TestMultiGPUEnergy(t *testing.T) {
+	p := PowerModel{CPUActive: 100, CPUIdle: 10, GPUActive: 200, GPUIdle: 20}
+	// 8 idle GPUs for 1 s: 10 + 8*20 = 170.
+	if got := p.IterationEnergy(1, 0, 0, 8); math.Abs(got-170) > 1e-9 {
+		t.Errorf("8 idle GPUs = %v, want 170", got)
+	}
+	// 8 GPUs fully busy: 10 + 8*200 = 1610.
+	if got := p.IterationEnergy(1, 0, 8, 8); math.Abs(got-1610) > 1e-9 {
+		t.Errorf("8 busy GPUs = %v", got)
+	}
+}
+
+// TestEnergyMonotoneProperty: more busy time never reduces energy, and
+// energy is always at least the all-idle floor.
+func TestEnergyMonotoneProperty(t *testing.T) {
+	p := Default()
+	f := func(wallRaw, busyA, busyB float64) bool {
+		wall := math.Abs(math.Mod(wallRaw, 100))
+		a := math.Abs(math.Mod(busyA, 100))
+		b := math.Abs(math.Mod(busyB, 100))
+		if a > b {
+			a, b = b, a
+		}
+		ea := p.IterationEnergy(wall, a, 0, 1)
+		eb := p.IterationEnergy(wall, b, 0, 1)
+		floor := p.IterationEnergy(wall, 0, 0, 1)
+		return eb >= ea-1e-9 && ea >= floor-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultPlausible(t *testing.T) {
+	p := Default()
+	if p.CPUActive <= p.CPUIdle || p.GPUActive <= p.GPUIdle {
+		t.Fatal("active power must exceed idle power")
+	}
+}

@@ -1,0 +1,464 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// dynamicState is the machinery shared by the two dynamic-cache engines
+// (straw-man and ScratchPipe): per-table scratchpad managers, the
+// functional GPU storage arrays, and the five stage implementations with
+// their timing formulas. The straw-man executes the stages back-to-back;
+// ScratchPipe runs them through the pipeline.
+type dynamicState struct {
+	env     *Env
+	cost    costModel
+	sps     []*core.Scratchpad
+	storage []*tensor.Matrix // per table: TotalSlots x dim (functional mode)
+	// stateStorage shadows storage for per-row optimizer state: the
+	// scratchpad caches optimizer accumulators with the same slot
+	// assignment, prefetching them at [Collect] and writing them back
+	// at [Insert] exactly like the embedding rows.
+	stateStorage []*tensor.Matrix
+	hazard       *core.HazardChecker
+	// gpus > 1 models the §VI-G multi-GPU extension: tables are
+	// partitioned table-wise across gpus GPUs, each running its own
+	// per-table cache manager. GPU-side stage work and PCIe traffic
+	// divide across devices/links; the CPU-side gathers and write-backs
+	// do NOT — the single socket's DRAM is shared, which is exactly why
+	// the paper expects multi-GPU ScratchPipe to underutilize GPUs.
+	gpus int
+}
+
+// spJob is the per-mini-batch pipeline state (core.Job).
+type spJob struct {
+	batch *trace.Batch
+	// futureIDs[k][t] is table t's ID list of the batch k+1 positions
+	// ahead, captured at Load time from the dataset look-ahead window;
+	// hintIDs carries batches beyond the hazard window for
+	// eviction-preference hints.
+	futureIDs [][][]int64
+	hintIDs   [][][]int64
+	plans     []*core.PlanResult
+	// fillVals/evictVals stage the embedding payloads between Collect
+	// and Insert (the data "crossing PCIe" at Exchange). Indexed per
+	// table, concatenated row-major. fillState/evictState carry the
+	// optimizer-state rows of the same schedule.
+	fillVals   [][]float32
+	evictVals  [][]float32
+	fillState  [][]float32
+	evictState [][]float32
+	stageTime  [core.NumStages]float64
+	// stageCPU is the CPU-memory-bound component of each stage, used by
+	// the optional contention model (concurrent stages sharing the one
+	// CPU socket's DRAM bandwidth serialize in the worst case).
+	stageCPU [core.NumStages]float64
+	cpuBusy  float64
+	gpuBusy  float64
+	loss     float32
+}
+
+// Seq implements core.Job.
+func (j *spJob) Seq() int { return j.batch.Seq }
+
+func newDynamicState(env *Env, cacheFrac float64, policy cache.PolicyKind, past, future int, hazard *core.HazardChecker) (*dynamicState, error) {
+	if cacheFrac <= 0 || cacheFrac > 1 {
+		return nil, fmt.Errorf("engine: dynamic cache: cacheFrac %g out of (0,1]", cacheFrac)
+	}
+	cfg := env.Cfg.Model
+	slots := int(cacheFrac * float64(cfg.RowsPerTable))
+	if slots < 1 {
+		slots = 1
+	}
+	d := &dynamicState{env: env, cost: costModel{env: env}, hazard: hazard, gpus: 1}
+	maxUnique := cfg.BatchSize * cfg.Lookups
+	for t := 0; t < cfg.NumTables; t++ {
+		spCfg := core.Config{
+			Slots:        slots,
+			Policy:       policy,
+			PolicySeed:   env.Cfg.Seed + int64(2000+t),
+			PastWindow:   past,
+			FutureWindow: future,
+		}
+		spCfg.Reserve = core.WorstCaseReserve(spCfg, maxUnique)
+		sp, err := core.NewScratchpad(spCfg)
+		if err != nil {
+			return nil, err
+		}
+		d.sps = append(d.sps, sp)
+		if env.Cfg.Functional {
+			d.storage = append(d.storage, tensor.New(sp.TotalSlots(), cfg.EmbeddingDim))
+			if env.StateDim > 0 {
+				d.stateStorage = append(d.stateStorage, tensor.New(sp.TotalSlots(), env.StateDim))
+			}
+		}
+	}
+	return d, nil
+}
+
+// prewarm fills every table's scratchpad to capacity with draws from the
+// trace distribution, approximating LRU steady-state content so measured
+// iterations reflect warm-cache behaviour rather than a cold start. In
+// functional mode the drawn rows' values are copied into GPU storage, so
+// training results are unchanged.
+func (d *dynamicState) prewarm() {
+	dists := d.env.Gen.Dists()
+	for t, sp := range d.sps {
+		rng := newSeededRand(d.env.Cfg.Seed + int64(3000+t))
+		dist := dists[t]
+		var onFill func(id int64, slot int32)
+		if d.env.Cfg.Functional {
+			tbl := d.env.Tables[t]
+			storage := d.storage[t]
+			var stateTbl *embed.Table
+			var stateStorage *tensor.Matrix
+			if d.stateStorage != nil {
+				stateTbl = d.env.StateTables[t]
+				stateStorage = d.stateStorage[t]
+			}
+			onFill = func(id int64, slot int32) {
+				copy(storage.Row(int(slot)), tbl.Row(id))
+				if stateStorage != nil {
+					copy(stateStorage.Row(int(slot)), stateTbl.Row(id))
+				}
+			}
+		}
+		sp.Prewarm(func() int64 { return dist.Sample(rng) }, onFill)
+	}
+}
+
+// newJob captures the batch at the loader head plus references to the next
+// `future` batches' ID lists (hazard window) and, beyond that, up to
+// `lookahead` batches of eviction hints, then advances the loader. Batches
+// are immutable after generation, so sharing the references across
+// concurrently executing stages is race-free.
+func (d *dynamicState) newJob(loader *trace.Loader, future, lookahead int) *spJob {
+	job := &spJob{}
+	for k := 1; k <= future; k++ {
+		job.futureIDs = append(job.futureIDs, loader.Peek(k).Tables)
+	}
+	for k := future + 1; k <= lookahead; k++ {
+		job.hintIDs = append(job.hintIDs, loader.Peek(k).Tables)
+	}
+	job.batch = loader.Advance()
+	return job
+}
+
+// futureForTable projects the captured look-ahead onto one table.
+func (j *spJob) futureForTable(t int) [][]int64 {
+	out := make([][]int64, 0, len(j.futureIDs))
+	for _, tables := range j.futureIDs {
+		out = append(out, tables[t])
+	}
+	return out
+}
+
+// hintsForTable projects the eviction-hint look-ahead onto one table.
+func (j *spJob) hintsForTable(t int) [][]int64 {
+	if len(j.hintIDs) == 0 {
+		return nil
+	}
+	out := make([][]int64, 0, len(j.hintIDs))
+	for _, tables := range j.hintIDs {
+		out = append(out, tables[t])
+	}
+	return out
+}
+
+// stagePlan runs [Plan] for every table: Hit-Map queries, victim planning,
+// hold registration. Simulated cost: the sparse IDs cross PCIe and the GPU
+// probes its Hit-Map structures.
+func (d *dynamicState) stagePlan(job *spJob) error {
+	cfg := d.env.Cfg.Model
+	job.plans = make([]*core.PlanResult, cfg.NumTables)
+	totalIDs := 0
+	var gpuProbe float64
+	for t := 0; t < cfg.NumTables; t++ {
+		ids := job.batch.Tables[t]
+		plan, err := d.sps[t].PlanWithHints(job.batch.Seq, ids, job.futureForTable(t), job.hintsForTable(t))
+		if err != nil {
+			return err
+		}
+		job.plans[t] = plan
+		totalIDs += len(ids)
+		// Hash-probe traffic: key+value per ID.
+		gpuProbe += d.env.Cfg.System.GPU.RandomTime(float64(len(ids)) * 16)
+	}
+	tTime := d.cost.pcie(idBytes(totalIDs))/d.links() + gpuProbe/float64(d.gpus)
+	job.stageTime[core.StagePlan] = tTime
+	job.gpuBusy += gpuProbe
+	return nil
+}
+
+// links returns the number of independent CPU-GPU PCIe links available
+// (one per GPU pair on p3-class hosts).
+func (d *dynamicState) links() float64 {
+	if d.gpus <= 1 {
+		return 1
+	}
+	return float64((d.gpus + 1) / 2)
+}
+
+// stageCollect gathers the missed rows from the CPU tables and the victim
+// rows from the GPU scratchpad into staging buffers.
+func (d *dynamicState) stageCollect(job *spJob) error {
+	cfg := d.env.Cfg.Model
+	dim := cfg.EmbeddingDim
+	var cpuT, gpuT float64
+	if d.env.Cfg.Functional {
+		job.fillVals = make([][]float32, cfg.NumTables)
+		job.evictVals = make([][]float32, cfg.NumTables)
+		if d.stateStorage != nil {
+			job.fillState = make([][]float32, cfg.NumTables)
+			job.evictState = make([][]float32, cfg.NumTables)
+		}
+	}
+	sdim := d.env.StateDim
+	for t := 0; t < cfg.NumTables; t++ {
+		plan := job.plans[t]
+		cpuT += d.cost.gatherCPU(len(plan.Fills))
+		cpuT += d.cost.stateMoveCPU(len(plan.Fills))
+		gpuT += d.cost.gatherGPU(len(plan.Evictions))
+		gpuT += d.cost.stateMoveGPU(len(plan.Evictions))
+		if d.hazard != nil {
+			for _, f := range plan.Fills {
+				d.hazard.Access(core.StageCollect, core.ResCPURow, t, f.ID, false, job.batch.Seq)
+			}
+			for _, e := range plan.Evictions {
+				d.hazard.Access(core.StageCollect, core.ResGPUSlot, t, int64(e.Slot), false, job.batch.Seq)
+			}
+		}
+		if d.env.Cfg.Functional {
+			fv := make([]float32, len(plan.Fills)*dim)
+			for i, f := range plan.Fills {
+				copy(fv[i*dim:(i+1)*dim], d.env.Tables[t].Row(f.ID))
+			}
+			job.fillVals[t] = fv
+			ev := make([]float32, len(plan.Evictions)*dim)
+			for i, e := range plan.Evictions {
+				copy(ev[i*dim:(i+1)*dim], d.storage[t].Row(int(e.Slot)))
+			}
+			job.evictVals[t] = ev
+			if d.stateStorage != nil {
+				fs := make([]float32, len(plan.Fills)*sdim)
+				for i, f := range plan.Fills {
+					copy(fs[i*sdim:(i+1)*sdim], d.env.StateTables[t].Row(f.ID))
+				}
+				job.fillState[t] = fs
+				es := make([]float32, len(plan.Evictions)*sdim)
+				for i, e := range plan.Evictions {
+					copy(es[i*sdim:(i+1)*sdim], d.stateStorage[t].Row(int(e.Slot)))
+				}
+				job.evictState[t] = es
+			}
+		}
+	}
+	job.stageTime[core.StageCollect] = maxf(cpuT, gpuT/float64(d.gpus))
+	job.stageCPU[core.StageCollect] = cpuT
+	job.cpuBusy += cpuT
+	job.gpuBusy += gpuT
+	return nil
+}
+
+// stageExchange ships staged rows across PCIe: fills CPU->GPU concurrently
+// with eviction write-backs GPU->CPU (full duplex).
+func (d *dynamicState) stageExchange(job *spJob) error {
+	var up, down int
+	for _, plan := range job.plans {
+		up += len(plan.Fills)
+		down += len(plan.Evictions)
+	}
+	upBytes := d.cost.embBytes(up) + d.cost.stateBytes(up)
+	downBytes := d.cost.embBytes(down) + d.cost.stateBytes(down)
+	links := d.links()
+	job.stageTime[core.StageExchange] = d.cost.pcieDuplex(upBytes/links, downBytes/links)
+	return nil
+}
+
+// stageInsert fills missed rows into the scratchpad and writes evicted
+// rows back into the CPU tables.
+func (d *dynamicState) stageInsert(job *spJob) error {
+	cfg := d.env.Cfg.Model
+	dim := cfg.EmbeddingDim
+	var cpuT, gpuT float64
+	sdim := d.env.StateDim
+	for t := 0; t < cfg.NumTables; t++ {
+		plan := job.plans[t]
+		gpuT += d.cost.scatterWriteGPU(len(plan.Fills))
+		gpuT += d.cost.stateMoveGPU(len(plan.Fills))
+		cpuT += d.cost.scatterWriteCPU(len(plan.Evictions))
+		cpuT += d.cost.stateMoveCPU(len(plan.Evictions))
+		if d.hazard != nil {
+			for _, f := range plan.Fills {
+				d.hazard.Access(core.StageInsert, core.ResGPUSlot, t, int64(f.Slot), true, job.batch.Seq)
+			}
+			for _, e := range plan.Evictions {
+				d.hazard.Access(core.StageInsert, core.ResCPURow, t, e.OldID, true, job.batch.Seq)
+			}
+		}
+		if d.env.Cfg.Functional {
+			fv := job.fillVals[t]
+			for i, f := range plan.Fills {
+				copy(d.storage[t].Row(int(f.Slot)), fv[i*dim:(i+1)*dim])
+			}
+			ev := job.evictVals[t]
+			for i, e := range plan.Evictions {
+				copy(d.env.Tables[t].Row(e.OldID), ev[i*dim:(i+1)*dim])
+			}
+			if d.stateStorage != nil {
+				fs := job.fillState[t]
+				for i, f := range plan.Fills {
+					copy(d.stateStorage[t].Row(int(f.Slot)), fs[i*sdim:(i+1)*sdim])
+				}
+				es := job.evictState[t]
+				for i, e := range plan.Evictions {
+					copy(d.env.StateTables[t].Row(e.OldID), es[i*sdim:(i+1)*sdim])
+				}
+			}
+		}
+	}
+	job.stageTime[core.StageInsert] = maxf(cpuT, gpuT/float64(d.gpus))
+	job.stageCPU[core.StageInsert] = cpuT
+	job.cpuBusy += cpuT
+	job.gpuBusy += gpuT
+	return nil
+}
+
+// cacheView adapts one table's scratchpad storage + a batch's plan into an
+// embed.RowStore, so [Train] runs the canonical primitives unchanged but
+// at "GPU memory speed".
+type cacheView struct {
+	dim     int
+	storage *tensor.Matrix
+	plan    *core.PlanResult
+}
+
+func (v cacheView) Dim() int { return v.dim }
+
+func (v cacheView) Row(id int64) []float32 {
+	return v.storage.Row(int(v.plan.Slot(id)))
+}
+
+// stageTrain runs the whole model-training step against the scratchpad:
+// embedding forward, MLP forward/backward, gradient coalescing, and the
+// embedding parameter update. All embedding traffic hits GPU memory — the
+// cache "always hits" by construction.
+func (d *dynamicState) stageTrain(job *spJob) error {
+	cfg := d.env.Cfg.Model
+	var embT float64
+	for t := 0; t < cfg.NumTables; t++ {
+		plan := job.plans[t]
+		uniq := len(plan.UniqueIDs)
+		embT += d.cost.gatherGPU(job.batch.TotalIDs())
+		embT += d.cost.reduceGPU(job.batch.TotalIDs(), cfg.BatchSize)
+		embT += d.cost.dupCoalesceGPU(cfg.BatchSize, job.batch.TotalIDs(), uniq)
+		embT += d.cost.scatterUpdateGPU(uniq)
+		embT += d.cost.stateUpdateGPU(uniq)
+		if d.hazard != nil {
+			for _, slot := range plan.Slots {
+				d.hazard.Access(core.StageTrain, core.ResGPUSlot, t, int64(slot), true, job.batch.Seq)
+			}
+		}
+	}
+	var gpuT float64
+	if d.gpus > 1 {
+		// Table-wise model parallelism: each GPU trains its tables'
+		// embedding ops locally, exchanges pooled outputs/gradients
+		// all-to-all, and data-parallel-trains the MLPs (cf. §VI-G
+		// and the MultiGPU engine).
+		g := float64(d.gpus)
+		sys := d.env.Cfg.System
+		flops := mlpFlopsPerIteration(cfg)
+		mlp := sys.GPU.MatmulTime(flops/g, 3*2*4*(mlpParamCount(cfg)+mlpActivationFloats(cfg))/g) + sys.GPU.IterOverhead
+		tablesPerGPU := (float64(cfg.NumTables) + g - 1) / g
+		a2aBytes := d.cost.pooledBytes() * tablesPerGPU * (g - 1) / g
+		comm := 2*sys.NVLink.TransferTime(a2aBytes) +
+			sys.NVLink.TransferTime(2*mlpParamCount(cfg)*4*(g-1)/g)
+		gpuT = embT/g + mlp + comm
+	} else {
+		gpuT = embT + d.cost.mlpTime()
+	}
+	job.stageTime[core.StageTrain] = gpuT
+	job.gpuBusy += gpuT
+
+	if d.env.Cfg.Functional {
+		b := job.batch
+		pooled := make([]*tensor.Matrix, cfg.NumTables)
+		views := make([]cacheView, cfg.NumTables)
+		for t := 0; t < cfg.NumTables; t++ {
+			views[t] = cacheView{dim: cfg.EmbeddingDim, storage: d.storage[t], plan: job.plans[t]}
+			pooled[t] = embed.ForwardPooled(views[t], b.Tables[t], b.BatchSize, b.Lookups)
+		}
+		res := d.env.Model.TrainStep(d.env.DenseMatrix(b), pooled, b.Labels)
+		for t := 0; t < cfg.NumTables; t++ {
+			g := embed.DuplicateCoalesce(b.Tables[t], res.PooledGrads[t], b.Lookups)
+			var state embed.RowStore
+			if d.stateStorage != nil {
+				state = cacheView{dim: d.env.StateDim, storage: d.stateStorage[t], plan: job.plans[t]}
+			}
+			d.env.Opt.Apply(views[t], state, g)
+		}
+		job.loss = res.Loss
+	}
+	return nil
+}
+
+// release drops the job's hold protection on every table; the engine calls
+// it exactly when the job enters [Train] (see Scratchpad.Release).
+func (d *dynamicState) release(job *spJob) error {
+	for t := range d.sps {
+		if err := d.sps[t].Release(job.batch.Seq); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flush writes every dirty cached row (and its optimizer state) back to
+// the CPU tables.
+func (d *dynamicState) flush() error {
+	if !d.env.Cfg.Functional {
+		return nil
+	}
+	for t, sp := range d.sps {
+		tbl := d.env.Tables[t]
+		storage := d.storage[t]
+		var stateTbl *embed.Table
+		var stateStorage *tensor.Matrix
+		if d.stateStorage != nil {
+			stateTbl = d.env.StateTables[t]
+			stateStorage = d.stateStorage[t]
+		}
+		sp.ForEach(func(id int64, slot int32) {
+			copy(tbl.Row(id), storage.Row(int(slot)))
+			if stateStorage != nil {
+				copy(stateTbl.Row(id), stateStorage.Row(int(slot)))
+			}
+		})
+	}
+	return nil
+}
+
+// aggregateCacheStats folds per-table scratchpad statistics into a report.
+func (d *dynamicState) aggregateCacheStats(rep *Report) {
+	for _, sp := range d.sps {
+		st := sp.Stats()
+		rep.Hits += st.Hits
+		rep.Misses += st.Misses
+		rep.Fills += st.Fills
+		rep.Evictions += st.Evictions
+		rep.ReservePeak += st.ReservePeak
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

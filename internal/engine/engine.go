@@ -1,0 +1,202 @@
+// Package engine implements the five training-system design points the
+// paper evaluates against each other:
+//
+//   - Hybrid CPU-GPU without caching (Figure 4a) — the baseline.
+//   - Hybrid CPU-GPU with a static top-N GPU embedding cache (Figure 4b).
+//   - The straw-man dynamic cache without pipelining (§IV-B, Figure 8).
+//   - ScratchPipe: the pipelined scratchpad runtime (§IV-C, Figure 10).
+//   - An 8-GPU model-parallel "GPU-only" system (§VI-F, Table I).
+//
+// Every engine runs in one of two modes. In functional mode it executes the
+// real float32 training math through the canonical primitives of
+// internal/embed and internal/dlrm, so engines can be checked for bitwise
+// equivalence. In metadata mode it tracks only sparse IDs and cache events,
+// which lets the paper-scale configuration (8 x 10M-row tables) run in a
+// few hundred MB. Both modes drive the same analytic timing model
+// (internal/hw), because simulated latency depends only on event counts.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dlrm"
+	"repro/internal/embed"
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/opt"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// EnvConfig describes one experiment environment.
+type EnvConfig struct {
+	// Model is the DLRM architecture (paper defaults: DefaultConfig).
+	Model dlrm.Config
+	// System is the hardware platform model.
+	System hw.System
+	// Class is the trace locality class.
+	Class trace.Class
+	// Seed drives every PRNG in the environment (trace, init, policies).
+	Seed int64
+	// Functional enables real float32 training; otherwise the engine
+	// simulates metadata only.
+	Functional bool
+	// Optimizer selects the embedding optimizer (default SGD, the
+	// paper's choice). Stateful optimizers allocate per-row state that
+	// travels through the cache hierarchy alongside the embeddings.
+	Optimizer opt.Kind
+}
+
+// Env is the shared substrate an engine trains on: the batch stream and,
+// in functional mode, the CPU embedding tables and the dense model.
+type Env struct {
+	Cfg    EnvConfig
+	Gen    *trace.Generator
+	Tables []*embed.Table
+	// StateTables holds per-row optimizer state (nil for stateless
+	// optimizers or metadata mode); it shadows Tables row for row.
+	StateTables []*embed.Table
+	Model       *dlrm.Model
+	// Opt is the embedding optimizer shared by all engines of this env.
+	Opt opt.SparseOptimizer
+	// StateDim is the resolved per-row optimizer state width.
+	StateDim int
+}
+
+// NewEnv materializes an environment from cfg.
+func NewEnv(cfg EnvConfig) (*Env, error) {
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.System.Validate(); err != nil {
+		return nil, err
+	}
+	gen, err := trace.NewGenerator(trace.GeneratorConfig{
+		NumTables:    cfg.Model.NumTables,
+		RowsPerTable: cfg.Model.RowsPerTable,
+		Lookups:      cfg.Model.Lookups,
+		BatchSize:    cfg.Model.BatchSize,
+		DenseDim:     cfg.Model.DenseDim,
+		Class:        cfg.Class,
+		Seed:         cfg.Seed,
+		MetadataOnly: !cfg.Functional,
+	})
+	if err != nil {
+		return nil, err
+	}
+	env := &Env{Cfg: cfg, Gen: gen}
+	env.Opt, err = opt.New(cfg.Optimizer, cfg.Model.LR)
+	if err != nil {
+		return nil, err
+	}
+	env.StateDim = opt.EffectiveStateDim(env.Opt, cfg.Model.EmbeddingDim)
+	if cfg.Functional {
+		for t := 0; t < cfg.Model.NumTables; t++ {
+			tbl, err := embed.NewTable(cfg.Model.RowsPerTable, cfg.Model.EmbeddingDim,
+				newSeededRand(cfg.Seed+int64(1000+t)))
+			if err != nil {
+				return nil, err
+			}
+			env.Tables = append(env.Tables, tbl)
+			if env.StateDim > 0 {
+				st, err := embed.NewZeroTable(cfg.Model.RowsPerTable, env.StateDim)
+				if err != nil {
+					return nil, err
+				}
+				env.StateTables = append(env.StateTables, st)
+			}
+		}
+		m, err := dlrm.New(cfg.Model, cfg.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+		env.Model = m
+	}
+	return env, nil
+}
+
+// stateTable returns table t's optimizer-state store, or nil when the
+// optimizer is stateless.
+func (e *Env) stateTable(t int) embed.RowStore {
+	if e.StateTables == nil {
+		return nil
+	}
+	return e.StateTables[t]
+}
+
+// DenseMatrix views the batch's dense features as a matrix.
+func (e *Env) DenseMatrix(b *trace.Batch) *tensor.Matrix {
+	return tensor.FromSlice(b.BatchSize, b.DenseDim, b.Dense)
+}
+
+// Report summarizes one engine run for the benchmark harness. All times
+// are simulated seconds.
+type Report struct {
+	// Engine is the engine name; Iters the number of trained batches.
+	Engine string
+	Iters  int
+	// Wall is total simulated time; IterTime the steady-state average
+	// per training iteration.
+	Wall     float64
+	IterTime float64
+	// Figure 5 / 12a buckets (averages per iteration). For the cached
+	// engines GPUTime includes everything executed on the GPU.
+	CPUEmbFwd float64
+	CPUEmbBwd float64
+	GPUTime   float64
+	// StageAvg is the average latency of each pipeline stage per
+	// iteration (Figure 12b); only the dynamic-cache engines fill it.
+	StageAvg [core.NumStages]float64
+	// CPUBusy/GPUBusy are average per-iteration device-active times for
+	// the energy model (Figure 14).
+	CPUBusy float64
+	GPUBusy float64
+	// Hits/Misses are occurrence-level cache statistics summed over all
+	// tables; Fills/Evictions count scheduled row movements.
+	Hits, Misses     int64
+	Fills, Evictions int64
+	// ReservePeak is the §VI-D overflow high-water mark (slots), summed
+	// over tables.
+	ReservePeak int
+	// FillCycles counts pipeline ramp-up cycles excluded from IterTime.
+	FillCycles int
+	// CycleStats digests the distribution of steady-state pipeline
+	// cycle latencies (ScratchPipe only): tails expose cycles whose
+	// batch missed on an unusually large working set.
+	CycleStats metrics.Summary
+	// AvgLoss is the mean training loss (functional mode only).
+	AvgLoss float64
+}
+
+// HitRate returns the occurrence-level cache hit rate.
+func (r *Report) HitRate() float64 {
+	total := r.Hits + r.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(total)
+}
+
+// Engine is one training-system design point.
+type Engine interface {
+	// Name identifies the engine ("hybrid", "static", "strawman",
+	// "scratchpipe", "multigpu").
+	Name() string
+	// Run trains n mini-batches and returns the run report.
+	Run(n int) (*Report, error)
+}
+
+// FlushTables writes any engine-side dirty cached rows back into the CPU
+// tables so model state can be compared across engines. Engines that keep
+// no GPU-resident dirty state implement it as a no-op.
+type FlushTables interface {
+	Flush() error
+}
+
+func validateIters(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("engine: iterations %d <= 0", n)
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/embed"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// StaticCache is the hybrid CPU-GPU system augmented with the
+// software-managed static GPU embedding cache of Figure 4b (after Yin et
+// al.): the top-N hottest rows live in GPU memory for the whole run. Hit
+// IDs train at GPU memory speed; missed IDs still pay the full CPU-side
+// gather / duplicate / coalesce / scatter cost, and — critically — those
+// misses sit on the training critical path, which is the limitation
+// ScratchPipe removes.
+type StaticCache struct {
+	env     *Env
+	cost    costModel
+	topFrac float64
+	caches  []*cache.Static
+	// stateCaches shadow caches for per-row optimizer state (nil for
+	// stateless optimizers): hot-row state lives in GPU memory too.
+	stateCaches []*cache.Static
+}
+
+// NewStaticCache builds the engine with a per-table static cache sized to
+// the top topFrac fraction of rows (the paper sweeps 2-10%).
+func NewStaticCache(env *Env, topFrac float64) (*StaticCache, error) {
+	if topFrac < 0 || topFrac > 1 {
+		return nil, fmt.Errorf("engine: static: topFrac %g out of [0,1]", topFrac)
+	}
+	cfg := env.Cfg.Model
+	topN := int64(topFrac * float64(cfg.RowsPerTable))
+	s := &StaticCache{env: env, cost: costModel{env: env}, topFrac: topFrac}
+	for t := 0; t < cfg.NumTables; t++ {
+		var cpu *embed.Table
+		if env.Cfg.Functional {
+			cpu = env.Tables[t]
+		}
+		c, err := cache.NewStatic(cpu, cfg.RowsPerTable, cfg.EmbeddingDim, topN)
+		if err != nil {
+			return nil, err
+		}
+		s.caches = append(s.caches, c)
+		if env.StateDim > 0 {
+			var cpuState *embed.Table
+			if env.Cfg.Functional {
+				cpuState = env.StateTables[t]
+			}
+			sc, err := cache.NewStatic(cpuState, cfg.RowsPerTable, env.StateDim, topN)
+			if err != nil {
+				return nil, err
+			}
+			s.stateCaches = append(s.stateCaches, sc)
+		}
+	}
+	return s, nil
+}
+
+// Name implements Engine.
+func (s *StaticCache) Name() string { return "static" }
+
+// TopFrac returns the configured cache fraction.
+func (s *StaticCache) TopFrac() float64 { return s.topFrac }
+
+// Run implements Engine.
+func (s *StaticCache) Run(n int) (*Report, error) {
+	if err := validateIters(n); err != nil {
+		return nil, err
+	}
+	cfg := s.env.Cfg.Model
+	rep := &Report{Engine: s.Name(), Iters: n}
+	var lossSum float64
+	for it := 0; it < n; it++ {
+		b := s.env.Gen.Next()
+
+		var cpuFwd, cpuBwd, gpu float64
+		// Sparse IDs cross PCIe once for hit/miss evaluation
+		// (Figure 4b's first red arrow), missed IDs come back.
+		totalIDsAll := cfg.NumTables * b.TotalIDs()
+		cpuFwd += s.cost.pcie(idBytes(totalIDsAll) + s.cost.denseInputBytes())
+
+		var missedBack int
+		for t := 0; t < cfg.NumTables; t++ {
+			ids := b.Tables[t]
+			hitOcc, missOcc := s.caches[t].Query(ids)
+			uniqHit, uniqMiss := uniqueHitMiss(b, t, s.caches[t])
+			rep.Hits += int64(hitOcc)
+			rep.Misses += int64(missOcc)
+			missedBack += missOcc
+
+			// Forward: GPU gathers hits; CPU gathers misses and
+			// partially reduces them; partial sums cross PCIe.
+			gpu += s.cost.gatherGPU(hitOcc)
+			gpu += s.cost.reduceGPU(hitOcc+cfg.BatchSize, cfg.BatchSize)
+			cpuFwd += s.cost.gatherCPU(missOcc)
+			cpuFwd += s.cost.reduceCPU(missOcc, cfg.BatchSize)
+			cpuFwd += s.cost.pcie(s.cost.pooledBytes())
+
+			// Backward: the pooled gradient crosses to the CPU for
+			// the missed IDs; both sides duplicate/coalesce and
+			// scatter their share.
+			gpu += s.cost.dupCoalesceGPU(cfg.BatchSize, hitOcc, uniqHit)
+			gpu += s.cost.scatterUpdateGPU(uniqHit)
+			gpu += s.cost.stateUpdateGPU(uniqHit)
+			cpuBwd += s.cost.pcie(s.cost.pooledBytes())
+			cpuBwd += s.cost.dupCoalesceCPU(cfg.BatchSize, missOcc, uniqMiss)
+			cpuBwd += s.cost.scatterUpdateCPU(uniqMiss)
+			cpuBwd += s.cost.stateUpdateCPU(uniqMiss)
+		}
+		cpuFwd += s.cost.pcie(idBytes(missedBack))
+		gpu += s.cost.mlpTime()
+
+		rep.CPUEmbFwd += cpuFwd
+		rep.CPUEmbBwd += cpuBwd
+		rep.GPUTime += gpu
+		rep.Wall += cpuFwd + gpu + cpuBwd
+		rep.CPUBusy += cpuFwd + cpuBwd
+		rep.GPUBusy += gpu
+
+		if s.env.Cfg.Functional {
+			lossSum += float64(s.trainStep(b))
+		}
+	}
+	finalizeAverages(rep, n, lossSum)
+	return rep, nil
+}
+
+// uniqueHitMiss splits the batch's distinct IDs of table t into cache hits
+// and misses.
+func uniqueHitMiss(b interface{ UniqueIDs(int) []int64 }, t int, c *cache.Static) (hit, miss int) {
+	for _, id := range b.UniqueIDs(t) {
+		if c.Hit(id) {
+			hit++
+		} else {
+			miss++
+		}
+	}
+	return hit, miss
+}
+
+// trainStep runs the real math. The static cache is an embed.RowStore that
+// routes hot rows to the GPU copy and cold rows to the CPU table, so the
+// canonical primitives execute the identical float program as the
+// baseline.
+func (s *StaticCache) trainStep(b *trace.Batch) float32 {
+	cfg := s.env.Cfg.Model
+	pooled := make([]*tensor.Matrix, cfg.NumTables)
+	for t := 0; t < cfg.NumTables; t++ {
+		pooled[t] = embed.ForwardPooled(s.caches[t], b.Tables[t], b.BatchSize, b.Lookups)
+	}
+	res := s.env.Model.TrainStep(s.env.DenseMatrix(b), pooled, b.Labels)
+	for t := 0; t < cfg.NumTables; t++ {
+		g := embed.DuplicateCoalesce(b.Tables[t], res.PooledGrads[t], b.Lookups)
+		var state embed.RowStore
+		if s.stateCaches != nil {
+			state = s.stateCaches[t]
+		}
+		s.env.Opt.Apply(s.caches[t], state, g)
+	}
+	return res.Loss
+}
+
+// Flush implements FlushTables: write dirty hot rows (and their optimizer
+// state) back to CPU tables.
+func (s *StaticCache) Flush() error {
+	for _, c := range s.caches {
+		c.Flush()
+	}
+	for _, c := range s.stateCaches {
+		c.Flush()
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package engine
+
+import (
+	"math/rand"
+
+	"repro/internal/dlrm"
+	"repro/internal/trace"
+)
+
+// newSeededRand returns a deterministic PRNG stream for the given seed.
+func newSeededRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// batchShape caches the per-table ID structure of one batch that the
+// timing model needs: total occurrences and distinct rows.
+type batchShape struct {
+	totalIDs int   // per table (BatchSize * Lookups)
+	unique   []int // per table distinct rows
+}
+
+func shapeOf(b *trace.Batch) batchShape {
+	s := batchShape{totalIDs: b.TotalIDs(), unique: make([]int, b.NumTables())}
+	for t := range s.unique {
+		s.unique[t] = len(b.UniqueIDs(t))
+	}
+	return s
+}
+
+// mlpFlopsPerIteration computes the dense FLOPs of one training iteration
+// (forward + backward ~ 3x forward) from the configuration alone, so
+// metadata-mode engines need not instantiate a model.
+func mlpFlopsPerIteration(cfg dlrm.Config) float64 {
+	batch := float64(cfg.BatchSize)
+	var fwd float64
+	sizes := append(append([]int{cfg.DenseDim}, cfg.BottomHidden...), cfg.EmbeddingDim)
+	for i := 0; i+1 < len(sizes); i++ {
+		fwd += 2 * batch * float64(sizes[i]) * float64(sizes[i+1])
+	}
+	sizes = append(append([]int{cfg.TopInputDim()}, cfg.TopHidden...), 1)
+	for i := 0; i+1 < len(sizes); i++ {
+		fwd += 2 * batch * float64(sizes[i]) * float64(sizes[i+1])
+	}
+	fwd += 2 * batch * float64(cfg.NumInteractionPairs()) * float64(cfg.EmbeddingDim)
+	return 3 * fwd
+}
+
+// mlpParamCount returns the number of dense trainable scalars (for the
+// multi-GPU allreduce volume).
+func mlpParamCount(cfg dlrm.Config) float64 {
+	var n float64
+	sizes := append(append([]int{cfg.DenseDim}, cfg.BottomHidden...), cfg.EmbeddingDim)
+	for i := 0; i+1 < len(sizes); i++ {
+		n += float64(sizes[i])*float64(sizes[i+1]) + float64(sizes[i+1])
+	}
+	sizes = append(append([]int{cfg.TopInputDim()}, cfg.TopHidden...), 1)
+	for i := 0; i+1 < len(sizes); i++ {
+		n += float64(sizes[i])*float64(sizes[i+1]) + float64(sizes[i+1])
+	}
+	return n
+}
+
+// costModel bundles the latency formulas shared by the engines. All times
+// are simulated seconds.
+type costModel struct {
+	env *Env
+}
+
+func (c costModel) dim() int { return c.env.Cfg.Model.EmbeddingDim }
+
+// idBytes is the transfer payload of n sparse IDs (int64).
+func idBytes(n int) float64 { return float64(n) * 8 }
+
+// gatherCPU / gatherGPU: random row reads.
+func (c costModel) gatherCPU(rows int) float64 {
+	return c.env.Cfg.System.CPU.GatherTime(rows, c.dim())
+}
+
+func (c costModel) gatherGPU(rows int) float64 {
+	return c.env.Cfg.System.GPU.GatherTime(rows, c.dim())
+}
+
+// scatterWrite: full-row random writes (cache fills, eviction write-backs).
+func (c costModel) scatterWriteCPU(rows int) float64 {
+	return c.env.Cfg.System.CPU.ScatterWriteTime(rows, c.dim())
+}
+
+func (c costModel) scatterWriteGPU(rows int) float64 {
+	return c.env.Cfg.System.GPU.ScatterWriteTime(rows, c.dim())
+}
+
+// scatterUpdate: read-modify-write optimizer scatters.
+func (c costModel) scatterUpdateCPU(rows int) float64 {
+	return c.env.Cfg.System.CPU.ScatterUpdateTime(rows, c.dim())
+}
+
+func (c costModel) scatterUpdateGPU(rows int) float64 {
+	return c.env.Cfg.System.GPU.ScatterUpdateTime(rows, c.dim())
+}
+
+// reduce: per-table pooled reduction.
+func (c costModel) reduceCPU(total, out int) float64 {
+	return c.env.Cfg.System.CPU.ReduceTime(total, out, c.dim())
+}
+
+func (c costModel) reduceGPU(total, out int) float64 {
+	return c.env.Cfg.System.GPU.ReduceTime(total, out, c.dim())
+}
+
+// dupCoalesce: gradient duplication + coalescing (Figure 2b).
+func (c costModel) dupCoalesceCPU(batch, total, uniq int) float64 {
+	return c.env.Cfg.System.CPU.GradDuplicateCoalesceTime(batch, total, uniq, c.dim())
+}
+
+func (c costModel) dupCoalesceGPU(batch, total, uniq int) float64 {
+	return c.env.Cfg.System.GPU.GradDuplicateCoalesceTime(batch, total, uniq, c.dim())
+}
+
+// stateDim is the optimizer's per-row state width (0 when stateless).
+func (c costModel) stateDim() int { return c.env.StateDim }
+
+// stateUpdateCPU / stateUpdateGPU: optimizer-state read-modify-write.
+func (c costModel) stateUpdateCPU(rows int) float64 {
+	if c.stateDim() == 0 {
+		return 0
+	}
+	return c.env.Cfg.System.CPU.ScatterUpdateTime(rows, c.stateDim())
+}
+
+func (c costModel) stateUpdateGPU(rows int) float64 {
+	if c.stateDim() == 0 {
+		return 0
+	}
+	return c.env.Cfg.System.GPU.ScatterUpdateTime(rows, c.stateDim())
+}
+
+// stateMoveCPU / stateMoveGPU: optimizer-state row movement (gathers into
+// staging on Collect, scatters on Insert).
+func (c costModel) stateMoveCPU(rows int) float64 {
+	if c.stateDim() == 0 {
+		return 0
+	}
+	return c.env.Cfg.System.CPU.RandomTime(float64(rows) * float64(c.stateDim()) * 4)
+}
+
+func (c costModel) stateMoveGPU(rows int) float64 {
+	if c.stateDim() == 0 {
+		return 0
+	}
+	return c.env.Cfg.System.GPU.RandomTime(float64(rows) * float64(c.stateDim()) * 4)
+}
+
+// stateBytes is the payload of rows state rows.
+func (c costModel) stateBytes(rows int) float64 {
+	return float64(rows) * float64(c.stateDim()) * 4
+}
+
+// pcie / pcieDuplex: CPU<->GPU transfers.
+func (c costModel) pcie(bytes float64) float64 {
+	return c.env.Cfg.System.PCIe.TransferTime(bytes)
+}
+
+func (c costModel) pcieDuplex(up, down float64) float64 {
+	return c.env.Cfg.System.PCIe.DuplexTransferTime(up, down)
+}
+
+// embBytes is the payload of rows embedding rows.
+func (c costModel) embBytes(rows int) float64 {
+	return float64(rows) * float64(c.dim()) * 4
+}
+
+// mlpTime is the GPU dense time of one full training iteration: bottom and
+// top MLP forward+backward, feature interaction, plus the fixed
+// per-iteration framework overhead. Charged once per iteration.
+func (c costModel) mlpTime() float64 {
+	cfg := c.env.Cfg.Model
+	flops := mlpFlopsPerIteration(cfg)
+	// Operand traffic: weights and activations each stream roughly once
+	// per forward/backward pass (3 passes: fwd, dgrad, wgrad), read and
+	// written.
+	bytes := 3 * 2 * 4 * (mlpParamCount(cfg) + mlpActivationFloats(cfg))
+	return c.env.Cfg.System.GPU.MatmulTime(flops, bytes) + c.env.Cfg.System.GPU.IterOverhead
+}
+
+// mlpActivationFloats estimates the activation tensor volume of one
+// forward pass (batch x every layer width).
+func mlpActivationFloats(cfg dlrm.Config) float64 {
+	widths := cfg.DenseDim + cfg.EmbeddingDim + cfg.TopInputDim() + 1
+	for _, w := range cfg.BottomHidden {
+		widths += w
+	}
+	for _, w := range cfg.TopHidden {
+		widths += w
+	}
+	return float64(cfg.BatchSize) * float64(widths)
+}
+
+// denseInputBytes is the PCIe payload of the batch's continuous features.
+func (c costModel) denseInputBytes() float64 {
+	cfg := c.env.Cfg.Model
+	return float64(cfg.BatchSize) * float64(cfg.DenseDim) * 4
+}
+
+// pooledBytes is the payload of one table's pooled output (batch x dim).
+func (c costModel) pooledBytes() float64 {
+	cfg := c.env.Cfg.Model
+	return float64(cfg.BatchSize) * float64(cfg.EmbeddingDim) * 4
+}

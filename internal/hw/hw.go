@@ -1,0 +1,256 @@
+// Package hw models the hardware platform the paper evaluates on: a hybrid
+// CPU-GPU node (Intel Xeon E5-2698v4 + NVIDIA V100) connected over PCIe
+// gen3, optionally scaled out to an 8-GPU NVLink system.
+//
+// The paper measures wall-clock time on a real machine. This reproduction
+// has no GPU, so hw provides an analytic cost model instead: every primitive
+// the training pipeline executes (embedding gather, gradient scatter,
+// reduction, MLP matmul, PCIe transfer, ...) is mapped to a simulated
+// latency derived from bytes moved, FLOPs executed, and per-kernel
+// overheads. All results downstream (Figures 5, 12, 13, 14, 15 and Table I)
+// are functions of these latencies and of event counts produced by the
+// functional cache simulation, which is exactly the information the paper's
+// own numbers depend on.
+//
+// Times are float64 seconds. Bandwidths are bytes/second. Calibration
+// constants live in DefaultSystem and are documented in DESIGN.md §7.
+package hw
+
+import (
+	"fmt"
+	"time"
+)
+
+// Device describes one memory+compute device (a CPU socket or a GPU).
+type Device struct {
+	// Name identifies the device in reports ("cpu", "gpu").
+	Name string
+	// MemBandwidth is the peak DRAM/HBM bandwidth in bytes/second.
+	MemBandwidth float64
+	// StreamEff is the fraction of peak bandwidth achieved by long
+	// sequential accesses (reductions, bulk copies).
+	StreamEff float64
+	// RandomEff is the fraction of peak bandwidth achieved by
+	// row-granular random accesses (embedding gathers and scatters).
+	// Embedding rows are a few hundred bytes, so random access wastes
+	// most of each DRAM page; the paper's CPU-side gathers run far below
+	// peak, which is the entire premise of the work.
+	RandomEff float64
+	// Flops is peak FP32 throughput in FLOP/s.
+	Flops float64
+	// FlopsEff is the fraction of peak FLOPs achieved by the MLP
+	// matmuls at the paper's batch sizes.
+	FlopsEff float64
+	// KernelOverhead is the fixed cost of launching one operation
+	// (kernel launch, framework dispatch).
+	KernelOverhead float64
+	// IterOverhead is a fixed per-training-iteration cost charged once
+	// per iteration on this device (optimizer step bookkeeping, Python
+	// framework overhead in the paper's PyTorch harness).
+	IterOverhead float64
+}
+
+// Link describes an interconnect between devices.
+type Link struct {
+	// Name identifies the link ("pcie", "nvlink").
+	Name string
+	// Bandwidth is effective bytes/second per direction.
+	Bandwidth float64
+	// Latency is the fixed per-transfer latency in seconds.
+	Latency float64
+	// FullDuplex reports whether simultaneous transfers in opposite
+	// directions proceed at full bandwidth each (PCIe and NVLink do).
+	FullDuplex bool
+}
+
+// System is the full platform: one CPU socket, NumGPUs GPUs, a CPU-GPU PCIe
+// link and a GPU-GPU NVLink fabric.
+type System struct {
+	CPU     Device
+	GPU     Device
+	PCIe    Link
+	NVLink  Link
+	NumGPUs int
+}
+
+// DefaultSystem returns the platform of the paper's §V methodology:
+// Xeon E5-2698v4 (256 GB DDR4 @ 76.8 GB/s), V100 (32 GB HBM2 @ 900 GB/s,
+// 15.7 TFLOPS FP32), PCIe gen3 x16 (16 GB/s). Efficiency constants are
+// calibrated so the baseline hybrid CPU-GPU configuration lands in the
+// paper's measured range (~150-200 ms/iteration, Figure 5) and ScratchPipe
+// lands in Table I's 26-48 ms range; see EXPERIMENTS.md.
+func DefaultSystem() System {
+	return System{
+		CPU: Device{
+			Name:           "cpu",
+			MemBandwidth:   76.8e9,
+			StreamEff:      0.50,
+			RandomEff:      0.045,
+			Flops:          1.5e12,
+			FlopsEff:       0.50,
+			KernelOverhead: 50e-6,
+			IterOverhead:   1e-3,
+		},
+		GPU: Device{
+			Name:           "gpu",
+			MemBandwidth:   900e9,
+			StreamEff:      0.75,
+			RandomEff:      0.45,
+			Flops:          15.7e12,
+			FlopsEff:       0.25,
+			KernelOverhead: 20e-6,
+			IterOverhead:   16e-3,
+		},
+		PCIe: Link{
+			Name:       "pcie",
+			Bandwidth:  16e9,
+			Latency:    15e-6,
+			FullDuplex: true,
+		},
+		NVLink: Link{
+			Name:       "nvlink",
+			Bandwidth:  150e9,
+			Latency:    5e-6,
+			FullDuplex: true,
+		},
+		NumGPUs: 8,
+	}
+}
+
+// Validate reports a descriptive error if any parameter is non-physical.
+func (s System) Validate() error {
+	for _, d := range []Device{s.CPU, s.GPU} {
+		if d.MemBandwidth <= 0 {
+			return fmt.Errorf("hw: device %q: non-positive memory bandwidth %g", d.Name, d.MemBandwidth)
+		}
+		if d.StreamEff <= 0 || d.StreamEff > 1 {
+			return fmt.Errorf("hw: device %q: stream efficiency %g out of (0,1]", d.Name, d.StreamEff)
+		}
+		if d.RandomEff <= 0 || d.RandomEff > 1 {
+			return fmt.Errorf("hw: device %q: random efficiency %g out of (0,1]", d.Name, d.RandomEff)
+		}
+		if d.Flops <= 0 || d.FlopsEff <= 0 || d.FlopsEff > 1 {
+			return fmt.Errorf("hw: device %q: invalid flops %g (eff %g)", d.Name, d.Flops, d.FlopsEff)
+		}
+		if d.KernelOverhead < 0 || d.IterOverhead < 0 {
+			return fmt.Errorf("hw: device %q: negative overhead", d.Name)
+		}
+	}
+	for _, l := range []Link{s.PCIe, s.NVLink} {
+		if l.Bandwidth <= 0 {
+			return fmt.Errorf("hw: link %q: non-positive bandwidth %g", l.Name, l.Bandwidth)
+		}
+		if l.Latency < 0 {
+			return fmt.Errorf("hw: link %q: negative latency", l.Name)
+		}
+	}
+	if s.NumGPUs < 1 {
+		return fmt.Errorf("hw: NumGPUs %d < 1", s.NumGPUs)
+	}
+	return nil
+}
+
+// StreamTime is the latency of moving bytes with long sequential accesses
+// on device d (one kernel).
+func (d Device) StreamTime(bytes float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return d.KernelOverhead + bytes/(d.MemBandwidth*d.StreamEff)
+}
+
+// RandomTime is the latency of moving bytes with row-granular random
+// accesses on device d (one kernel).
+func (d Device) RandomTime(bytes float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return d.KernelOverhead + bytes/(d.MemBandwidth*d.RandomEff)
+}
+
+// ComputeTime is the latency of executing flops FLOPs on device d (one
+// kernel), assuming the op is compute bound.
+func (d Device) ComputeTime(flops float64) float64 {
+	if flops <= 0 {
+		return 0
+	}
+	return d.KernelOverhead + flops/(d.Flops*d.FlopsEff)
+}
+
+// MatmulTime is a roofline estimate for a dense matmul: the larger of the
+// compute time and the streaming time of its operand traffic.
+func (d Device) MatmulTime(flops, bytes float64) float64 {
+	if flops <= 0 && bytes <= 0 {
+		return 0
+	}
+	c := flops / (d.Flops * d.FlopsEff)
+	m := bytes / (d.MemBandwidth * d.StreamEff)
+	return d.KernelOverhead + max(c, m)
+}
+
+// TransferTime is the latency of a single transfer of bytes over link l.
+func (l Link) TransferTime(bytes float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return l.Latency + bytes/l.Bandwidth
+}
+
+// DuplexTransferTime is the latency of simultaneously sending fwdBytes one
+// way and bwdBytes the other way (the [Exchange] stage ships missed
+// embeddings CPU->GPU while shipping evicted embeddings GPU->CPU).
+func (l Link) DuplexTransferTime(fwdBytes, bwdBytes float64) float64 {
+	if fwdBytes <= 0 && bwdBytes <= 0 {
+		return 0
+	}
+	if l.FullDuplex {
+		return l.Latency + max(fwdBytes, bwdBytes)/l.Bandwidth
+	}
+	return l.Latency + (fwdBytes+bwdBytes)/l.Bandwidth
+}
+
+// EmbeddingBytes returns the size in bytes of rows embedding vectors of
+// dimension dim in float32.
+func EmbeddingBytes(rows, dim int) float64 {
+	return float64(rows) * float64(dim) * 4
+}
+
+// GatherTime is the latency of gathering rows embedding rows of dimension
+// dim from device memory (random reads).
+func (d Device) GatherTime(rows, dim int) float64 {
+	return d.RandomTime(EmbeddingBytes(rows, dim))
+}
+
+// ScatterWriteTime is the latency of writing rows embedding rows of
+// dimension dim to random locations (full-row writes, no read-modify-write:
+// the row is overwritten, as in a cache fill or eviction write-back).
+func (d Device) ScatterWriteTime(rows, dim int) float64 {
+	return d.RandomTime(EmbeddingBytes(rows, dim))
+}
+
+// ScatterUpdateTime is the latency of a read-modify-write gradient scatter
+// (optimizer update: read the row, add the gradient, write it back), which
+// moves twice the row bytes.
+func (d Device) ScatterUpdateTime(rows, dim int) float64 {
+	return d.RandomTime(2 * EmbeddingBytes(rows, dim))
+}
+
+// ReduceTime is the latency of the per-table embedding reduction: stream
+// totalGathered rows in and write reducedOut pooled rows out.
+func (d Device) ReduceTime(totalGathered, reducedOut, dim int) float64 {
+	return d.StreamTime(EmbeddingBytes(totalGathered+reducedOut, dim))
+}
+
+// GradDuplicateCoalesceTime is the latency of expanding reducedIn gradient
+// rows into totalIDs duplicated rows and coalescing them back down to
+// uniqueRows rows (Figure 2b). The duplication writes totalIDs rows and the
+// coalescing reads them and writes uniqueRows rows; all streaming.
+func (d Device) GradDuplicateCoalesceTime(reducedIn, totalIDs, uniqueRows, dim int) float64 {
+	bytes := EmbeddingBytes(reducedIn+2*totalIDs+uniqueRows, dim)
+	return d.StreamTime(bytes)
+}
+
+// Seconds converts a model latency to a time.Duration for display.
+func Seconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,149 @@
+package hw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultSystemValid(t *testing.T) {
+	if err := DefaultSystem().Validate(); err != nil {
+		t.Fatalf("default system invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mods := []func(*System){
+		func(s *System) { s.CPU.MemBandwidth = 0 },
+		func(s *System) { s.CPU.StreamEff = 0 },
+		func(s *System) { s.CPU.StreamEff = 1.5 },
+		func(s *System) { s.GPU.RandomEff = -1 },
+		func(s *System) { s.GPU.Flops = 0 },
+		func(s *System) { s.GPU.FlopsEff = 2 },
+		func(s *System) { s.CPU.KernelOverhead = -1 },
+		func(s *System) { s.PCIe.Bandwidth = 0 },
+		func(s *System) { s.NVLink.Latency = -1 },
+		func(s *System) { s.NumGPUs = 0 },
+	}
+	for i, mod := range mods {
+		s := DefaultSystem()
+		mod(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid system accepted", i)
+		}
+	}
+}
+
+func TestBasicLatencyArithmetic(t *testing.T) {
+	d := Device{Name: "d", MemBandwidth: 100e9, StreamEff: 0.5, RandomEff: 0.1,
+		Flops: 1e12, FlopsEff: 0.5, KernelOverhead: 1e-6}
+	// 50 GB/s effective stream: 50 GB takes 1 s + overhead.
+	if got := d.StreamTime(50e9); math.Abs(got-1.000001) > 1e-9 {
+		t.Errorf("StreamTime = %v", got)
+	}
+	// 10 GB/s effective random: 10 GB takes 1 s.
+	if got := d.RandomTime(10e9); math.Abs(got-1.000001) > 1e-9 {
+		t.Errorf("RandomTime = %v", got)
+	}
+	// 0.5 TFLOP/s effective: 0.5 TFLOP takes 1 s.
+	if got := d.ComputeTime(0.5e12); math.Abs(got-1.000001) > 1e-9 {
+		t.Errorf("ComputeTime = %v", got)
+	}
+	if d.StreamTime(0) != 0 || d.RandomTime(0) != 0 || d.ComputeTime(0) != 0 {
+		t.Error("zero work should cost zero time")
+	}
+}
+
+func TestMatmulRoofline(t *testing.T) {
+	d := Device{Name: "d", MemBandwidth: 100e9, StreamEff: 1, RandomEff: 1,
+		Flops: 1e12, FlopsEff: 1, KernelOverhead: 0}
+	// Compute bound: 1e12 flops, tiny bytes -> 1 s.
+	if got := d.MatmulTime(1e12, 1); math.Abs(got-1) > 1e-9 {
+		t.Errorf("compute-bound matmul = %v", got)
+	}
+	// Memory bound: tiny flops, 100 GB -> 1 s.
+	if got := d.MatmulTime(1, 100e9); math.Abs(got-1) > 1e-9 {
+		t.Errorf("memory-bound matmul = %v", got)
+	}
+}
+
+func TestLinkTransfer(t *testing.T) {
+	l := Link{Name: "l", Bandwidth: 10e9, Latency: 1e-6, FullDuplex: true}
+	if got := l.TransferTime(10e9); math.Abs(got-1.000001) > 1e-9 {
+		t.Errorf("TransferTime = %v", got)
+	}
+	// Duplex: simultaneous transfers cost the max direction.
+	if got := l.DuplexTransferTime(10e9, 5e9); math.Abs(got-1.000001) > 1e-9 {
+		t.Errorf("duplex = %v", got)
+	}
+	half := Link{Name: "h", Bandwidth: 10e9, Latency: 0, FullDuplex: false}
+	if got := half.DuplexTransferTime(10e9, 5e9); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("half duplex = %v", got)
+	}
+	if l.TransferTime(0) != 0 || l.DuplexTransferTime(0, 0) != 0 {
+		t.Error("zero transfer should cost zero time")
+	}
+}
+
+func TestEmbeddingOpCosts(t *testing.T) {
+	sys := DefaultSystem()
+	// A gather of N rows moves N*dim*4 bytes randomly.
+	rows, dim := 1000, 128
+	want := sys.CPU.RandomTime(float64(rows * dim * 4))
+	if got := sys.CPU.GatherTime(rows, dim); got != want {
+		t.Errorf("GatherTime = %v, want %v", got, want)
+	}
+	// Scatter update is twice the gather traffic (read-modify-write).
+	up := sys.CPU.ScatterUpdateTime(rows, dim)
+	wr := sys.CPU.ScatterWriteTime(rows, dim)
+	if up <= wr {
+		t.Errorf("scatter update %v not more expensive than plain write %v", up, wr)
+	}
+	// Monotonicity in rows.
+	if sys.CPU.GatherTime(2000, dim) <= sys.CPU.GatherTime(1000, dim) {
+		t.Error("gather time not monotone in rows")
+	}
+}
+
+// TestCostMonotonicityProperty: all cost functions are monotone in their
+// byte/flop arguments and never negative.
+func TestCostMonotonicityProperty(t *testing.T) {
+	d := DefaultSystem().CPU
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if a > b {
+			a, b = b, a
+		}
+		return d.StreamTime(a) <= d.StreamTime(b) &&
+			d.RandomTime(a) <= d.RandomTime(b) &&
+			d.ComputeTime(a) <= d.ComputeTime(b) &&
+			d.StreamTime(a) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCalibrationAnchors(t *testing.T) {
+	// The calibration targets of DESIGN.md §7, kept as executable
+	// regression anchors: the CPU-side random gather of one default
+	// batch's embeddings (8 tables x 20 x 2048 rows x 512 B) lands in
+	// the tens of milliseconds, and the same gather on the GPU is >50x
+	// faster.
+	sys := DefaultSystem()
+	rows := 8 * 20 * 2048
+	cpu := sys.CPU.GatherTime(rows, 128)
+	gpu := sys.GPU.GatherTime(rows, 128)
+	if cpu < 0.020 || cpu > 0.100 {
+		t.Errorf("CPU batch gather = %v s, want 20-100 ms", cpu)
+	}
+	if cpu/gpu < 50 {
+		t.Errorf("CPU/GPU gather ratio = %v, want > 50", cpu/gpu)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if Seconds(1.5).Seconds() != 1.5 {
+		t.Errorf("Seconds round trip failed")
+	}
+}

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptySeries(t *testing.T) {
+	var s Series
+	sum := s.Summarize()
+	if sum.Count != 0 || sum.Mean != 0 || sum.Max != 0 {
+		t.Fatalf("empty summary %+v", sum)
+	}
+	if s.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile non-zero")
+	}
+}
+
+func TestKnownSummary(t *testing.T) {
+	var s Series
+	for _, v := range []float64{4, 1, 3, 2, 5} {
+		s.Add(v)
+	}
+	sum := s.Summarize()
+	if sum.Count != 5 || sum.Mean != 3 || sum.Min != 1 || sum.Max != 5 || sum.Total != 15 {
+		t.Fatalf("summary %+v", sum)
+	}
+	if sum.P50 != 3 {
+		t.Fatalf("p50 = %v", sum.P50)
+	}
+	if math.Abs(sum.StdDev-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("stddev = %v", sum.StdDev)
+	}
+}
+
+func TestQuantileEndpoints(t *testing.T) {
+	var s Series
+	s.Add(10)
+	s.Add(20)
+	if s.Quantile(0) != 10 || s.Quantile(1) != 20 {
+		t.Fatalf("endpoints %v %v", s.Quantile(0), s.Quantile(1))
+	}
+	if got := s.Quantile(0.5); got != 15 {
+		t.Fatalf("interpolated median = %v", got)
+	}
+}
+
+// TestQuantileMonotoneProperty: quantiles are monotone in q and bounded by
+// min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, qa, qb float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Series
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			s.Add(math.Mod(v, 1e6))
+		}
+		qa = math.Abs(math.Mod(qa, 1))
+		qb = math.Abs(math.Mod(qb, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		va, vb := s.Quantile(qa), s.Quantile(qb)
+		sum := s.Summarize()
+		return va <= vb+1e-9 && va >= sum.Min-1e-9 && vb <= sum.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMeanMatchesDirectComputation cross-checks against a straightforward
+// reference on a deterministic ramp.
+func TestMeanMatchesDirectComputation(t *testing.T) {
+	var s Series
+	vals := make([]float64, 101)
+	for i := range vals {
+		vals[i] = float64(i)
+		s.Add(float64(i))
+	}
+	sum := s.Summarize()
+	if sum.Mean != 50 {
+		t.Fatalf("mean = %v", sum.Mean)
+	}
+	sort.Float64s(vals)
+	if sum.P95 != vals[95] {
+		t.Fatalf("p95 = %v want %v", sum.P95, vals[95])
+	}
+	if sum.String() == "" {
+		t.Fatal("empty string rendering")
+	}
+}

@@ -1,0 +1,211 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func newRand() *rand.Rand { return rand.New(rand.NewSource(5)) }
+
+// numericGradCheck compares analytic parameter gradients against central
+// finite differences for a tiny MLP + BCE loss.
+func TestMLPGradientCheck(t *testing.T) {
+	rng := newRand()
+	mlp, err := NewMLP([]int{3, 4, 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(5, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()*2 - 1
+	}
+	labels := []float32{1, 0, 1, 1, 0}
+
+	loss := func() float64 {
+		logits := mlp.Forward(x)
+		l, _ := BCEWithLogits(logits, labels)
+		return float64(l)
+	}
+
+	// Analytic gradients.
+	logits := mlp.Forward(x)
+	_, grad := BCEWithLogits(logits, labels)
+	mlp.Backward(grad)
+	params := mlp.Params()
+
+	const eps = 1e-3
+	checked := 0
+	for pi, p := range params {
+		for wi := 0; wi < len(p.W); wi += 7 { // sample every 7th weight
+			orig := p.W[wi]
+			p.W[wi] = orig + eps
+			up := loss()
+			p.W[wi] = orig - eps
+			down := loss()
+			p.W[wi] = orig
+			numeric := (up - down) / (2 * eps)
+			analytic := float64(p.dW[wi])
+			if diff := math.Abs(numeric - analytic); diff > 2e-3 && diff > 0.15*math.Abs(numeric) {
+				t.Errorf("param %d[%d]: analytic %v vs numeric %v", pi, wi, analytic, numeric)
+			}
+			checked++
+		}
+	}
+	if checked < 5 {
+		t.Fatalf("only %d gradients checked", checked)
+	}
+}
+
+func TestLinearShapes(t *testing.T) {
+	l := NewLinear(3, 2, newRand())
+	y := l.Forward(tensor.New(4, 3))
+	if y.Rows != 4 || y.Cols != 2 {
+		t.Fatalf("forward shape %dx%d", y.Rows, y.Cols)
+	}
+	dx := l.Backward(tensor.New(4, 2))
+	if dx.Rows != 4 || dx.Cols != 3 {
+		t.Fatalf("backward shape %dx%d", dx.Rows, dx.Cols)
+	}
+	if len(l.Params()) != 2 {
+		t.Fatalf("params %d", len(l.Params()))
+	}
+}
+
+func TestLinearPanics(t *testing.T) {
+	l := NewLinear(3, 2, newRand())
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong input width accepted")
+			}
+		}()
+		l.Forward(tensor.New(4, 5))
+	}()
+	l2 := NewLinear(3, 2, newRand())
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Backward before Forward accepted")
+			}
+		}()
+		l2.Backward(tensor.New(4, 2))
+	}()
+}
+
+func TestReLU(t *testing.T) {
+	r := NewReLU()
+	x := tensor.FromSlice(1, 4, []float32{-1, 0, 2, -3})
+	y := r.Forward(x)
+	want := []float32{0, 0, 2, 0}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Fatalf("relu = %v", y.Data)
+		}
+	}
+	dy := tensor.FromSlice(1, 4, []float32{5, 5, 5, 5})
+	dx := r.Backward(dy)
+	wantDx := []float32{0, 0, 5, 0}
+	for i := range wantDx {
+		if dx.Data[i] != wantDx[i] {
+			t.Fatalf("relu grad = %v", dx.Data)
+		}
+	}
+}
+
+func TestMLPConstruction(t *testing.T) {
+	if _, err := NewMLP([]int{3}, newRand()); err == nil {
+		t.Error("single-size MLP accepted")
+	}
+	m, err := NewMLP([]int{3, 5, 2}, newRand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Linear, ReLU, Linear.
+	if len(m.Layers) != 3 {
+		t.Fatalf("layers %d", len(m.Layers))
+	}
+	if m.NumParams() != 3*5+5+5*2+2 {
+		t.Fatalf("NumParams = %d", m.NumParams())
+	}
+	if m.FlopsForward(10) != 2*10*(3*5+5*2) {
+		t.Fatalf("FlopsForward = %v", m.FlopsForward(10))
+	}
+}
+
+func TestBCEWithLogits(t *testing.T) {
+	logits := tensor.FromSlice(2, 1, []float32{0, 0})
+	loss, grad := BCEWithLogits(logits, []float32{1, 0})
+	// At logit 0: loss = ln 2 per sample.
+	if math.Abs(float64(loss)-math.Ln2) > 1e-6 {
+		t.Errorf("loss = %v, want ln2", loss)
+	}
+	// grad = (sigmoid(0) - y)/n = (0.5 - y)/2.
+	if math.Abs(float64(grad.Data[0])+0.25) > 1e-6 || math.Abs(float64(grad.Data[1])-0.25) > 1e-6 {
+		t.Errorf("grad = %v", grad.Data)
+	}
+	// Extreme logits stay finite.
+	big := tensor.FromSlice(2, 1, []float32{40, -40})
+	l2, g2 := BCEWithLogits(big, []float32{1, 0})
+	if math.IsNaN(float64(l2)) || math.IsInf(float64(l2), 0) {
+		t.Errorf("extreme loss = %v", l2)
+	}
+	if math.Abs(float64(g2.Data[0])) > 1e-6 || math.Abs(float64(g2.Data[1])) > 1e-6 {
+		t.Errorf("extreme grads = %v", g2.Data)
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	s := Sigmoid(tensor.FromSlice(1, 3, []float32{0, 100, -100}))
+	if math.Abs(float64(s.Data[0])-0.5) > 1e-6 || s.Data[1] < 0.999 || s.Data[2] > 0.001 {
+		t.Fatalf("sigmoid = %v", s.Data)
+	}
+}
+
+func TestSGDStepAndZero(t *testing.T) {
+	w := []float32{1, 2}
+	dw := []float32{10, -10}
+	SGD{LR: 0.1}.Step([]Param{{W: w, dW: dw}})
+	if w[0] != 0 || w[1] != 3 {
+		t.Fatalf("after step w = %v", w)
+	}
+	if dw[0] != 0 || dw[1] != 0 {
+		t.Fatalf("grads not zeroed: %v", dw)
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	rng := newRand()
+	mlp, err := NewMLP([]int{4, 16, 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Learnable toy task: label = x0 > 0.
+	x := tensor.New(64, 4)
+	labels := make([]float32, 64)
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 4; j++ {
+			x.Set(i, j, rng.Float32()*2-1)
+		}
+		if x.At(i, 0) > 0 {
+			labels[i] = 1
+		}
+	}
+	opt := SGD{LR: 0.5}
+	first, last := float32(0), float32(0)
+	for step := 0; step < 200; step++ {
+		logits := mlp.Forward(x)
+		loss, grad := BCEWithLogits(logits, labels)
+		if step == 0 {
+			first = loss
+		}
+		last = loss
+		mlp.Backward(grad)
+		opt.Step(mlp.Params())
+	}
+	if last >= first*0.5 {
+		t.Fatalf("loss did not halve: first %v last %v", first, last)
+	}
+}

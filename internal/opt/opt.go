@@ -1,0 +1,118 @@
+// Package opt provides the embedding-side optimizers. The paper trains
+// with plain SGD; production DLRM overwhelmingly uses sparse Adagrad,
+// whose per-row accumulator state stresses exactly the machinery
+// ScratchPipe is about: optimizer state lives with the embedding row, so
+// the GPU scratchpad must prefetch it at [Collect], keep it coherent at
+// [Train], and write it back at [Insert] alongside the embedding values.
+//
+// A SparseOptimizer therefore applies updates through *two* RowStores —
+// one for the embedding rows and one for the per-row optimizer state —
+// both of which the training engines route through the same cache.
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/embed"
+)
+
+// Kind names an embedding optimizer for configuration.
+type Kind string
+
+const (
+	// SGDKind is the paper's plain stochastic gradient descent (no
+	// per-row state).
+	SGDKind Kind = "sgd"
+	// AdagradKind is row-wise sparse Adagrad: each row keeps one
+	// accumulated squared-gradient scalar per element.
+	AdagradKind Kind = "adagrad"
+)
+
+// SparseOptimizer applies coalesced gradients to embedding rows.
+type SparseOptimizer interface {
+	// Name identifies the optimizer ("sgd", "adagrad").
+	Name() string
+	// StateDim returns the per-row optimizer state width in floats
+	// (0 for stateless optimizers). State rows travel with embedding
+	// rows through the cache hierarchy.
+	StateDim() int
+	// Apply performs one update step for the coalesced gradients g:
+	// rows come from rowStore, per-row state (when StateDim > 0) from
+	// stateStore. Implementations must touch rows in g.IDs order so
+	// every engine performs identical float operations.
+	Apply(rowStore embed.RowStore, stateStore embed.RowStore, g embed.CoalescedGrads)
+}
+
+// New constructs an optimizer of the given kind with learning rate lr.
+func New(kind Kind, lr float32) (SparseOptimizer, error) {
+	switch kind {
+	case SGDKind, "":
+		return SGD{LR: lr}, nil
+	case AdagradKind:
+		return Adagrad{LR: lr, Eps: 1e-8}, nil
+	}
+	return nil, fmt.Errorf("opt: unknown optimizer %q", kind)
+}
+
+// SGD is stateless: row -= lr * grad.
+type SGD struct {
+	// LR is the learning rate.
+	LR float32
+}
+
+// Name implements SparseOptimizer.
+func (SGD) Name() string { return string(SGDKind) }
+
+// StateDim implements SparseOptimizer.
+func (SGD) StateDim() int { return 0 }
+
+// Apply implements SparseOptimizer.
+func (o SGD) Apply(rowStore embed.RowStore, _ embed.RowStore, g embed.CoalescedGrads) {
+	embed.ScatterSGD(rowStore, g, o.LR)
+}
+
+// Adagrad is element-wise sparse Adagrad:
+//
+//	acc += grad*grad
+//	row -= lr * grad / (sqrt(acc) + eps)
+//
+// The accumulator has the same width as the embedding row (StateDim ==
+// embedding dim).
+type Adagrad struct {
+	// LR is the learning rate; Eps the numerical floor.
+	LR, Eps float32
+}
+
+// Name implements SparseOptimizer.
+func (Adagrad) Name() string { return string(AdagradKind) }
+
+// StateDim implements SparseOptimizer: one accumulator per element. The
+// engine allocates state rows with the same dimension as embedding rows.
+func (Adagrad) StateDim() int { return -1 } // sentinel: same as embedding dim
+
+// Apply implements SparseOptimizer.
+func (o Adagrad) Apply(rowStore embed.RowStore, stateStore embed.RowStore, g embed.CoalescedGrads) {
+	if stateStore == nil {
+		panic("opt: adagrad requires a state store")
+	}
+	for k, id := range g.IDs {
+		row := rowStore.Row(id)
+		acc := stateStore.Row(id)
+		grad := g.Grads.Row(k)
+		for j, gv := range grad {
+			acc[j] += gv * gv
+			row[j] -= o.LR * gv / (float32(math.Sqrt(float64(acc[j]))) + o.Eps)
+		}
+	}
+}
+
+// EffectiveStateDim resolves an optimizer's state width for a given
+// embedding dimension (handles the "same as dim" sentinel).
+func EffectiveStateDim(o SparseOptimizer, dim int) int {
+	sd := o.StateDim()
+	if sd < 0 {
+		return dim
+	}
+	return sd
+}

@@ -1,0 +1,144 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/embed"
+	"repro/internal/tensor"
+)
+
+func newTables(t *testing.T, rows int64, dim int) (*embed.Table, *embed.Table) {
+	t.Helper()
+	tbl, err := embed.NewTable(rows, dim, rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := embed.NewZeroTable(rows, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, st
+}
+
+func TestNew(t *testing.T) {
+	for _, kind := range []Kind{SGDKind, AdagradKind, ""} {
+		o, err := New(kind, 0.1)
+		if err != nil {
+			t.Fatalf("%q: %v", kind, err)
+		}
+		if o.Name() == "" {
+			t.Fatalf("%q: empty name", kind)
+		}
+	}
+	if _, err := New("bogus", 0.1); err == nil {
+		t.Error("unknown optimizer accepted")
+	}
+}
+
+func TestSGDMatchesScatterSGD(t *testing.T) {
+	tblA, _ := newTables(t, 10, 4)
+	tblB := tblA.Clone()
+	g := embed.CoalescedGrads{
+		IDs:   []int64{3, 7},
+		Grads: tensor.FromSlice(2, 4, []float32{1, 2, 3, 4, -1, -2, -3, -4}),
+	}
+	SGD{LR: 0.5}.Apply(tblA, nil, g)
+	embed.ScatterSGD(tblB, g, 0.5)
+	if !tblA.Equal(tblB) {
+		t.Fatal("SGD optimizer diverges from canonical ScatterSGD")
+	}
+}
+
+func TestAdagradKnownStep(t *testing.T) {
+	tbl, st := newTables(t, 4, 2)
+	orig := append([]float32(nil), tbl.Row(1)...)
+	g := embed.CoalescedGrads{
+		IDs:   []int64{1},
+		Grads: tensor.FromSlice(1, 2, []float32{3, -4}),
+	}
+	o := Adagrad{LR: 0.1, Eps: 0}
+	o.Apply(tbl, st, g)
+	// acc = g^2; update = lr * g / sqrt(g^2) = lr * sign(g).
+	if math.Abs(float64(tbl.Row(1)[0]-(orig[0]-0.1))) > 1e-6 {
+		t.Errorf("row[0] = %v, want %v", tbl.Row(1)[0], orig[0]-0.1)
+	}
+	if math.Abs(float64(tbl.Row(1)[1]-(orig[1]+0.1))) > 1e-6 {
+		t.Errorf("row[1] = %v, want %v", tbl.Row(1)[1], orig[1]+0.1)
+	}
+	if st.Row(1)[0] != 9 || st.Row(1)[1] != 16 {
+		t.Errorf("acc = %v, want [9 16]", st.Row(1))
+	}
+	// Second identical step shrinks: acc=18,32 -> step = lr*3/sqrt(18).
+	o.Apply(tbl, st, g)
+	if st.Row(1)[0] != 18 {
+		t.Errorf("acc after 2 steps = %v", st.Row(1)[0])
+	}
+}
+
+// TestAdagradMonotoneStateProperty: the accumulator never decreases and
+// the step magnitude never exceeds the SGD step for the same gradient.
+func TestAdagradMonotoneStateProperty(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tbl, err := embed.NewTable(8, 3, rand.New(rand.NewSource(12)))
+		if err != nil {
+			return false
+		}
+		st, err := embed.NewZeroTable(8, 3)
+		if err != nil {
+			return false
+		}
+		o := Adagrad{LR: 0.1, Eps: 1e-8}
+		prevAcc := make([]float32, 3)
+		for s := 0; s < int(steps%8)+1; s++ {
+			grads := tensor.New(1, 3)
+			for j := range grads.Data {
+				grads.Data[j] = float32(rng.NormFloat64())
+			}
+			g := embed.CoalescedGrads{IDs: []int64{2}, Grads: grads}
+			before := append([]float32(nil), tbl.Row(2)...)
+			o.Apply(tbl, st, g)
+			for j := 0; j < 3; j++ {
+				if st.Row(2)[j] < prevAcc[j] {
+					return false
+				}
+				prevAcc[j] = st.Row(2)[j]
+				sgdStep := math.Abs(float64(0.1 * grads.Data[j]))
+				adaStep := math.Abs(float64(tbl.Row(2)[j] - before[j]))
+				// After accumulating, |step| <= lr (normalized).
+				if adaStep > 0.1+1e-5 {
+					return false
+				}
+				_ = sgdStep
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdagradRequiresState(t *testing.T) {
+	tbl, _ := newTables(t, 4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("adagrad without state store did not panic")
+		}
+	}()
+	Adagrad{LR: 0.1}.Apply(tbl, nil, embed.CoalescedGrads{
+		IDs: []int64{0}, Grads: tensor.New(1, 2),
+	})
+}
+
+func TestEffectiveStateDim(t *testing.T) {
+	if EffectiveStateDim(SGD{}, 128) != 0 {
+		t.Error("SGD state dim != 0")
+	}
+	if EffectiveStateDim(Adagrad{}, 128) != 128 {
+		t.Error("Adagrad state dim != embedding dim")
+	}
+}

@@ -1,0 +1,189 @@
+// Package tensor provides the dense float32 linear algebra the DLRM's MLP
+// layers are built from. It is deliberately minimal: row-major matrices,
+// the three matmul variants backpropagation needs, and elementwise helpers.
+// Everything is deterministic — no hidden parallelism — because the
+// reproduction's correctness tests require bitwise-identical results across
+// training engines.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a row-major rows x cols float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New allocates a zeroed rows x cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data (length rows*cols) without copying.
+func FromSlice(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice: %d values for %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// XavierInit fills m with uniform values in [-limit, limit] where limit =
+// sqrt(6/(fanIn+fanOut)), using the given deterministic source.
+func (m *Matrix) XavierInit(fanIn, fanOut int, rng *rand.Rand) {
+	limit := float32(math.Sqrt(6.0 / float64(fanIn+fanOut)))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float32()*2 - 1) * limit
+	}
+}
+
+func checkMul(aRows, aCols, bRows, bCols, cRows, cCols int, op string) {
+	if aCols != bRows || cRows != aRows || cCols != bCols {
+		panic(fmt.Sprintf("tensor: %s: shape mismatch (%dx%d)*(%dx%d)->(%dx%d)", op, aRows, aCols, bRows, bCols, cRows, cCols))
+	}
+}
+
+// MatMul computes dst = a * b (dst must not alias a or b).
+func MatMul(dst, a, b *Matrix) {
+	checkMul(a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols, "MatMul")
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		dr := dst.Row(i)
+		for j := range dr {
+			dr[j] = 0
+		}
+		for k, av := range ar {
+			if av == 0 {
+				continue
+			}
+			br := b.Row(k)
+			for j, bv := range br {
+				dr[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulNT computes dst = a * bᵀ.
+func MatMulNT(dst, a, b *Matrix) {
+	checkMul(a.Rows, a.Cols, b.Cols, b.Rows, dst.Rows, dst.Cols, "MatMulNT")
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		dr := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			br := b.Row(j)
+			var sum float32
+			for k, av := range ar {
+				sum += av * br[k]
+			}
+			dr[j] = sum
+		}
+	}
+}
+
+// MatMulTN computes dst = aᵀ * b.
+func MatMulTN(dst, a, b *Matrix) {
+	checkMul(a.Cols, a.Rows, b.Rows, b.Cols, dst.Rows, dst.Cols, "MatMulTN")
+	dst.Zero()
+	for k := 0; k < a.Rows; k++ {
+		ar := a.Row(k)
+		br := b.Row(k)
+		for i, av := range ar {
+			if av == 0 {
+				continue
+			}
+			dr := dst.Row(i)
+			for j, bv := range br {
+				dr[j] += av * bv
+			}
+		}
+	}
+}
+
+// AddBias adds bias (length m.Cols) to every row of m.
+func AddBias(m *Matrix, bias []float32) {
+	if len(bias) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddBias: bias len %d for %d cols", len(bias), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		r := m.Row(i)
+		for j := range r {
+			r[j] += bias[j]
+		}
+	}
+}
+
+// ColSums accumulates the column sums of m into dst (length m.Cols),
+// overwriting dst. Used for bias gradients.
+func ColSums(dst []float32, m *Matrix) {
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("tensor: ColSums: dst len %d for %d cols", len(dst), m.Cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		r := m.Row(i)
+		for j, v := range r {
+			dst[j] += v
+		}
+	}
+}
+
+// AXPY computes y += alpha*x over equal-length slices.
+func AXPY(alpha float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("tensor: AXPY: len %d vs %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of x by alpha.
+func Scale(alpha float32, x []float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Dot returns the inner product of equal-length slices.
+func Dot(x, y []float32) float32 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("tensor: Dot: len %d vs %d", len(x), len(y)))
+	}
+	var sum float32
+	for i, v := range x {
+		sum += v * y[i]
+	}
+	return sum
+}

@@ -1,0 +1,195 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float32{7, 8, 9, 10, 11, 12})
+	c := New(2, 2)
+	MatMul(c, a, b)
+	want := []float32{58, 64, 139, 154}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("MatMul = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMatMulNTAndTNAgreeWithExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := New(4, 5)
+	b := New(6, 5) // for NT: a(4x5) * b^T(5x6) = 4x6
+	for i := range a.Data {
+		a.Data[i] = rng.Float32() - 0.5
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.Float32() - 0.5
+	}
+	bt := New(5, 6)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 5; j++ {
+			bt.Set(j, i, b.At(i, j))
+		}
+	}
+	viaNT := New(4, 6)
+	MatMulNT(viaNT, a, b)
+	direct := New(4, 6)
+	MatMul(direct, a, bt)
+	for i := range direct.Data {
+		if math.Abs(float64(direct.Data[i]-viaNT.Data[i])) > 1e-5 {
+			t.Fatalf("NT mismatch at %d: %v vs %v", i, direct.Data[i], viaNT.Data[i])
+		}
+	}
+
+	// TN: a^T(5x4) * c(4x6).
+	c := New(4, 6)
+	for i := range c.Data {
+		c.Data[i] = rng.Float32() - 0.5
+	}
+	at := New(5, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 5; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	viaTN := New(5, 6)
+	MatMulTN(viaTN, a, c)
+	direct2 := New(5, 6)
+	MatMul(direct2, at, c)
+	for i := range direct2.Data {
+		if math.Abs(float64(direct2.Data[i]-viaTN.Data[i])) > 1e-5 {
+			t.Fatalf("TN mismatch at %d", i)
+		}
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	cases := []func(){
+		func() { MatMul(New(2, 2), New(2, 3), New(2, 2)) },
+		func() { MatMulNT(New(2, 2), New(2, 3), New(2, 2)) },
+		func() { MatMulTN(New(2, 2), New(3, 2), New(2, 2)) },
+		func() { AddBias(New(2, 3), []float32{1}) },
+		func() { ColSums([]float32{1}, New(2, 3)) },
+		func() { AXPY(1, []float32{1}, []float32{1, 2}) },
+		func() { Dot([]float32{1}, []float32{1, 2}) },
+		func() { FromSlice(2, 2, []float32{1}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic on shape mismatch", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAddBiasColSums(t *testing.T) {
+	m := FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	AddBias(m, []float32{10, 20, 30})
+	want := []float32{11, 22, 33, 14, 25, 36}
+	for i := range want {
+		if m.Data[i] != want[i] {
+			t.Fatalf("AddBias = %v", m.Data)
+		}
+	}
+	sums := make([]float32, 3)
+	ColSums(sums, m)
+	if sums[0] != 25 || sums[1] != 47 || sums[2] != 69 {
+		t.Fatalf("ColSums = %v", sums)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := FromSlice(1, 2, []float32{1, 2})
+	c := m.Clone()
+	c.Data[0] = 99
+	if m.Data[0] != 1 {
+		t.Fatal("Clone aliases storage")
+	}
+	m.Zero()
+	if m.Data[1] != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestXavierInitBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := New(64, 32)
+	m.XavierInit(64, 32, rng)
+	limit := float32(math.Sqrt(6.0 / 96))
+	for _, v := range m.Data {
+		if v < -limit || v > limit {
+			t.Fatalf("init value %v outside ±%v", v, limit)
+		}
+	}
+	var sum float64
+	for _, v := range m.Data {
+		sum += float64(v)
+	}
+	if mean := sum / float64(len(m.Data)); math.Abs(mean) > 0.01 {
+		t.Errorf("init mean %v not near zero", mean)
+	}
+}
+
+// TestAXPYLinearityProperty: AXPY(a, x, y) then AXPY(-a, x, y) restores y
+// within float32 tolerance when the magnitudes are tame.
+func TestAXPYLinearityProperty(t *testing.T) {
+	f := func(raw []float32, alpha float32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		alpha = float32(math.Mod(float64(alpha), 4))
+		x := make([]float32, len(raw))
+		y := make([]float32, len(raw))
+		for i, v := range raw {
+			v = float32(math.Mod(float64(v), 100))
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				v = 1
+			}
+			x[i] = v
+			y[i] = -v / 2
+		}
+		orig := make([]float32, len(y))
+		copy(orig, y)
+		AXPY(alpha, x, y)
+		AXPY(-alpha, x, y)
+		for i := range y {
+			if math.Abs(float64(y[i]-orig[i])) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDotAndScale(t *testing.T) {
+	x := []float32{1, 2, 3}
+	y := []float32{4, 5, 6}
+	if Dot(x, y) != 32 {
+		t.Fatalf("Dot = %v", Dot(x, y))
+	}
+	Scale(2, x)
+	if x[0] != 2 || x[2] != 6 {
+		t.Fatalf("Scale = %v", x)
+	}
+}
+
+func TestNegativeShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(-1, 2) did not panic")
+		}
+	}()
+	New(-1, 2)
+}

@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Batch is one training mini-batch's worth of sparse feature IDs: for each
+// embedding table, Lookups IDs per sample, flattened sample-major. These
+// are the indices the dataset records for embedding gathers (forward) and
+// gradient scatters (backward) — the information ScratchPipe's Plan stage
+// reads ahead of time.
+type Batch struct {
+	// Seq is the 0-based position of this batch in the dataset stream.
+	Seq int
+	// BatchSize is the number of samples.
+	BatchSize int
+	// Lookups is the number of embedding gathers per sample per table.
+	Lookups int
+	// Tables[t] holds BatchSize*Lookups row IDs for table t, sample-major:
+	// IDs for sample s occupy Tables[t][s*Lookups : (s+1)*Lookups].
+	Tables [][]int64
+	// Dense holds the continuous features for each sample, sample-major
+	// (BatchSize x DenseDim), used by the bottom MLP. May be nil when the
+	// consumer only needs sparse IDs (metadata-mode simulation).
+	Dense []float32
+	// DenseDim is the number of continuous features per sample.
+	DenseDim int
+	// Labels holds the click/no-click label per sample in {0,1}. May be
+	// nil in metadata mode.
+	Labels []float32
+}
+
+// NumTables returns the number of embedding tables the batch addresses.
+func (b *Batch) NumTables() int { return len(b.Tables) }
+
+// TotalIDs returns the number of sparse IDs per table (BatchSize*Lookups).
+func (b *Batch) TotalIDs() int { return b.BatchSize * b.Lookups }
+
+// UniqueIDs returns the deduplicated IDs of table t in first-appearance
+// order. The order is deterministic so every engine coalesces gradients
+// identically (required for the bitwise-equivalence tests).
+func (b *Batch) UniqueIDs(t int) []int64 {
+	ids := b.Tables[t]
+	seen := make(map[int64]struct{}, len(ids))
+	out := make([]int64, 0, len(ids))
+	for _, id := range ids {
+		if _, ok := seen[id]; ok {
+			continue
+		}
+		seen[id] = struct{}{}
+		out = append(out, id)
+	}
+	return out
+}
+
+// GeneratorConfig configures a synthetic trace generator.
+type GeneratorConfig struct {
+	// NumTables is the number of embedding tables (paper default: 8).
+	NumTables int
+	// RowsPerTable is the number of rows in each table (default: 10M).
+	RowsPerTable int64
+	// Lookups is the number of gathers per table per sample (default: 20).
+	Lookups int
+	// BatchSize is the mini-batch size (default: 2048).
+	BatchSize int
+	// DenseDim is the number of continuous features (default: 13, the
+	// Criteo/MLPerf-DLRM count). Zero disables dense generation.
+	DenseDim int
+	// Class selects the locality class used for every table unless
+	// Dists overrides it.
+	Class Class
+	// Dists optionally overrides the per-table distribution; when set it
+	// must have NumTables entries.
+	Dists []Distribution
+	// Seed seeds the deterministic PRNG stream.
+	Seed int64
+	// MetadataOnly skips dense feature and label generation; batches
+	// carry only sparse IDs. Used for paper-scale timing simulation.
+	MetadataOnly bool
+}
+
+// Validate reports a descriptive error for an unusable configuration.
+func (c GeneratorConfig) Validate() error {
+	if c.NumTables <= 0 {
+		return fmt.Errorf("trace: generator: NumTables %d <= 0", c.NumTables)
+	}
+	if c.RowsPerTable <= 0 {
+		return fmt.Errorf("trace: generator: RowsPerTable %d <= 0", c.RowsPerTable)
+	}
+	if c.Lookups <= 0 {
+		return fmt.Errorf("trace: generator: Lookups %d <= 0", c.Lookups)
+	}
+	if c.BatchSize <= 0 {
+		return fmt.Errorf("trace: generator: BatchSize %d <= 0", c.BatchSize)
+	}
+	if c.DenseDim < 0 {
+		return fmt.Errorf("trace: generator: DenseDim %d < 0", c.DenseDim)
+	}
+	if c.Dists != nil && len(c.Dists) != c.NumTables {
+		return fmt.Errorf("trace: generator: %d distributions for %d tables", len(c.Dists), c.NumTables)
+	}
+	return nil
+}
+
+// Generator produces an endless, deterministic stream of mini-batches. It
+// implements Source, the interface ScratchPipe's dataset loader consumes.
+//
+// Sparse IDs and dense features draw from two independent PRNG streams so
+// that the ID sequence — which all cache behaviour and therefore all
+// simulated timing depends on — is identical whether or not dense features
+// are generated (metadata vs functional mode).
+type Generator struct {
+	cfg      GeneratorConfig
+	dists    []Distribution
+	rngIDs   *rand.Rand
+	rngDense *rand.Rand
+	seq      int
+}
+
+// NewGenerator builds a generator from cfg, materializing the per-table
+// distributions for the configured class when none are supplied.
+func NewGenerator(cfg GeneratorConfig) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	dists := cfg.Dists
+	if dists == nil {
+		dists = make([]Distribution, cfg.NumTables)
+		for t := range dists {
+			d, err := NewClassDistribution(cfg.Class, cfg.RowsPerTable)
+			if err != nil {
+				return nil, err
+			}
+			dists[t] = d
+		}
+	}
+	for t, d := range dists {
+		if d.Rows() != cfg.RowsPerTable {
+			return nil, fmt.Errorf("trace: generator: table %d distribution has %d rows, config says %d", t, d.Rows(), cfg.RowsPerTable)
+		}
+	}
+	return &Generator{
+		cfg:      cfg,
+		dists:    dists,
+		rngIDs:   rand.New(rand.NewSource(cfg.Seed)),
+		rngDense: rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D)),
+	}, nil
+}
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() GeneratorConfig { return g.cfg }
+
+// Dists returns the per-table access distributions (shared, read-only).
+func (g *Generator) Dists() []Distribution {
+	out := make([]Distribution, len(g.dists))
+	copy(out, g.dists)
+	return out
+}
+
+// Next produces the next mini-batch in the stream.
+func (g *Generator) Next() *Batch {
+	b := &Batch{
+		Seq:       g.seq,
+		BatchSize: g.cfg.BatchSize,
+		Lookups:   g.cfg.Lookups,
+		Tables:    make([][]int64, g.cfg.NumTables),
+		DenseDim:  g.cfg.DenseDim,
+	}
+	g.seq++
+	n := b.TotalIDs()
+	for t := 0; t < g.cfg.NumTables; t++ {
+		ids := make([]int64, n)
+		for i := range ids {
+			ids[i] = g.dists[t].Sample(g.rngIDs)
+		}
+		b.Tables[t] = ids
+	}
+	if !g.cfg.MetadataOnly && g.cfg.DenseDim > 0 {
+		b.Dense = make([]float32, g.cfg.BatchSize*g.cfg.DenseDim)
+		for i := range b.Dense {
+			b.Dense[i] = float32(g.rngDense.NormFloat64())
+		}
+		b.Labels = make([]float32, g.cfg.BatchSize)
+		for i := range b.Labels {
+			if g.rngDense.Float64() < 0.5 {
+				b.Labels[i] = 1
+			}
+		}
+	}
+	return b
+}
+
+// Source is any producer of an ordered mini-batch stream. Both the
+// synthetic Generator and the file-backed Reader satisfy it.
+type Source interface {
+	Next() *Batch
+}

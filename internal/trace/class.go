@@ -1,0 +1,94 @@
+package trace
+
+import "fmt"
+
+// Class is one of the paper's four synthetic locality classes (§V): the
+// Random / Low / Medium / High traces used on the x-axis of Figures 5, 12,
+// 13, 14, 15 and Table I.
+type Class int
+
+const (
+	// Random has no locality: lookups are uniform over the table.
+	Random Class = iota
+	// Low mimics the Alibaba user table: the top 2% of rows receive only
+	// 8.5% of accesses and >90% hit rate needs >65% of the table cached.
+	Low
+	// Medium mimics MovieLens/Kaggle-Anime-grade locality.
+	Medium
+	// High mimics Criteo: the top 2% of rows receive >80% of accesses.
+	High
+)
+
+// Classes lists all locality classes in the paper's presentation order.
+var Classes = []Class{Random, Low, Medium, High}
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case Random:
+		return "Random"
+	case Low:
+		return "Low"
+	case Medium:
+		return "Medium"
+	case High:
+		return "High"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// ParseClass converts a class name (case-sensitive, as printed by String)
+// back to a Class.
+func ParseClass(s string) (Class, error) {
+	for _, c := range Classes {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown locality class %q", s)
+}
+
+// NewClassDistribution returns the access distribution for class c over a
+// table with rows rows. The knots reproduce the locality statistics the
+// paper quotes for the corresponding real datasets (see package comment).
+func NewClassDistribution(c Class, rows int64) (Distribution, error) {
+	switch c {
+	case Random:
+		return NewUniform(rows)
+	case Low:
+		return NewPiecewise(rows, []Point{
+			{0.02, 0.085},
+			{0.10, 0.30},
+			{0.30, 0.62},
+			{0.65, 0.905},
+			{1, 1},
+		})
+	case Medium:
+		return NewPiecewise(rows, []Point{
+			{0.005, 0.22},
+			{0.02, 0.45},
+			{0.10, 0.72},
+			{0.30, 0.92},
+			{1, 1},
+		})
+	case High:
+		return NewPiecewise(rows, []Point{
+			{0.0005, 0.38},
+			{0.02, 0.82},
+			{0.10, 0.95},
+			{0.30, 0.99},
+			{1, 1},
+		})
+	}
+	return nil, fmt.Errorf("trace: unknown locality class %d", int(c))
+}
+
+// MustClassDistribution is NewClassDistribution that panics on error; the
+// presets are validated by tests.
+func MustClassDistribution(c Class, rows int64) Distribution {
+	d, err := NewClassDistribution(c, rows)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

@@ -1,0 +1,71 @@
+package trace
+
+import "fmt"
+
+// DatasetTable is one named embedding table of a real-world dataset preset
+// together with its fitted access distribution.
+type DatasetTable struct {
+	Name string
+	Dist Distribution
+}
+
+// Dataset is a named preset mimicking one of the four real-world datasets
+// the paper characterizes in Figures 3 and 6.
+type Dataset struct {
+	Name   string
+	Tables []DatasetTable
+}
+
+// DatasetNames lists the presets in the paper's presentation order.
+var DatasetNames = []string{"Alibaba", "KaggleAnime", "MovieLens", "Criteo"}
+
+// NewDataset returns the named dataset preset with rows rows per table.
+// The per-table CDF knots are fitted to Figure 6's hit-rate curves:
+//
+//   - Alibaba (a): both User and Item curves rise almost linearly — very
+//     low locality; >90% hit needs >65% of the table cached.
+//   - Kaggle Anime (b): the Item table is much hotter than the User table.
+//   - MovieLens (c): medium locality on both tables.
+//   - Criteo (d): several tables where a tiny head captures nearly all
+//     traffic, plus a few colder ones (the paper plots tables 0..21).
+func NewDataset(name string, rows int64) (*Dataset, error) {
+	pw := func(pts []Point) Distribution { return MustPiecewise(rows, pts) }
+	switch name {
+	case "Alibaba":
+		return &Dataset{Name: name, Tables: []DatasetTable{
+			{"User", pw([]Point{{0.02, 0.085}, {0.10, 0.30}, {0.30, 0.62}, {0.65, 0.905}, {1, 1}})},
+			{"Item", pw([]Point{{0.02, 0.12}, {0.10, 0.36}, {0.30, 0.68}, {0.65, 0.92}, {1, 1}})},
+		}}, nil
+	case "KaggleAnime":
+		return &Dataset{Name: name, Tables: []DatasetTable{
+			{"User", pw([]Point{{0.02, 0.18}, {0.10, 0.48}, {0.30, 0.78}, {0.65, 0.95}, {1, 1}})},
+			{"Item", pw([]Point{{0.005, 0.30}, {0.02, 0.55}, {0.10, 0.82}, {0.30, 0.96}, {1, 1}})},
+		}}, nil
+	case "MovieLens":
+		return &Dataset{Name: name, Tables: []DatasetTable{
+			{"User", pw([]Point{{0.02, 0.30}, {0.10, 0.60}, {0.30, 0.85}, {0.65, 0.97}, {1, 1}})},
+			{"Item", pw([]Point{{0.005, 0.25}, {0.02, 0.48}, {0.10, 0.75}, {0.30, 0.93}, {1, 1}})},
+		}}, nil
+	case "Criteo":
+		mk := func(headShare float64) Distribution {
+			return pw([]Point{
+				{0.0005, headShare * 0.45},
+				{0.02, headShare},
+				{0.10, headShare + (1-headShare)*0.72},
+				{0.30, headShare + (1-headShare)*0.93},
+				{1, 1},
+			})
+		}
+		tables := []DatasetTable{
+			{"Table0", mk(0.90)},
+			{"Table9", mk(0.86)},
+			{"Table10", mk(0.82)},
+			{"Table11", mk(0.80)},
+			{"Table19", mk(0.74)},
+			{"Table20", mk(0.66)},
+			{"Table21", mk(0.58)},
+		}
+		return &Dataset{Name: name, Tables: tables}, nil
+	}
+	return nil, fmt.Errorf("trace: unknown dataset preset %q", name)
+}

@@ -1,0 +1,281 @@
+// Package trace generates and characterizes the embedding-table access
+// traces that drive every experiment in the paper.
+//
+// Real RecSys training traces (Alibaba, Kaggle Anime, MovieLens, Criteo)
+// are not publicly redistributable, so — exactly like the paper's §V
+// methodology — we fit the sorted access-count curves of those datasets
+// (Figure 3) with parametric probability density functions and sample
+// synthetic traces from them. The piecewise distributions below are
+// calibrated to the numbers the paper quotes: for Criteo, the top 2% of
+// rows attract >80% of accesses; for the Alibaba user table, the top 2%
+// attract only 8.5% and >90% hit rate requires caching >65% of the table.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Distribution models which embedding-table row a single lookup touches.
+// Row 0 is the hottest row: distributions are, by construction, sorted by
+// access frequency so that "cache the top N rows" means "cache rows 0..N-1"
+// (the static cache of Yin et al. assumed in Figure 4b).
+type Distribution interface {
+	// Rows is the number of rows in the table.
+	Rows() int64
+	// Sample draws one row index in [0, Rows).
+	Sample(r *rand.Rand) int64
+	// CDF returns the fraction of all accesses that land in the top
+	// `frac` fraction of rows, for frac in [0,1]. CDF(0)=0, CDF(1)=1,
+	// and CDF is concave because rows are sorted by hotness.
+	CDF(frac float64) float64
+}
+
+// Point is one knot of a piecewise-linear access CDF: the top RowFrac
+// fraction of rows receives AccessShare of all accesses.
+type Point struct {
+	RowFrac     float64
+	AccessShare float64
+}
+
+// Piecewise is a piecewise-linear access CDF over row fraction. Within a
+// segment, rows are equally hot; across segments hotness is non-increasing.
+// This is the workhorse used to mimic the paper's four dataset classes.
+type Piecewise struct {
+	rows int64
+	pts  []Point // strictly increasing in both coordinates, ends at (1,1)
+}
+
+// NewPiecewise builds a distribution over rows table rows from CDF knots.
+// The knot list must be strictly increasing in both coordinates and end at
+// (1,1); a (0,0) origin is implied. Densities must be non-increasing across
+// segments (hot rows first) or an error is returned.
+func NewPiecewise(rows int64, pts []Point) (*Piecewise, error) {
+	if rows <= 0 {
+		return nil, fmt.Errorf("trace: piecewise: rows %d <= 0", rows)
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("trace: piecewise: no points")
+	}
+	last := pts[len(pts)-1]
+	if last.RowFrac != 1 || last.AccessShare != 1 {
+		return nil, fmt.Errorf("trace: piecewise: final point %+v must be (1,1)", last)
+	}
+	prev := Point{0, 0}
+	prevDensity := maxFloat
+	for i, p := range pts {
+		if p.RowFrac <= prev.RowFrac || p.AccessShare <= prev.AccessShare {
+			return nil, fmt.Errorf("trace: piecewise: point %d (%+v) not strictly increasing after %+v", i, p, prev)
+		}
+		if p.RowFrac > 1 || p.AccessShare > 1 {
+			return nil, fmt.Errorf("trace: piecewise: point %d (%+v) exceeds 1", i, p)
+		}
+		density := (p.AccessShare - prev.AccessShare) / (p.RowFrac - prev.RowFrac)
+		if density > prevDensity*(1+1e-9) {
+			return nil, fmt.Errorf("trace: piecewise: segment %d density %g exceeds previous %g (rows must be sorted hottest-first)", i, density, prevDensity)
+		}
+		prevDensity = density
+		prev = p
+	}
+	cp := make([]Point, len(pts))
+	copy(cp, pts)
+	return &Piecewise{rows: rows, pts: cp}, nil
+}
+
+// MustPiecewise is NewPiecewise that panics on invalid knots; used for the
+// package's own presets, which are validated by tests.
+func MustPiecewise(rows int64, pts []Point) *Piecewise {
+	p, err := NewPiecewise(rows, pts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+const maxFloat = 1.797693134862315708145274237317043567981e+308
+
+// Rows implements Distribution.
+func (p *Piecewise) Rows() int64 { return p.rows }
+
+// Sample implements Distribution: inverse-CDF sampling. A uniform draw on
+// the access-share axis is mapped to a row fraction through the knots and
+// then to a concrete row, uniform within its segment.
+func (p *Piecewise) Sample(r *rand.Rand) int64 {
+	u := r.Float64()
+	i := sort.Search(len(p.pts), func(i int) bool { return p.pts[i].AccessShare >= u })
+	lo := Point{0, 0}
+	if i > 0 {
+		lo = p.pts[i-1]
+	}
+	hi := p.pts[min(i, len(p.pts)-1)]
+	span := hi.AccessShare - lo.AccessShare
+	var frac float64
+	if span <= 0 {
+		frac = lo.RowFrac
+	} else {
+		frac = lo.RowFrac + (u-lo.AccessShare)/span*(hi.RowFrac-lo.RowFrac)
+	}
+	row := int64(frac * float64(p.rows))
+	if row >= p.rows {
+		row = p.rows - 1
+	}
+	if row < 0 {
+		row = 0
+	}
+	return row
+}
+
+// CDF implements Distribution.
+func (p *Piecewise) CDF(frac float64) float64 {
+	if frac <= 0 {
+		return 0
+	}
+	if frac >= 1 {
+		return 1
+	}
+	i := sort.Search(len(p.pts), func(i int) bool { return p.pts[i].RowFrac >= frac })
+	lo := Point{0, 0}
+	if i > 0 {
+		lo = p.pts[i-1]
+	}
+	hi := p.pts[min(i, len(p.pts)-1)]
+	span := hi.RowFrac - lo.RowFrac
+	if span <= 0 {
+		return lo.AccessShare
+	}
+	return lo.AccessShare + (frac-lo.RowFrac)/span*(hi.AccessShare-lo.AccessShare)
+}
+
+// Uniform is a distribution with no locality at all: every row is equally
+// likely. This is the paper's "Random" trace.
+type Uniform struct {
+	rows int64
+}
+
+// NewUniform returns a uniform distribution over rows rows.
+func NewUniform(rows int64) (*Uniform, error) {
+	if rows <= 0 {
+		return nil, fmt.Errorf("trace: uniform: rows %d <= 0", rows)
+	}
+	return &Uniform{rows: rows}, nil
+}
+
+// Rows implements Distribution.
+func (u *Uniform) Rows() int64 { return u.rows }
+
+// Sample implements Distribution.
+func (u *Uniform) Sample(r *rand.Rand) int64 { return r.Int63n(u.rows) }
+
+// CDF implements Distribution.
+func (u *Uniform) CDF(frac float64) float64 {
+	if frac <= 0 {
+		return 0
+	}
+	if frac >= 1 {
+		return 1
+	}
+	return frac
+}
+
+// Zipf wraps math/rand's bounded Zipf-Mandelbrot sampler as a Distribution
+// for users who prefer a classic power law over the piecewise presets. The
+// CDF is computed from the generalized harmonic numbers.
+type Zipf struct {
+	rows int64
+	s    float64
+	v    float64
+	// cdfFracs/cdfShares is a precomputed coarse CDF table used by CDF;
+	// exact summation over 10M rows per query would be too slow.
+	cdfFracs  []float64
+	cdfShares []float64
+}
+
+// NewZipf returns a Zipf distribution over rows rows with exponent s > 1
+// and offset v >= 1 (see math/rand.NewZipf).
+func NewZipf(rows int64, s, v float64) (*Zipf, error) {
+	if rows <= 0 {
+		return nil, fmt.Errorf("trace: zipf: rows %d <= 0", rows)
+	}
+	if s <= 1 || v < 1 {
+		return nil, fmt.Errorf("trace: zipf: need s>1 (got %g) and v>=1 (got %g)", s, v)
+	}
+	z := &Zipf{rows: rows, s: s, v: v}
+	z.buildCDF()
+	return z, nil
+}
+
+func (z *Zipf) buildCDF() {
+	// Tabulate the CDF at geometrically spaced row counts so CDF queries
+	// interpolate smoothly on both ends of the long tail.
+	const steps = 512
+	fracs := make([]float64, 0, steps)
+	f := 1.0 / float64(z.rows)
+	for i := 0; i < steps && f < 1; i++ {
+		fracs = append(fracs, f)
+		f *= 1.035
+	}
+	fracs = append(fracs, 1)
+	weightUpTo := func(n int64) float64 {
+		// Sum of (v+k)^-s for k in [0,n): integral approximation with
+		// exact summation of the first few dominant terms.
+		var sum float64
+		head := int64(1024)
+		if head > n {
+			head = n
+		}
+		for k := int64(0); k < head; k++ {
+			sum += pow(z.v+float64(k), -z.s)
+		}
+		if n > head {
+			// Integral of (v+x)^-s dx from head to n.
+			a := z.v + float64(head)
+			b := z.v + float64(n)
+			sum += (pow(a, 1-z.s) - pow(b, 1-z.s)) / (z.s - 1)
+		}
+		return sum
+	}
+	total := weightUpTo(z.rows)
+	shares := make([]float64, len(fracs))
+	for i, fr := range fracs {
+		n := int64(fr * float64(z.rows))
+		if n < 1 {
+			n = 1
+		}
+		shares[i] = weightUpTo(n) / total
+	}
+	shares[len(shares)-1] = 1
+	z.cdfFracs, z.cdfShares = fracs, shares
+}
+
+func pow(x, y float64) float64 { return math.Pow(x, y) }
+
+// Rows implements Distribution.
+func (z *Zipf) Rows() int64 { return z.rows }
+
+// Sample implements Distribution.
+func (z *Zipf) Sample(r *rand.Rand) int64 {
+	zg := rand.NewZipf(r, z.s, z.v, uint64(z.rows-1))
+	return int64(zg.Uint64())
+}
+
+// CDF implements Distribution.
+func (z *Zipf) CDF(frac float64) float64 {
+	if frac <= 0 {
+		return 0
+	}
+	if frac >= 1 {
+		return 1
+	}
+	i := sort.SearchFloat64s(z.cdfFracs, frac)
+	if i == 0 {
+		return z.cdfShares[0] * frac / z.cdfFracs[0]
+	}
+	if i >= len(z.cdfFracs) {
+		return 1
+	}
+	lo, hi := z.cdfFracs[i-1], z.cdfFracs[i]
+	sl, sh := z.cdfShares[i-1], z.cdfShares[i]
+	return sl + (frac-lo)/(hi-lo)*(sh-sl)
+}

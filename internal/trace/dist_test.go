@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPiecewiseValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		rows int64
+		pts  []Point
+		ok   bool
+	}{
+		{"valid", 100, []Point{{0.1, 0.5}, {1, 1}}, true},
+		{"no points", 100, nil, false},
+		{"zero rows", 0, []Point{{1, 1}}, false},
+		{"not ending at 1,1", 100, []Point{{0.5, 0.9}}, false},
+		{"non increasing rowfrac", 100, []Point{{0.5, 0.5}, {0.5, 0.8}, {1, 1}}, false},
+		{"non increasing share", 100, []Point{{0.5, 0.5}, {0.7, 0.5}, {1, 1}}, false},
+		{"increasing density", 100, []Point{{0.5, 0.2}, {1, 1}}, false},
+		{"exceeds one", 100, []Point{{0.5, 1.2}, {1, 1}}, false},
+	}
+	for _, c := range cases {
+		_, err := NewPiecewise(c.rows, c.pts)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: err=%v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestPiecewiseCDFEndpoints(t *testing.T) {
+	d := MustPiecewise(1000, []Point{{0.02, 0.5}, {0.3, 0.9}, {1, 1}})
+	if got := d.CDF(0); got != 0 {
+		t.Errorf("CDF(0) = %v", got)
+	}
+	if got := d.CDF(1); got != 1 {
+		t.Errorf("CDF(1) = %v", got)
+	}
+	if got := d.CDF(0.02); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CDF(0.02) = %v, want 0.5", got)
+	}
+	if got := d.CDF(0.3); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("CDF(0.3) = %v, want 0.9", got)
+	}
+	// Interpolation halfway through the first segment.
+	if got := d.CDF(0.01); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("CDF(0.01) = %v, want 0.25", got)
+	}
+}
+
+// TestCDFMonotoneProperty: every distribution's CDF is monotone
+// non-decreasing and bounded in [0,1].
+func TestCDFMonotoneProperty(t *testing.T) {
+	dists := []Distribution{
+		MustPiecewise(10000, []Point{{0.005, 0.3}, {0.1, 0.8}, {1, 1}}),
+		mustUniform(t, 10000),
+		mustZipf(t, 10000, 1.3, 1),
+	}
+	for _, d := range dists {
+		f := func(a, b float64) bool {
+			a, b = math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+			if a > b {
+				a, b = b, a
+			}
+			ca, cb := d.CDF(a), d.CDF(b)
+			return ca >= 0 && cb <= 1 && ca <= cb+1e-12
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%T: %v", d, err)
+		}
+	}
+}
+
+// TestSampleInRangeProperty: samples always fall inside [0, Rows).
+func TestSampleInRangeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dists := []Distribution{
+		MustPiecewise(777, []Point{{0.01, 0.4}, {1, 1}}),
+		mustUniform(t, 777),
+		mustZipf(t, 777, 1.5, 2),
+	}
+	for _, d := range dists {
+		for i := 0; i < 20000; i++ {
+			s := d.Sample(rng)
+			if s < 0 || s >= d.Rows() {
+				t.Fatalf("%T: sample %d out of [0,%d)", d, s, d.Rows())
+			}
+		}
+	}
+}
+
+// TestSampleMatchesCDF: the empirical share of samples landing in the top
+// f fraction of rows tracks the analytic CDF.
+func TestSampleMatchesCDF(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := MustPiecewise(100000, []Point{{0.02, 0.6}, {0.2, 0.9}, {1, 1}})
+	const n = 200000
+	cut02 := int64(0.02 * 100000)
+	cut20 := int64(0.2 * 100000)
+	var in02, in20 int
+	for i := 0; i < n; i++ {
+		s := d.Sample(rng)
+		if s < cut02 {
+			in02++
+		}
+		if s < cut20 {
+			in20++
+		}
+	}
+	if got := float64(in02) / n; math.Abs(got-0.6) > 0.01 {
+		t.Errorf("top-2%% share = %v, want ~0.6", got)
+	}
+	if got := float64(in20) / n; math.Abs(got-0.9) > 0.01 {
+		t.Errorf("top-20%% share = %v, want ~0.9", got)
+	}
+}
+
+func TestClassDistributionsMatchPaperQuotes(t *testing.T) {
+	const rows = 10_000_000
+	low := MustClassDistribution(Low, rows)
+	if got := low.CDF(0.02); math.Abs(got-0.085) > 1e-9 {
+		t.Errorf("Low top-2%% = %v, want 0.085 (Alibaba quote)", got)
+	}
+	if got := low.CDF(0.65); got < 0.90 {
+		t.Errorf("Low top-65%% = %v, want >= 0.90 (>90%% hit needs >65%% cached)", got)
+	}
+	high := MustClassDistribution(High, rows)
+	if got := high.CDF(0.02); got < 0.80 {
+		t.Errorf("High top-2%% = %v, want > 0.80 (Criteo quote)", got)
+	}
+	random := MustClassDistribution(Random, rows)
+	if got := random.CDF(0.25); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("Random CDF(0.25) = %v", got)
+	}
+	// Locality ordering: at every cache size, High >= Medium >= Low >= Random.
+	med := MustClassDistribution(Medium, rows)
+	for _, f := range []float64{0.01, 0.02, 0.05, 0.1, 0.3, 0.6} {
+		if !(high.CDF(f) >= med.CDF(f) && med.CDF(f) >= low.CDF(f) && low.CDF(f) >= random.CDF(f)) {
+			t.Errorf("locality ordering violated at %v: %v %v %v %v",
+				f, high.CDF(f), med.CDF(f), low.CDF(f), random.CDF(f))
+		}
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	for _, c := range Classes {
+		got, err := ParseClass(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseClass(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseClass("bogus"); err == nil {
+		t.Error("ParseClass(bogus) succeeded")
+	}
+}
+
+func TestZipfCDF(t *testing.T) {
+	z := mustZipf(t, 1_000_000, 1.2, 1)
+	if z.CDF(0) != 0 || z.CDF(1) != 1 {
+		t.Fatalf("zipf CDF endpoints: %v %v", z.CDF(0), z.CDF(1))
+	}
+	// Head heaviness: top 1% of a s=1.2 Zipf over 1M rows captures well
+	// over half the mass.
+	if got := z.CDF(0.01); got < 0.5 {
+		t.Errorf("zipf top-1%% = %v, want > 0.5", got)
+	}
+	if _, err := NewZipf(10, 1.0, 1); err == nil {
+		t.Error("NewZipf(s=1) succeeded, want error")
+	}
+}
+
+func mustUniform(t *testing.T, rows int64) *Uniform {
+	t.Helper()
+	u, err := NewUniform(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func mustZipf(t *testing.T, rows int64, s, v float64) *Zipf {
+	t.Helper()
+	z, err := NewZipf(rows, s, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return z
+}

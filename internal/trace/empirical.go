@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Empirical is an access distribution built from observed per-row access
+// counts — the bridge from real dataset logs (what the paper measured for
+// Figure 3) to this package's samplers. Counts are sorted hottest-first on
+// construction so the "top-N rows" convention holds.
+type Empirical struct {
+	rows   int64
+	cum    []float64 // cum[i] = share of accesses in rows [0, i]
+	counts []int64
+	total  int64
+}
+
+// NewEmpirical builds a distribution over the given per-row access counts
+// (one entry per table row; order need not be sorted). Rows with zero
+// counts are legal: they are simply never sampled.
+func NewEmpirical(counts []int64) (*Empirical, error) {
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("trace: empirical: no counts")
+	}
+	sorted := make([]int64, len(counts))
+	copy(sorted, counts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	var total int64
+	for i, c := range sorted {
+		if c < 0 {
+			return nil, fmt.Errorf("trace: empirical: negative count at sorted index %d", i)
+		}
+		total += c
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("trace: empirical: all counts zero")
+	}
+	cum := make([]float64, len(sorted))
+	var running int64
+	for i, c := range sorted {
+		running += c
+		cum[i] = float64(running) / float64(total)
+	}
+	return &Empirical{
+		rows:   int64(len(sorted)),
+		cum:    cum,
+		counts: sorted,
+		total:  total,
+	}, nil
+}
+
+// ParseCountsCSV reads "row,count" or "count" lines (comments with #,
+// blank lines ignored) and returns the counts column. When a row column is
+// present it is ignored — only the multiset of counts matters, because the
+// distribution sorts by hotness anyway.
+func ParseCountsCSV(r io.Reader) ([]int64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var counts []int64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		raw := strings.TrimSpace(fields[len(fields)-1])
+		c, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: counts csv line %d: %w", line, err)
+		}
+		counts = append(counts, c)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("trace: counts csv: no data")
+	}
+	return counts, nil
+}
+
+// Rows implements Distribution.
+func (e *Empirical) Rows() int64 { return e.rows }
+
+// Sample implements Distribution via inverse-CDF binary search.
+func (e *Empirical) Sample(r *rand.Rand) int64 {
+	u := r.Float64()
+	i := sort.SearchFloat64s(e.cum, u)
+	if i >= len(e.cum) {
+		i = len(e.cum) - 1
+	}
+	return int64(i)
+}
+
+// CDF implements Distribution.
+func (e *Empirical) CDF(frac float64) float64 {
+	if frac <= 0 {
+		return 0
+	}
+	if frac >= 1 {
+		return 1
+	}
+	pos := frac * float64(e.rows)
+	i := int(pos)
+	if i >= len(e.cum) {
+		return 1
+	}
+	var lo float64
+	if i > 0 {
+		lo = e.cum[i-1]
+	}
+	return lo + (pos-float64(i))*(e.cum[i]-lo)
+}
+
+// TotalAccesses returns the number of observations behind the fit.
+func (e *Empirical) TotalAccesses() int64 { return e.total }

@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestEmpiricalBasics(t *testing.T) {
+	// 4 rows with counts 50, 30, 15, 5 (given shuffled).
+	e, err := NewEmpirical([]int64{15, 50, 5, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Rows() != 4 || e.TotalAccesses() != 100 {
+		t.Fatalf("rows %d total %d", e.Rows(), e.TotalAccesses())
+	}
+	// Sorted hottest-first: CDF(0.25) = 0.50, CDF(0.5) = 0.80.
+	if got := e.CDF(0.25); math.Abs(got-0.50) > 1e-12 {
+		t.Errorf("CDF(0.25) = %v", got)
+	}
+	if got := e.CDF(0.5); math.Abs(got-0.80) > 1e-12 {
+		t.Errorf("CDF(0.5) = %v", got)
+	}
+	if e.CDF(0) != 0 || e.CDF(1) != 1 {
+		t.Error("CDF endpoints wrong")
+	}
+	var _ Distribution = e
+}
+
+func TestEmpiricalSampling(t *testing.T) {
+	e, err := NewEmpirical([]int64{80, 15, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[e.Sample(rng)]++
+	}
+	if got := float64(counts[0]) / n; math.Abs(got-0.80) > 0.01 {
+		t.Errorf("row 0 share %v, want ~0.80", got)
+	}
+	if got := float64(counts[2]) / n; math.Abs(got-0.05) > 0.01 {
+		t.Errorf("row 2 share %v, want ~0.05", got)
+	}
+}
+
+func TestEmpiricalZeroTailRows(t *testing.T) {
+	e, err := NewEmpirical([]int64{10, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 1000; i++ {
+		if s := e.Sample(rng); s != 0 {
+			t.Fatalf("sampled zero-count row %d", s)
+		}
+	}
+}
+
+func TestEmpiricalValidation(t *testing.T) {
+	if _, err := NewEmpirical(nil); err == nil {
+		t.Error("empty counts accepted")
+	}
+	if _, err := NewEmpirical([]int64{0, 0}); err == nil {
+		t.Error("all-zero counts accepted")
+	}
+	if _, err := NewEmpirical([]int64{5, -1}); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestParseCountsCSV(t *testing.T) {
+	input := `# header comment
+0,100
+1,50
+
+2,25
+`
+	counts, err := ParseCountsCSV(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 3 || counts[0] != 100 || counts[2] != 25 {
+		t.Fatalf("counts = %v", counts)
+	}
+	// Bare count column works too.
+	counts, err = ParseCountsCSV(strings.NewReader("7\n9\n"))
+	if err != nil || len(counts) != 2 || counts[1] != 9 {
+		t.Fatalf("bare counts = %v, %v", counts, err)
+	}
+	if _, err := ParseCountsCSV(strings.NewReader("a,b\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ParseCountsCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestEmpiricalDrivesGenerator(t *testing.T) {
+	counts := make([]int64, 1000)
+	for i := range counts {
+		counts[i] = int64(1000 - i) // gently decaying popularity
+	}
+	e, err := NewEmpirical(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dists := make([]Distribution, 2)
+	for i := range dists {
+		dists[i] = e
+	}
+	gen, err := NewGenerator(GeneratorConfig{
+		NumTables:    2,
+		RowsPerTable: 1000,
+		Lookups:      4,
+		BatchSize:    8,
+		Dists:        dists,
+		Seed:         3,
+		MetadataOnly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := gen.Next()
+	for _, ids := range b.Tables {
+		for _, id := range ids {
+			if id < 0 || id >= 1000 {
+				t.Fatalf("id %d out of range", id)
+			}
+		}
+	}
+}

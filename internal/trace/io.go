@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// traceMagic identifies the on-disk trace format.
+const traceMagic = "SPTRACE1"
+
+// Header describes a serialized trace file.
+type Header struct {
+	NumTables    int32
+	RowsPerTable int64
+	Lookups      int32
+	BatchSize    int32
+	NumBatches   int32
+}
+
+// WriteTrace serializes batches (sparse IDs only) to w. Dense features and
+// labels are not stored: the trace format exists to reproduce embedding
+// access patterns, which is all the caching experiments consume.
+func WriteTrace(w io.Writer, rowsPerTable int64, batches []*Batch) error {
+	if len(batches) == 0 {
+		return fmt.Errorf("trace: write: no batches")
+	}
+	first := batches[0]
+	h := Header{
+		NumTables:    int32(first.NumTables()),
+		RowsPerTable: rowsPerTable,
+		Lookups:      int32(first.Lookups),
+		BatchSize:    int32(first.BatchSize),
+		NumBatches:   int32(len(batches)),
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+		return err
+	}
+	for i, b := range batches {
+		if b.NumTables() != int(h.NumTables) || b.BatchSize != int(h.BatchSize) || b.Lookups != int(h.Lookups) {
+			return fmt.Errorf("trace: write: batch %d shape differs from batch 0", i)
+		}
+		for _, ids := range b.Tables {
+			if err := binary.Write(bw, binary.LittleEndian, ids); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace deserializes a trace written by WriteTrace.
+func ReadTrace(r io.Reader) (Header, []*Batch, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return Header{}, nil, fmt.Errorf("trace: read: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return Header{}, nil, fmt.Errorf("trace: read: bad magic %q", magic)
+	}
+	var h Header
+	if err := binary.Read(br, binary.LittleEndian, &h); err != nil {
+		return Header{}, nil, fmt.Errorf("trace: read: header: %w", err)
+	}
+	if h.NumTables <= 0 || h.BatchSize <= 0 || h.Lookups <= 0 || h.NumBatches <= 0 {
+		return Header{}, nil, fmt.Errorf("trace: read: invalid header %+v", h)
+	}
+	batches := make([]*Batch, 0, h.NumBatches)
+	n := int(h.BatchSize) * int(h.Lookups)
+	for i := 0; i < int(h.NumBatches); i++ {
+		b := &Batch{
+			Seq:       i,
+			BatchSize: int(h.BatchSize),
+			Lookups:   int(h.Lookups),
+			Tables:    make([][]int64, h.NumTables),
+		}
+		for t := range b.Tables {
+			ids := make([]int64, n)
+			if err := binary.Read(br, binary.LittleEndian, ids); err != nil {
+				return Header{}, nil, fmt.Errorf("trace: read: batch %d table %d: %w", i, t, err)
+			}
+			for _, id := range ids {
+				if id < 0 || id >= h.RowsPerTable {
+					return Header{}, nil, fmt.Errorf("trace: read: batch %d table %d: id %d out of [0,%d)", i, t, id, h.RowsPerTable)
+				}
+			}
+			b.Tables[t] = ids
+		}
+		batches = append(batches, b)
+	}
+	return h, batches, nil
+}
+
+// SliceSource replays a fixed batch list, cycling when exhausted, so finite
+// recorded traces can drive arbitrarily long training runs.
+type SliceSource struct {
+	batches []*Batch
+	next    int
+	seq     int
+}
+
+// NewSliceSource wraps batches as a cycling Source.
+func NewSliceSource(batches []*Batch) (*SliceSource, error) {
+	if len(batches) == 0 {
+		return nil, fmt.Errorf("trace: slice source: no batches")
+	}
+	return &SliceSource{batches: batches}, nil
+}
+
+// Next implements Source. Replayed batches get fresh sequence numbers but
+// share underlying ID storage with the recorded batches.
+func (s *SliceSource) Next() *Batch {
+	src := s.batches[s.next]
+	s.next = (s.next + 1) % len(s.batches)
+	b := *src
+	b.Seq = s.seq
+	s.seq++
+	return &b
+}

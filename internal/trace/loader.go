@@ -1,0 +1,56 @@
+package trace
+
+import "fmt"
+
+// Loader is the dataset loader of the paper's [Load Input Mini-batch]
+// stage, extended with the capability that makes ScratchPipe possible at
+// all: *look-ahead*. Because the training dataset records the sparse IDs of
+// every future iteration, the loader can expose not just the current batch
+// but the next K batches, which the Plan stage uses to build its
+// future-window hold masks.
+//
+// The loader keeps a ring of prefetched batches: Current() is the batch
+// about to enter the pipeline and Peek(k) looks k batches ahead.
+type Loader struct {
+	src    Source
+	window []*Batch // ring: window[0] is current
+	ahead  int
+}
+
+// NewLoader wraps src with a look-ahead window of `ahead` future batches
+// (the paper's ScratchPipe uses 2, the future-window width).
+func NewLoader(src Source, ahead int) (*Loader, error) {
+	if ahead < 0 {
+		return nil, fmt.Errorf("trace: loader: negative look-ahead %d", ahead)
+	}
+	l := &Loader{src: src, ahead: ahead}
+	l.window = make([]*Batch, ahead+1)
+	for i := range l.window {
+		l.window[i] = src.Next()
+	}
+	return l, nil
+}
+
+// Ahead returns the configured look-ahead depth.
+func (l *Loader) Ahead() int { return l.ahead }
+
+// Current returns the batch at the head of the stream without consuming it.
+func (l *Loader) Current() *Batch { return l.window[0] }
+
+// Peek returns the batch k positions ahead of Current (Peek(0) == Current).
+// k must be within the configured look-ahead.
+func (l *Loader) Peek(k int) *Batch {
+	if k < 0 || k > l.ahead {
+		panic(fmt.Sprintf("trace: loader: Peek(%d) outside look-ahead window [0,%d]", k, l.ahead))
+	}
+	return l.window[k]
+}
+
+// Advance consumes the current batch and pulls one more batch into the
+// look-ahead window, returning the batch that was consumed.
+func (l *Loader) Advance() *Batch {
+	head := l.window[0]
+	copy(l.window, l.window[1:])
+	l.window[len(l.window)-1] = l.src.Next()
+	return head
+}

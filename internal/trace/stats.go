@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// AccessHistogram is the empirical characterization behind Figure 3: the
+// sorted per-row access counts of a sampled trace, bucketed into Bins
+// equal-width row-fraction bins so 10M-row tables stay plottable.
+type AccessHistogram struct {
+	// Rows is the table size the histogram was collected over.
+	Rows int64
+	// Samples is the number of lookups drawn.
+	Samples int
+	// BinCounts[i] is the total access count landing in the i-th bin of
+	// rows after sorting rows hottest-first.
+	BinCounts []int64
+	// UniqueRows is the number of distinct rows touched.
+	UniqueRows int
+}
+
+// CollectHistogram samples `samples` lookups from d and returns the sorted
+// access-count histogram with `bins` bins.
+func CollectHistogram(d Distribution, samples, bins int, seed int64) (*AccessHistogram, error) {
+	if samples <= 0 || bins <= 0 {
+		return nil, fmt.Errorf("trace: histogram: samples %d and bins %d must be positive", samples, bins)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	counts := make(map[int64]int64, samples)
+	for i := 0; i < samples; i++ {
+		counts[d.Sample(rng)]++
+	}
+	sorted := make([]int64, 0, len(counts))
+	for _, c := range counts {
+		sorted = append(sorted, c)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	h := &AccessHistogram{
+		Rows:       d.Rows(),
+		Samples:    samples,
+		BinCounts:  make([]int64, bins),
+		UniqueRows: len(counts),
+	}
+	// Untouched rows are implicit zeros at the tail; distribute the
+	// touched, sorted counts over the first len(sorted)/Rows fraction.
+	for i, c := range sorted {
+		bin := int(float64(i) / float64(h.Rows) * float64(bins))
+		if bin >= bins {
+			bin = bins - 1
+		}
+		h.BinCounts[bin] += c
+	}
+	return h, nil
+}
+
+// TopShare returns the fraction of sampled accesses captured by the top
+// `frac` fraction of rows, computed from the histogram bins.
+func (h *AccessHistogram) TopShare(frac float64) float64 {
+	if frac <= 0 {
+		return 0
+	}
+	nbins := float64(len(h.BinCounts))
+	var sum int64
+	covered := frac * nbins
+	for i, c := range h.BinCounts {
+		if float64(i+1) <= covered {
+			sum += c
+			continue
+		}
+		if float64(i) < covered {
+			sum += int64(float64(c) * (covered - float64(i)))
+		}
+		break
+	}
+	return float64(sum) / float64(h.Samples)
+}
+
+// StaticHitRate returns the analytic hit rate of a static top-N cache that
+// holds the top cacheFrac fraction of rows of distribution d — the quantity
+// plotted in Figure 6. For a sorted-hotness distribution this is exactly
+// the access CDF.
+func StaticHitRate(d Distribution, cacheFrac float64) float64 {
+	return d.CDF(cacheFrac)
+}
+
+// HitRateCurve evaluates StaticHitRate at the given cache fractions.
+func HitRateCurve(d Distribution, fracs []float64) []float64 {
+	out := make([]float64, len(fracs))
+	for i, f := range fracs {
+		out[i] = StaticHitRate(d, f)
+	}
+	return out
+}
+
+// BatchStats summarizes the sparse-ID structure of a batch for one table:
+// how many IDs it carries and how many are distinct. Duplicate IDs are what
+// force the gradient duplicate-and-coalesce step of Figure 2(b).
+type BatchStats struct {
+	TotalIDs  int
+	UniqueIDs int
+}
+
+// StatsFor computes BatchStats for table t of batch b.
+func StatsFor(b *Batch, t int) BatchStats {
+	return BatchStats{TotalIDs: len(b.Tables[t]), UniqueIDs: len(b.UniqueIDs(t))}
+}

@@ -1,0 +1,247 @@
+// Package scratchpipe is the public entry point of the ScratchPipe
+// reproduction: a single facade over the training engines, trace
+// generators, hardware model, and experiment harness in internal/.
+//
+// Quick start:
+//
+//	cfg := scratchpipe.Config{Class: scratchpipe.High, Functional: true}
+//	tr, err := scratchpipe.NewTrainer(cfg)
+//	...
+//	rep, err := tr.Train(100)
+//	fmt.Println(rep.IterTime, rep.AvgLoss)
+//
+// The five engine kinds mirror the paper's evaluation: the hybrid CPU-GPU
+// baseline (Figure 4a), the static-cache baseline (Figure 4b), the
+// unpipelined straw-man (§IV-B), pipelined ScratchPipe itself (§IV-C), and
+// the 8-GPU model-parallel comparison system (§VI-F).
+package scratchpipe
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cache"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/dlrm"
+	"repro/internal/energy"
+	"repro/internal/engine"
+	"repro/internal/hw"
+	"repro/internal/opt"
+	"repro/internal/trace"
+)
+
+// Kind selects a training engine.
+type Kind string
+
+// The five training-system design points.
+const (
+	KindHybrid      Kind = "hybrid"
+	KindStatic      Kind = "static"
+	KindStrawMan    Kind = "strawman"
+	KindScratchPipe Kind = "scratchpipe"
+	KindMultiGPU    Kind = "multigpu"
+)
+
+// Kinds lists every engine kind in the paper's presentation order.
+var Kinds = []Kind{KindHybrid, KindStatic, KindStrawMan, KindScratchPipe, KindMultiGPU}
+
+// Locality classes, re-exported for callers.
+type Class = trace.Class
+
+// The four locality classes of the paper's synthetic traces.
+const (
+	Random = trace.Random
+	Low    = trace.Low
+	Medium = trace.Medium
+	High   = trace.High
+)
+
+// Classes lists all locality classes.
+var Classes = trace.Classes
+
+// ParseClass converts "Random"/"Low"/"Medium"/"High" to a Class.
+func ParseClass(s string) (Class, error) { return trace.ParseClass(s) }
+
+// ModelConfig is the DLRM architecture configuration.
+type ModelConfig = dlrm.Config
+
+// DefaultModel returns the paper's §V default model: 8 tables x 10M rows x
+// 128-dim embeddings (40 GB), 20 lookups, batch 2048, MLPerf-DLRM MLPs.
+func DefaultModel() ModelConfig { return dlrm.DefaultConfig() }
+
+// SystemConfig is the hardware platform model.
+type SystemConfig = hw.System
+
+// DefaultSystem returns the paper's evaluation platform (Xeon E5-2698v4 +
+// V100 over PCIe gen3).
+func DefaultSystem() SystemConfig { return hw.DefaultSystem() }
+
+// PolicyKind selects the scratchpad replacement policy.
+type PolicyKind = cache.PolicyKind
+
+// Replacement policies (§VI-E).
+const (
+	LRU          = cache.LRU
+	LFU          = cache.LFU
+	RandomPolicy = cache.RandomPolicy
+)
+
+// OptimizerKind selects the embedding optimizer.
+type OptimizerKind = opt.Kind
+
+// Embedding optimizers.
+const (
+	OptSGD     = opt.SGDKind
+	OptAdagrad = opt.AdagradKind
+)
+
+// Report summarizes a training run (see engine.Report for field docs).
+type Report = engine.Report
+
+// Config assembles one training setup.
+type Config struct {
+	// Engine picks the design point; empty selects KindScratchPipe.
+	Engine Kind
+	// Model is the DLRM configuration; the zero value selects
+	// DefaultModel().
+	Model ModelConfig
+	// System is the hardware model; the zero value selects
+	// DefaultSystem().
+	System SystemConfig
+	// Class is the trace locality class (default Random).
+	Class Class
+	// CacheFrac sizes the GPU embedding cache as a fraction of each CPU
+	// table for the cached engines; 0 selects the paper's headline 2%.
+	CacheFrac float64
+	// Policy is the dynamic-cache replacement policy (default LRU).
+	Policy PolicyKind
+	// Parallel runs ScratchPipe's pipeline stages in goroutines.
+	Parallel bool
+	// Functional executes real float32 training (needed for losses and
+	// model state); metadata-only simulation otherwise.
+	Functional bool
+	// Optimizer selects the embedding optimizer (default SGD, the
+	// paper's choice; Adagrad adds per-row state that the scratchpad
+	// keeps coherent through the same prefetch/write-back pipeline).
+	Optimizer OptimizerKind
+	// Seed drives all randomness (traces, init, policies).
+	Seed int64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Engine == "" {
+		c.Engine = KindScratchPipe
+	}
+	if c.Model.NumTables == 0 {
+		c.Model = DefaultModel()
+	}
+	if c.System.NumGPUs == 0 {
+		c.System = DefaultSystem()
+	}
+	if c.CacheFrac == 0 {
+		c.CacheFrac = 0.02
+	}
+	if c.Policy == "" {
+		c.Policy = LRU
+	}
+}
+
+// Trainer drives one engine over one environment.
+type Trainer struct {
+	cfg Config
+	env *engine.Env
+	eng engine.Engine
+}
+
+// NewTrainer builds a training setup from cfg.
+func NewTrainer(cfg Config) (*Trainer, error) {
+	cfg.applyDefaults()
+	env, err := engine.NewEnv(engine.EnvConfig{
+		Model:      cfg.Model,
+		System:     cfg.System,
+		Class:      cfg.Class,
+		Seed:       cfg.Seed,
+		Functional: cfg.Functional,
+		Optimizer:  cfg.Optimizer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var eng engine.Engine
+	switch cfg.Engine {
+	case KindHybrid:
+		eng = engine.NewHybrid(env)
+	case KindStatic:
+		eng, err = engine.NewStaticCache(env, cfg.CacheFrac)
+	case KindStrawMan:
+		eng, err = engine.NewStrawMan(env, cfg.CacheFrac, cfg.Policy)
+	case KindScratchPipe:
+		eng, err = engine.NewScratchPipe(env, engine.ScratchPipeOptions{
+			CacheFrac: cfg.CacheFrac,
+			Policy:    cfg.Policy,
+			Parallel:  cfg.Parallel,
+		})
+	case KindMultiGPU:
+		eng, err = engine.NewMultiGPU(env)
+	default:
+		return nil, fmt.Errorf("scratchpipe: unknown engine kind %q", cfg.Engine)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Trainer{cfg: cfg, env: env, eng: eng}, nil
+}
+
+// Config returns the trainer's configuration after defaulting.
+func (t *Trainer) Config() Config { return t.cfg }
+
+// Engine returns the engine name.
+func (t *Trainer) Engine() string { return t.eng.Name() }
+
+// Train runs iters training iterations and returns the report.
+func (t *Trainer) Train(iters int) (*Report, error) { return t.eng.Run(iters) }
+
+// Flush writes GPU-cached dirty embedding rows back to the CPU tables
+// (functional mode) so full model state can be inspected or compared.
+func (t *Trainer) Flush() error {
+	if f, ok := t.eng.(engine.FlushTables); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
+// SaveCheckpoint flushes engine caches and writes the complete training
+// state (dense parameters, embedding tables, optimizer state) to w.
+// Functional mode only.
+func (t *Trainer) SaveCheckpoint(w io.Writer) error {
+	if err := t.Flush(); err != nil {
+		return err
+	}
+	return checkpoint.Save(w, t.env)
+}
+
+// LoadCheckpoint restores state written by SaveCheckpoint into this
+// trainer's environment; the model configuration and optimizer must match.
+func (t *Trainer) LoadCheckpoint(r io.Reader) error {
+	return checkpoint.Load(r, t.env)
+}
+
+// IterationEnergy estimates the energy (joules) of one training iteration
+// from a report, using the paper's §VI-C power methodology.
+func IterationEnergy(rep *Report, sys SystemConfig, eng Kind) float64 {
+	gpus := 1
+	if eng == KindMultiGPU {
+		gpus = sys.NumGPUs
+	}
+	return energy.Default().IterationEnergy(rep.IterTime, rep.CPUBusy, rep.GPUBusy, gpus)
+}
+
+// PipelineStages re-exports the stage names for reports.
+func PipelineStages() []string {
+	out := make([]string, 0, len(core.Stages))
+	for _, s := range core.Stages {
+		out = append(out, s.String())
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package scratchpipe
+
+import (
+	"testing"
+)
+
+func smallModel() ModelConfig {
+	m := DefaultModel()
+	m.RowsPerTable = 2000
+	m.BatchSize = 16
+	m.Lookups = 4
+	m.EmbeddingDim = 8
+	m.NumTables = 2
+	m.BottomHidden = []int{8}
+	m.TopHidden = []int{16}
+	return m
+}
+
+func TestNewTrainerDefaults(t *testing.T) {
+	tr, err := NewTrainer(Config{Model: smallModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tr.Config()
+	if cfg.Engine != KindScratchPipe || cfg.CacheFrac != 0.02 || cfg.Policy != LRU {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if tr.Engine() != "scratchpipe" {
+		t.Fatalf("engine = %s", tr.Engine())
+	}
+}
+
+func TestAllKindsTrain(t *testing.T) {
+	for _, kind := range Kinds {
+		tr, err := NewTrainer(Config{
+			Engine:     kind,
+			Model:      smallModel(),
+			Class:      Medium,
+			CacheFrac:  0.05,
+			Functional: true,
+			Seed:       3,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		rep, err := tr.Train(10)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if rep.Iters != 10 || rep.IterTime <= 0 {
+			t.Fatalf("%s: report %+v", kind, rep)
+		}
+		if err := tr.Flush(); err != nil {
+			t.Fatalf("%s flush: %v", kind, err)
+		}
+	}
+}
+
+func TestUnknownKindRejected(t *testing.T) {
+	if _, err := NewTrainer(Config{Engine: "bogus", Model: smallModel()}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+func TestIterationEnergyPositive(t *testing.T) {
+	tr, err := NewTrainer(Config{Model: smallModel(), Class: High})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tr.Train(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := IterationEnergy(rep, DefaultSystem(), KindScratchPipe); e <= 0 {
+		t.Fatalf("energy = %v", e)
+	}
+	if e := IterationEnergy(rep, DefaultSystem(), KindMultiGPU); e <= 0 {
+		t.Fatalf("multi-gpu energy = %v", e)
+	}
+}
+
+func TestTraceUtilities(t *testing.T) {
+	for _, name := range DatasetNames {
+		ds, err := NewDataset(name, 10000)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(ds.Tables) == 0 {
+			t.Fatalf("%s: no tables", name)
+		}
+		curve := HitRateCurve(ds.Tables[0].Dist, []float64{0.02, 0.5, 1})
+		if curve[2] != 1 || curve[0] > curve[1] {
+			t.Fatalf("%s: curve %v", name, curve)
+		}
+	}
+	d, err := ClassDistribution(High, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if StaticHitRate(d, 0.02) < 0.8 {
+		t.Fatalf("High top-2%% = %v", StaticHitRate(d, 0.02))
+	}
+	if _, err := ParseClass("High"); err != nil {
+		t.Fatal(err)
+	}
+	if len(PipelineStages()) != 6 {
+		t.Fatalf("stages = %v", PipelineStages())
+	}
+}
+
+func TestParallelFunctionalEquivalenceViaFacade(t *testing.T) {
+	runOnce := func(parallel bool) *Report {
+		tr, err := NewTrainer(Config{
+			Model:      smallModel(),
+			Class:      Low,
+			CacheFrac:  0.05,
+			Parallel:   parallel,
+			Functional: true,
+			Seed:       9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := tr.Train(12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	seq := runOnce(false)
+	par := runOnce(true)
+	if seq.AvgLoss != par.AvgLoss {
+		t.Fatalf("parallel pipeline changed training: %v vs %v", seq.AvgLoss, par.AvgLoss)
+	}
+}

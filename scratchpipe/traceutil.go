@@ -1,0 +1,34 @@
+package scratchpipe
+
+import (
+	"repro/internal/trace"
+)
+
+// Dataset re-exports the real-world dataset presets (Figures 3 and 6).
+type Dataset = trace.Dataset
+
+// DatasetNames lists the four dataset presets in paper order: Alibaba,
+// KaggleAnime, MovieLens, Criteo.
+var DatasetNames = trace.DatasetNames
+
+// NewDataset returns the named dataset preset with rows rows per table.
+func NewDataset(name string, rows int64) (*Dataset, error) {
+	return trace.NewDataset(name, rows)
+}
+
+// ClassDistribution returns the access distribution of a locality class
+// over a table of the given size.
+func ClassDistribution(c Class, rows int64) (trace.Distribution, error) {
+	return trace.NewClassDistribution(c, rows)
+}
+
+// StaticHitRate returns the analytic hit rate of a static top-N cache
+// holding the top cacheFrac fraction of rows (the Figure 6 curves).
+func StaticHitRate(d trace.Distribution, cacheFrac float64) float64 {
+	return trace.StaticHitRate(d, cacheFrac)
+}
+
+// HitRateCurve evaluates StaticHitRate at each cache fraction.
+func HitRateCurve(d trace.Distribution, fracs []float64) []float64 {
+	return trace.HitRateCurve(d, fracs)
+}
