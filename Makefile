@@ -1,0 +1,29 @@
+# Developer entry points. `make check` is the CI gate: everything it runs
+# must stay green on every PR, including the race detector over the
+# packages with parallel per-table fan-out.
+
+GO ?= go
+
+.PHONY: check vet build test race bench hotpath
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The scratchpad control plane and the engines run per-table work across
+# goroutines; any hold-discipline or fan-out bug must surface as a race.
+race:
+	$(GO) test -race ./internal/core/ ./internal/engine/
+
+bench:
+	$(GO) test -run='^$$' -bench=Figure13 -benchmem .
+
+hotpath:
+	$(GO) run ./cmd/spbench -quick -json BENCH_hotpath.json

@@ -27,6 +27,7 @@ func main() {
 	cacheFrac := flag.Float64("cache", 0.05, "GPU cache fraction")
 	policy := flag.String("policy", "lru", "replacement policy: lru|lfu|random")
 	parallel := flag.Bool("parallel", false, "run pipeline stages in goroutines")
+	workers := flag.Int("workers", 0, "per-table fan-out parallelism (0 = GOMAXPROCS, 1 = serial)")
 	functional := flag.Bool("functional", true, "execute real float32 training")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
@@ -51,6 +52,7 @@ func main() {
 		CacheFrac:  *cacheFrac,
 		Policy:     scratchpipe.PolicyKind(*policy),
 		Parallel:   *parallel,
+		Workers:    *workers,
 		Functional: *functional,
 		Seed:       *seed,
 	})

@@ -4,11 +4,18 @@
 //
 //	spbench [-experiment all|fig3|fig5|fig6|fig6classes|fig12a|fig12b|
 //	         fig13|fig14|fig15a|fig15b|tablei|overhead|sensitivity|ablation]
-//	        [-iters N] [-quick] [-seed S]
+//	        [-iters N] [-quick] [-seed S] [-workers N]
+//	spbench -json BENCH_hotpath.json [-quick] [-workers N] [-note TEXT]
 //
 // With -quick the paper-scale tables (10M rows) shrink 50x, which changes
 // absolute hit rates slightly but preserves every qualitative shape; use it
-// for smoke runs.
+// for smoke runs. -workers bounds the simulator's per-table parallelism
+// (0 = GOMAXPROCS); simulated results are identical at any worker count.
+//
+// With -json the command runs the hot-path benchmark (one Figure 13
+// sweep) instead of printing tables, appends the wall-clock and allocator
+// measurements to the given JSON history file, and prints the new entry —
+// the mechanism future PRs use to track the simulator's perf trajectory.
 package main
 
 import (
@@ -41,16 +48,39 @@ func main() {
 	iters := flag.Int("iters", 0, "measured iterations per data point (0 = default)")
 	quick := flag.Bool("quick", false, "use the 50x scaled-down configuration")
 	seed := flag.Int64("seed", 42, "random seed")
+	workers := flag.Int("workers", 0, "per-table fan-out parallelism (0 = GOMAXPROCS, 1 = serial)")
+	jsonPath := flag.String("json", "", "run the hot-path benchmark and append the measurement to this JSON history file")
+	note := flag.String("note", "", "free-form note recorded with the -json measurement")
 	flag.Parse()
 
 	cfg := bench.Default()
+	configName := "full"
 	if *quick {
 		cfg = bench.Quick()
+		configName = "quick"
 	}
 	if *iters > 0 {
 		cfg.Iters = *iters
 	}
 	cfg.Seed = *seed
+	cfg.Workers = *workers
+
+	if *jsonPath != "" {
+		res, err := bench.HotPath(cfg, configName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spbench:", err)
+			os.Exit(1)
+		}
+		res.Note = *note
+		if _, err := bench.AppendHotPath(*jsonPath, res); err != nil {
+			fmt.Fprintln(os.Stderr, "spbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("hotpath (%s, workers=%d): %.2fs wall, %d allocs, %.1f MB allocated, sp-vs-static avg %.2fx -> %s\n",
+			configName, res.Workers, res.WallSeconds, res.Allocs, float64(res.AllocBytes)/1e6,
+			res.ScratchPipeSpeedupAvg, *jsonPath)
+		return
+	}
 
 	if *exp == "all" {
 		tables, err := bench.AllExperiments(cfg)

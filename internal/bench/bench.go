@@ -31,6 +31,10 @@ type Config struct {
 	Iters int
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds the per-table fan-out parallelism of every engine
+	// (0 = GOMAXPROCS, 1 = serial). Simulated results are bit-identical
+	// at any worker count.
+	Workers int
 }
 
 // Default returns the paper's §V methodology configuration. Iters must
@@ -126,6 +130,7 @@ func newEnv(cfg Config, model dlrm.Config, class trace.Class) (*engine.Env, erro
 		Class:      class,
 		Seed:       cfg.Seed,
 		Functional: false,
+		Workers:    cfg.Workers,
 	})
 }
 

@@ -1,0 +1,99 @@
+// Hot-path benchmark harness: measures the Figure 13 sweep — the run
+// that exercises every engine's steady-state cycle — with real wall-clock
+// and allocator counters, and appends the result to a JSON history file
+// so successive PRs can track the simulator's performance trajectory.
+
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// HotPathResult is one measurement of the hot-path benchmark.
+type HotPathResult struct {
+	// Timestamp is RFC3339 UTC at measurement time.
+	Timestamp string `json:"timestamp"`
+	// Config labels the benchmark configuration ("quick" or "full").
+	Config string `json:"config"`
+	// Workers is the per-table fan-out bound; GoMaxProcs the host
+	// parallelism it resolved against.
+	Workers    int `json:"workers"`
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Iters is the measured iterations per data point.
+	Iters int `json:"iters"`
+	// WallSeconds is the real time of one full Figure 13 sweep.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Allocs/AllocBytes are the allocator's object and byte counts over
+	// the sweep (runtime.MemStats deltas).
+	Allocs     uint64 `json:"allocs"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// ScratchPipeSpeedupAvg is the simulated headline result (mean
+	// ScratchPipe speedup vs the static cache across all data points),
+	// recorded so a perf regression that silently changes simulated
+	// results is caught alongside one that slows the simulator.
+	ScratchPipeSpeedupAvg float64 `json:"scratchpipe_speedup_avg"`
+	// Note carries free-form context (e.g. "pre-change baseline").
+	Note string `json:"note,omitempty"`
+}
+
+// HotPathHistory is the on-disk format of BENCH_hotpath.json.
+type HotPathHistory struct {
+	History []HotPathResult `json:"history"`
+}
+
+// HotPath runs one Figure 13 sweep under cfg and returns the measurement.
+func HotPath(cfg Config, configName string) (*HotPathResult, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	pts, err := CollectFigure13(cfg)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	var spSum float64
+	for _, p := range pts {
+		_, _, sp := p.SpeedupVsStatic()
+		spSum += sp
+	}
+	return &HotPathResult{
+		Timestamp:             time.Now().UTC().Format(time.RFC3339),
+		Config:                configName,
+		Workers:               cfg.Workers,
+		GoMaxProcs:            runtime.GOMAXPROCS(0),
+		Iters:                 cfg.Iters,
+		WallSeconds:           wall.Seconds(),
+		Allocs:                after.Mallocs - before.Mallocs,
+		AllocBytes:            after.TotalAlloc - before.TotalAlloc,
+		ScratchPipeSpeedupAvg: spSum / float64(len(pts)),
+	}, nil
+}
+
+// AppendHotPath appends res to the JSON history at path (creating it if
+// absent) and returns the full history.
+func AppendHotPath(path string, res *HotPathResult) (*HotPathHistory, error) {
+	hist := &HotPathHistory{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, hist); err != nil {
+			return nil, fmt.Errorf("bench: %s exists but is not a hot-path history: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	hist.History = append(hist.History, *res)
+	data, err := json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return hist, nil
+}

@@ -63,11 +63,20 @@ func NewPolicy(kind PolicyKind, n int, seed int64) (Policy, error) {
 	return nil, fmt.Errorf("cache: unknown policy %q", kind)
 }
 
-// lruPolicy is an intrusive doubly-linked list over slot indices;
-// index n is the sentinel head/tail.
-type lruPolicy struct {
-	prev, next []int32
-	n          int
+// lruNode packs a list node's prev/next links into one 8-byte word so an
+// unlink/push touches one cache line per node instead of two.
+type lruNode struct {
+	prev, next int32
+}
+
+// LRUPolicy is an intrusive doubly-linked list over slot indices; index n
+// is the sentinel head/tail. The concrete type is exported so the
+// scratchpad can devirtualize the hot path for the paper's default
+// policy: recency touches and the victim sweep then run through direct,
+// inlinable calls instead of interface dispatch and a callback.
+type LRUPolicy struct {
+	nodes []lruNode
+	n     int
 	// sweep is the armed-mode cursor (sentinel value n when exhausted);
 	// armed is toggled by BeginVictimSweep.
 	sweep int32
@@ -77,49 +86,62 @@ type lruPolicy struct {
 // NewLRUPolicy returns an LRU policy over n slots, all initially in LRU
 // order 0..n-1 (slot 0 least recent).
 func NewLRUPolicy(n int) Policy {
-	p := &lruPolicy{prev: make([]int32, n+1), next: make([]int32, n+1), n: n}
+	p := &LRUPolicy{nodes: make([]lruNode, n+1), n: n}
 	// Circular list through sentinel n; next points toward MRU.
 	for i := 0; i <= n; i++ {
-		p.next[i] = int32((i + 1) % (n + 1))
-		p.prev[(i+1)%(n+1)] = int32(i)
+		p.nodes[i].next = int32((i + 1) % (n + 1))
+		p.nodes[(i+1)%(n+1)].prev = int32(i)
 	}
 	return p
 }
 
-func (p *lruPolicy) Name() string { return string(LRU) }
+func (p *LRUPolicy) Name() string { return string(LRU) }
 
-func (p *lruPolicy) unlink(s int) {
-	p.next[p.prev[s]] = p.next[s]
-	p.prev[p.next[s]] = p.prev[s]
+func (p *LRUPolicy) unlink(s int) {
+	nd := p.nodes[s]
+	p.nodes[nd.prev].next = nd.next
+	p.nodes[nd.next].prev = nd.prev
 }
 
-func (p *lruPolicy) pushMRU(s int) {
+func (p *LRUPolicy) pushMRU(s int) {
 	// MRU position is just before the sentinel.
 	sent := int32(p.n)
-	last := p.prev[sent]
-	p.next[last] = int32(s)
-	p.prev[s] = last
-	p.next[s] = sent
-	p.prev[sent] = int32(s)
+	last := p.nodes[sent].prev
+	p.nodes[last].next = int32(s)
+	p.nodes[s] = lruNode{prev: last, next: sent}
+	p.nodes[sent].prev = int32(s)
 }
 
-func (p *lruPolicy) touch(s int) {
+func (p *LRUPolicy) touch(s int) {
 	p.unlink(s)
 	p.pushMRU(s)
 }
 
-func (p *lruPolicy) OnInsert(slot int) { p.touch(slot) }
-func (p *lruPolicy) OnAccess(slot int) { p.touch(slot) }
+func (p *LRUPolicy) OnInsert(slot int) { p.touch(slot) }
+func (p *LRUPolicy) OnAccess(slot int) { p.touch(slot) }
 
-func (p *lruPolicy) BeginVictimSweep() {
+func (p *LRUPolicy) BeginVictimSweep() {
 	p.armed = true
-	p.sweep = p.next[p.n]
+	p.sweep = p.nodes[p.n].next
 }
 
-func (p *lruPolicy) Victim(evictable func(int) bool) int {
+// SweepNext returns the next candidate of the armed sweep (advancing the
+// cursor) or -1 when the eviction order is exhausted. It lets callers
+// drive the sweep with an inlined evictability check; equivalent to
+// Victim with a predicate evaluated caller-side.
+func (p *LRUPolicy) SweepNext() int {
+	s := p.sweep
+	if s == int32(p.n) {
+		return -1
+	}
+	p.sweep = p.nodes[s].next
+	return int(s)
+}
+
+func (p *LRUPolicy) Victim(evictable func(int) bool) int {
 	if !p.armed {
 		// Standalone mode: fresh walk from the LRU end.
-		for s := p.next[p.n]; s != int32(p.n); s = p.next[s] {
+		for s := p.nodes[p.n].next; s != int32(p.n); s = p.nodes[s].next {
 			if evictable(int(s)) {
 				return int(s)
 			}
@@ -129,7 +151,7 @@ func (p *lruPolicy) Victim(evictable func(int) bool) int {
 	// Sweep mode: continue from the cursor; skipped slots cannot become
 	// evictable within the sweep, so never revisit them.
 	for s := p.sweep; s != int32(p.n); {
-		nxt := p.next[s]
+		nxt := p.nodes[s].next
 		p.sweep = nxt
 		if evictable(int(s)) {
 			return int(s)

@@ -82,6 +82,15 @@ func (s *Static) Query(ids []int64) (hits, misses int) {
 	return hits, misses
 }
 
+// RecordQuery folds an externally computed hit/miss classification into
+// the statistics; callers that already hold the batch's distinct IDs and
+// counts classify without rescanning the occurrence stream.
+func (s *Static) RecordQuery(hits, misses int) {
+	s.stats.Queries += int64(hits + misses)
+	s.stats.Hits += int64(hits)
+	s.stats.Misses += int64(misses)
+}
+
 // Stats returns accumulated counters.
 func (s *Static) Stats() StaticStats { return s.stats }
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/intmap"
 )
 
 // Config configures one per-table scratchpad manager. The paper
@@ -82,6 +83,10 @@ type Eviction struct {
 // PlanResult is the [Plan] stage's output for one mini-batch on one table:
 // a stable ID->slot resolution the batch carries through the rest of the
 // pipeline, plus the prefetch (Fills) and write-back (Evictions) schedules.
+//
+// PlanResults are pooled: once a batch has fully retired (left [Train]),
+// hand the result back via Scratchpad.Recycle so the next Plan reuses its
+// buffers instead of allocating. A recycled result must not be read again.
 type PlanResult struct {
 	// Seq is the batch sequence number the plan belongs to.
 	Seq int
@@ -90,7 +95,11 @@ type PlanResult struct {
 	// to UniqueIDs[i].
 	UniqueIDs []int64
 	Slots     []int32
-	slotOf    map[int64]int32
+	// slotOf indexes UniqueIDs->Slots for the Slot accessor; built
+	// lazily on first use so the metadata-mode hot path (which never
+	// resolves individual IDs) skips it entirely.
+	slotOf  *intmap.Map
+	indexed bool
 	// OccHits and OccMisses count per-occurrence hits/misses; an
 	// occurrence of an ID already scheduled for fill by this same batch
 	// counts as a hit (the row will be resident by [Train]).
@@ -104,13 +113,35 @@ type PlanResult struct {
 }
 
 // Slot returns the slot assigned to id, panicking if id was not part of
-// the planned batch (which would be a pipeline bug).
+// the planned batch (which would be a pipeline bug). The first call
+// indexes the plan; callers resolving individual IDs do so from one
+// goroutine per plan (the pipeline runs each job in one stage at a time).
 func (r *PlanResult) Slot(id int64) int32 {
-	s, ok := r.slotOf[id]
+	if !r.indexed {
+		r.slotOf.Reserve(len(r.UniqueIDs))
+		for i, uid := range r.UniqueIDs {
+			r.slotOf.Put(uid, r.Slots[i])
+		}
+		r.indexed = true
+	}
+	s, ok := r.slotOf.Get(id)
 	if !ok {
 		panic(fmt.Sprintf("core: plan %d: id %d was not planned", r.Seq, id))
 	}
 	return s
+}
+
+// reset clears the result for reuse, keeping every buffer's capacity.
+func (r *PlanResult) reset() {
+	r.Seq = 0
+	r.UniqueIDs = r.UniqueIDs[:0]
+	r.Slots = r.Slots[:0]
+	r.slotOf.Clear()
+	r.indexed = false
+	r.OccHits, r.OccMisses = 0, 0
+	r.Fills = r.Fills[:0]
+	r.Evictions = r.Evictions[:0]
+	r.ReserveAllocs = 0
 }
 
 // Stats aggregates scratchpad activity for the timing model and reports.
@@ -134,6 +165,22 @@ type Stats struct {
 	Planned, Released int64
 }
 
+// slotMeta is one slot's control metadata, packed so the hold/pin/key
+// evictability predicate reads a single 24-byte record.
+type slotMeta struct {
+	// key is the cached sparse ID (-1 when the slot is empty).
+	key int64
+	// pinStamp is the epoch of the slot's latest look-ahead pin.
+	pinStamp int64
+	// holds counts in-flight batches referencing the slot.
+	holds int32
+	// entryIdx is key's entry position inside hitMap, so an eviction
+	// deletes its victim's stale key without re-probing (the victim's
+	// entry is cache-cold by eviction time). Backward-shift relocations
+	// report back through onMove; map growth triggers a full reindex.
+	entryIdx int32
+}
+
 // Scratchpad is the per-table cache manager: the Hit-Map, the hold
 // discipline that substitutes for Algorithm 1's Hold-mask bitmask queue,
 // and the replacement policy.
@@ -147,16 +194,36 @@ type Stats struct {
 type Scratchpad struct {
 	cfg    Config
 	policy cache.Policy
+	// lru is the devirtualized fast path when policy is the default
+	// LRU: recency touches and victim sweeps go through concrete,
+	// inlinable calls (nil for other policies).
+	lru *cache.LRUPolicy
 
-	hitMap map[int64]int32 // sparse ID -> slot
-	key    []int64         // slot -> sparse ID (-1 when empty)
-	holds  []int32         // slot -> # in-flight batches referencing it
+	hitMap *intmap.Map // sparse ID -> slot
+	// slots holds the per-slot control metadata in one array of structs
+	// so the victim sweep's evictability check (key, pin stamp, hold
+	// count) touches one cache line per candidate instead of three.
+	slots  []slotMeta
+	onMove func(slot int32, newIdx int)
 
-	// pinStamp[slot] == pinEpoch marks the slot as pinned by the
-	// current Plan's sliding window (epoch stamping avoids clearing or
-	// hashing a per-plan set; checks are O(1) array reads).
-	pinStamp []int64
-	pinEpoch int64
+	// slots[slot].pinStamp > pinEpoch-pinValid marks the slot as pinned by
+	// the current Plan's sliding window (epoch stamping avoids clearing
+	// or hashing a per-plan set; checks are O(1) array reads).
+	//
+	// pinValid is the number of consecutive Plans one stamp protects.
+	// When the hold window is at least as wide as the future window
+	// (the paper's 3 >= 2), a batch's cached rows only need stamping
+	// once — when the batch enters the look-ahead window — because any
+	// row of that batch cached *later* was filled by an in-window batch
+	// and carries that batch's hold for at least as long; steady-state
+	// Plans therefore probe one future batch instead of all of them,
+	// with bit-identical eviction decisions. With a shrunken hold
+	// window (fault injection) pinValid stays 1 and every Plan
+	// re-stamps the whole window, the original discipline.
+	pinEpoch      int64
+	pinValid      int64
+	lastPinnedSeq int
+	havePinned    bool
 	// hintStamp[slot] == pinEpoch marks the slot as merely *hinted*:
 	// a batch beyond the hazard window will reference it, so prefer not
 	// to evict it — but evicting it is safe if nothing else is
@@ -168,9 +235,27 @@ type Scratchpad struct {
 	freePrimary []int32 // unused slots in [0, Slots)
 	freeReserve []int32 // unused slots in [Slots, Slots+Reserve)
 
-	inFlight     []heldBatch // FIFO, oldest first
+	inFlight     batchRing // FIFO, oldest first
 	reserveInUse int
 	sweepArmed   bool // victim sweep armed for the current Plan
+
+	// evictableFn is the victim predicate handed to the policy, bound
+	// once at construction so the hot path passes a reused func value
+	// instead of allocating a fresh closure per Plan.
+	evictableFn func(slot int) bool
+
+	// Free lists recycling all per-batch buffers: Plan pops, Recycle
+	// and Release push. Steady-state Plan allocates nothing.
+	planPool []*PlanResult
+	heldPool [][]int32
+	// missIdx is scratch: each miss's position in UniqueIDs/Slots.
+	missIdx []int
+	// dedup/uniqScratch/cntScratch back the occurrence-list entry
+	// points (Plan/PlanWithHints), which deduplicate into these before
+	// running the unique-list planner.
+	dedup      *intmap.Map
+	uniqScratch []int64
+	cntScratch  []int32
 
 	stats Stats
 }
@@ -178,6 +263,42 @@ type Scratchpad struct {
 type heldBatch struct {
 	seq   int
 	slots []int32
+}
+
+// batchRing is a growable FIFO of heldBatch. The previous implementation
+// advanced a slice header (`s.inFlight = s.inFlight[1:]`), which pins the
+// whole backing array and leaks one slot per Release for the lifetime of
+// the run; the ring reuses its buffer in place.
+type batchRing struct {
+	buf  []heldBatch
+	head int
+	n    int
+}
+
+func (r *batchRing) len() int { return r.n }
+
+func (r *batchRing) push(hb heldBatch) {
+	if r.n == len(r.buf) {
+		grown := make([]heldBatch, 2*len(r.buf)+1)
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf = grown
+		r.head = 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = hb
+	r.n++
+}
+
+// front returns the oldest element; callers must check len() > 0.
+func (r *batchRing) front() heldBatch { return r.buf[r.head] }
+
+func (r *batchRing) pop() heldBatch {
+	hb := r.buf[r.head]
+	r.buf[r.head] = heldBatch{} // drop the slots reference
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return hb
 }
 
 // NewScratchpad builds a scratchpad manager from cfg.
@@ -191,24 +312,87 @@ func NewScratchpad(cfg Config) (*Scratchpad, error) {
 		return nil, err
 	}
 	s := &Scratchpad{
-		cfg:       cfg,
-		policy:    policy,
-		hitMap:    make(map[int64]int32),
-		key:       make([]int64, total),
-		holds:     make([]int32, total),
-		pinStamp:  make([]int64, total),
-		hintStamp: make([]int64, total),
+		cfg:    cfg,
+		policy: policy,
+		// Sized for the population the window actually reaches: the
+		// nominal slots plus half the worst-case reserve (hold
+		// pressure routinely spills into reserve, but rarely to the
+		// provisioning bound). The map grows transparently past that;
+		// growth invalidates the slot->entry reverse index, which
+		// reindex rebuilds (see allocate/Prewarm).
+		hitMap: intmap.New(cfg.Slots + cfg.Reserve/2),
+		slots:  make([]slotMeta, total),
+		// hintStamp is allocated lazily on the first hinted Plan:
+		// engines without deep look-ahead never pay for it.
 	}
-	for i := range s.key {
-		s.key[i] = -1
+	s.evictableFn = s.isEvictable
+	s.onMove = func(slot int32, newIdx int) { s.slots[slot].entryIdx = int32(newIdx) }
+	s.lru, _ = policy.(*cache.LRUPolicy)
+	s.pinValid = 1
+	if cfg.FutureWindow > 1 && cfg.PastWindow >= cfg.FutureWindow {
+		s.pinValid = int64(cfg.FutureWindow)
 	}
+	// Start the epoch clock at pinValid so a zeroed pinStamp can never
+	// satisfy `stamp > epoch-pinValid`.
+	s.pinEpoch = s.pinValid
+	for i := range s.slots {
+		s.slots[i].key = -1
+	}
+	s.freePrimary = make([]int32, 0, cfg.Slots)
 	for i := cfg.Slots - 1; i >= 0; i-- {
 		s.freePrimary = append(s.freePrimary, int32(i))
 	}
+	s.freeReserve = make([]int32, 0, cfg.Reserve)
 	for i := total - 1; i >= cfg.Slots; i-- {
 		s.freeReserve = append(s.freeReserve, int32(i))
 	}
 	return s, nil
+}
+
+// isEvictable is the victim predicate: a slot is fair game when nothing
+// holds or pins it, it is occupied, and (unless the search has relaxed)
+// deep look-ahead has not hinted it for reuse.
+func (s *Scratchpad) isEvictable(slot int) bool {
+	m := &s.slots[slot]
+	if m.holds != 0 || m.pinStamp > s.pinEpoch-s.pinValid || m.key < 0 {
+		return false
+	}
+	return s.hintRelaxed || s.hintStamp[slot] != s.pinEpoch
+}
+
+// getPlanResult pops a recycled PlanResult or builds a fresh one.
+func (s *Scratchpad) getPlanResult() *PlanResult {
+	if n := len(s.planPool); n > 0 {
+		res := s.planPool[n-1]
+		s.planPool[n-1] = nil
+		s.planPool = s.planPool[:n-1]
+		return res
+	}
+	return &PlanResult{slotOf: intmap.New(0)}
+}
+
+// getHeldSlots pops a recycled hold-list buffer or returns nil (append
+// will allocate the first time around).
+func (s *Scratchpad) getHeldSlots() []int32 {
+	if n := len(s.heldPool); n > 0 {
+		buf := s.heldPool[n-1]
+		s.heldPool[n-1] = nil
+		s.heldPool = s.heldPool[:n-1]
+		return buf[:0]
+	}
+	return nil
+}
+
+// Recycle returns a retired batch's plan buffers to the free list. Call
+// it once the plan can no longer be read (the batch has left [Train]);
+// passing nil is a no-op. Recycling is what makes the steady-state Plan
+// path allocation-free.
+func (s *Scratchpad) Recycle(res *PlanResult) {
+	if res == nil {
+		return
+	}
+	res.reset()
+	s.planPool = append(s.planPool, res)
 }
 
 // Capacity returns the nominal slot count (excluding reserve).
@@ -218,16 +402,16 @@ func (s *Scratchpad) Capacity() int { return s.cfg.Slots }
 func (s *Scratchpad) TotalSlots() int { return s.cfg.Slots + s.cfg.Reserve }
 
 // Len returns the number of cached rows.
-func (s *Scratchpad) Len() int { return len(s.hitMap) }
+func (s *Scratchpad) Len() int { return s.hitMap.Len() }
 
 // Contains reports whether sparse ID id currently has a slot.
 func (s *Scratchpad) Contains(id int64) bool {
-	_, ok := s.hitMap[id]
+	_, ok := s.hitMap.Get(id)
 	return ok
 }
 
 // InFlight returns the number of batches currently holding slots.
-func (s *Scratchpad) InFlight() int { return len(s.inFlight) }
+func (s *Scratchpad) InFlight() int { return s.inFlight.len() }
 
 // Stats returns accumulated counters.
 func (s *Scratchpad) Stats() Stats { return s.stats }
@@ -251,85 +435,142 @@ func (s *Scratchpad) Plan(seq int, ids []int64, future [][]int64) (*PlanResult, 
 // rows are demoted, not protected: victim selection prefers unhinted slots
 // and falls back to hinted ones only when nothing else is evictable, so
 // safety is unchanged while soon-to-be-reused rows tend to stay resident.
+//
+// ids is the batch's occurrence stream; it is deduplicated into reusable
+// scratch and handed to PlanUniqueWithHints, which produces an identical
+// result. Callers that already hold the batch's distinct IDs and counts
+// (the dataset records them once per batch) should call
+// PlanUniqueWithHints directly and skip the extra pass.
 func (s *Scratchpad) PlanWithHints(seq int, ids []int64, future, hints [][]int64) (*PlanResult, error) {
+	if s.dedup == nil {
+		s.dedup = intmap.New(len(ids))
+	}
+	uniq, cnt := s.uniqScratch[:0], s.cntScratch[:0]
+	if cap(uniq) < len(ids) {
+		uniq = make([]int64, 0, len(ids))
+		cnt = make([]int32, 0, len(ids))
+	}
+	uniq, cnt = intmap.Dedup(ids, s.dedup, uniq, cnt)
+	s.uniqScratch, s.cntScratch = uniq, cnt
+	return s.PlanUniqueWithHints(seq, uniq, cnt, future, hints)
+}
+
+// PlanUniqueWithHints is the planner's native form: uniq lists the
+// batch's distinct sparse IDs in first-appearance order and counts their
+// per-ID occurrence multiplicities (counts may be nil, meaning one
+// occurrence each). future and hints may carry either occurrence or
+// distinct ID lists — pinning is idempotent — but distinct lists probe
+// proportionally less.
+func (s *Scratchpad) PlanUniqueWithHints(seq int, uniq []int64, counts []int32, future, hints [][]int64) (*PlanResult, error) {
 	if got := len(future); got > s.cfg.FutureWindow {
 		return nil, fmt.Errorf("core: plan %d: %d future batches exceeds future window %d", seq, got, s.cfg.FutureWindow)
 	}
-	// Pin the scratchpad locations of every ID inside the sliding
-	// window that holds do not already cover: the *current* batch's own
-	// IDs (an early miss must not evict a row a later occurrence of
-	// this same batch still needs — its refill would read the CPU copy
-	// before our own write-back lands) and the next FutureWindow
-	// batches' IDs (evicting those would race their [Collect] against
-	// our [Insert] write-back, RAW-4). This is the paper's "three past,
-	// one current, and two future" superset.
+	// Pin the next FutureWindow batches' cached rows (evicting those
+	// would race their [Collect] against our [Insert] write-back, RAW-4).
+	// The *current* batch's rows need no pin pass: every hit registers a
+	// hold in pass 1 below, and victim selection (pass 2) only starts
+	// after pass 1 has finished, so "an early miss evicting a row a later
+	// occurrence of this same batch still needs" is already impossible —
+	// the hold protects it through the whole window. Together these are
+	// the paper's "three past, one current, and two future" superset.
+	//
+	// With multi-epoch stamps (pinValid > 1) only batches newly entering
+	// the window are probed; earlier entrants' stamps are still valid,
+	// and rows they cached after their stamping were filled by in-window
+	// batches whose holds outlast the future window (see pinValid).
 	s.pinEpoch++
-	pin := func(idList []int64) {
-		for _, id := range idList {
-			if slot, ok := s.hitMap[id]; ok {
-				s.pinStamp[slot] = s.pinEpoch
-			}
+	start := 0
+	if s.pinValid > 1 && s.havePinned {
+		if start = s.lastPinnedSeq - seq; start < 0 {
+			start = 0
+		} else if start > len(future) {
+			start = len(future)
 		}
 	}
-	pin(ids)
-	for _, fids := range future {
-		pin(fids)
+	for _, fids := range future[start:] {
+		s.pinIDs(fids)
+	}
+	if n := seq + len(future); len(future) > 0 && (!s.havePinned || n > s.lastPinnedSeq) {
+		s.lastPinnedSeq = n
+		s.havePinned = true
+	}
+	if len(hints) > 0 && s.hintStamp == nil {
+		s.hintStamp = make([]int64, s.TotalSlots())
 	}
 	for _, hids := range hints {
 		for _, id := range hids {
-			if slot, ok := s.hitMap[id]; ok {
+			if slot, ok := s.hitMap.Get(id); ok {
 				s.hintStamp[slot] = s.pinEpoch
 			}
 		}
 	}
 
-	res := &PlanResult{Seq: seq, slotOf: make(map[int64]int32)}
+	res := s.getPlanResult()
+	res.Seq = seq
 	s.hintRelaxed = len(hints) == 0
-	evictable := func(slot int) bool {
-		if s.holds[slot] != 0 || s.pinStamp[slot] == s.pinEpoch || s.key[slot] < 0 {
-			return false
-		}
-		return s.hintRelaxed || s.hintStamp[slot] != s.pinEpoch
+
+	// Presize every per-batch buffer up front: one reallocation on the
+	// first batch instead of a doubling cascade on every growth step.
+	if cap(res.UniqueIDs) < len(uniq) {
+		res.UniqueIDs = make([]int64, 0, len(uniq))
+		res.Slots = make([]int32, 0, len(uniq))
+	}
+	held := s.getHeldSlots()
+	if cap(held) < len(uniq) {
+		held = make([]int32, 0, len(uniq))
+	}
+	if cap(s.missIdx) < len(uniq) {
+		s.missIdx = make([]int, 0, len(uniq))
 	}
 
-	// Pass 1: classify every occurrence against the Hit-Map, register
+	// Pass 1: classify every distinct ID against the Hit-Map, register
 	// hits (hold + recency touch), and record misses in first-appearance
-	// order with placeholder slots.
-	var held []int32
-	var missIdx []int
-	for _, id := range ids {
-		if _, ok := res.slotOf[id]; ok {
-			// Repeated occurrence within the batch: already
-			// resolved (or scheduled for fill); resident by
-			// [Train] either way.
-			res.OccHits++
-			continue
+	// order with placeholder slots. Occurrence-level counters derive
+	// from the multiplicities: a hit ID's occurrences all hit; a missed
+	// ID's first occurrence misses and the rest count as hits (the row
+	// is already scheduled for fill and resident by [Train]).
+	missIdx := s.missIdx[:0]
+	for i, id := range uniq {
+		c := 1
+		if counts != nil {
+			c = int(counts[i])
 		}
-		if slot, ok := s.hitMap[id]; ok {
-			res.OccHits++
-			res.slotOf[id] = slot
+		if slot, ok := s.hitMap.Get(id); ok {
+			res.OccHits += c
 			res.UniqueIDs = append(res.UniqueIDs, id)
 			res.Slots = append(res.Slots, slot)
-			s.policy.OnAccess(int(slot))
-			s.holds[slot]++
+			if s.lru != nil {
+				s.lru.OnAccess(int(slot))
+			} else {
+				s.policy.OnAccess(int(slot))
+			}
+			s.slots[slot].holds++
 			held = append(held, slot)
 			continue
 		}
 		res.OccMisses++
-		res.slotOf[id] = -1
+		res.OccHits += c - 1
 		res.UniqueIDs = append(res.UniqueIDs, id)
 		res.Slots = append(res.Slots, -1)
 		missIdx = append(missIdx, len(res.Slots)-1)
 	}
+	s.missIdx = missIdx
 
 	// Pass 2: allocate slots for the misses. Hits are already touched,
 	// so the policies' victim sweeps (armed lazily once the free list
 	// runs dry) walk the eviction order exactly once per Plan.
+	if cap(res.Fills) < len(missIdx) {
+		res.Fills = make([]Fill, 0, len(missIdx))
+	}
+	if cap(res.Evictions) < len(missIdx) {
+		res.Evictions = make([]Eviction, 0, len(missIdx))
+	}
 	s.sweepArmed = false
 	for _, k := range missIdx {
 		id := res.UniqueIDs[k]
-		slot, evicted, fromReserve, err := s.allocate(evictable)
+		slot, evicted, fromReserve, err := s.allocate()
 		if err != nil {
+			s.heldPool = append(s.heldPool, held)
 			return nil, fmt.Errorf("core: plan %d: %w", seq, err)
 		}
 		if evicted >= 0 {
@@ -338,19 +579,27 @@ func (s *Scratchpad) PlanWithHints(seq int, ids []int64, future, hints [][]int64
 		if fromReserve {
 			res.ReserveAllocs++
 		}
-		s.hitMap[id] = slot
-		s.key[slot] = id
-		s.policy.OnInsert(int(slot))
-		s.holds[slot]++
+		cap0 := s.hitMap.Cap()
+		at := s.hitMap.PutIdx(id, slot)
+		if s.hitMap.Cap() != cap0 {
+			s.reindex()
+		}
+		s.slots[slot].entryIdx = int32(at)
+		s.slots[slot].key = id
+		if s.lru != nil {
+			s.lru.OnInsert(int(slot))
+		} else {
+			s.policy.OnInsert(int(slot))
+		}
+		s.slots[slot].holds++
 		held = append(held, slot)
-		res.slotOf[id] = slot
 		res.Slots[k] = slot
 		res.Fills = append(res.Fills, Fill{ID: id, Slot: slot})
 	}
-	s.inFlight = append(s.inFlight, heldBatch{seq: seq, slots: held})
+	s.inFlight.push(heldBatch{seq: seq, slots: held})
 
 	s.stats.Planned++
-	s.stats.Queries += int64(len(ids))
+	s.stats.Queries += int64(res.OccHits + res.OccMisses)
 	s.stats.Hits += int64(res.OccHits)
 	s.stats.Misses += int64(res.OccMisses)
 	s.stats.UniqueQueries += int64(len(res.UniqueIDs))
@@ -362,10 +611,43 @@ func (s *Scratchpad) PlanWithHints(seq int, ids []int64, future, hints [][]int64
 	return res, nil
 }
 
+// victim picks the next evictable slot of the armed sweep, or -1. For
+// the default LRU policy the sweep is driven inline (direct calls, the
+// evictability check inlined); other policies go through the interface.
+func (s *Scratchpad) victim() int {
+	if s.lru != nil {
+		for {
+			v := s.lru.SweepNext()
+			if v < 0 || s.isEvictable(v) {
+				return v
+			}
+		}
+	}
+	return s.policy.Victim(s.evictableFn)
+}
+
+// reindex rebuilds every slot's hitMap entry position after the map
+// grew (entry positions move wholesale on a rehash).
+func (s *Scratchpad) reindex() {
+	s.hitMap.ForEachIdx(func(idx int, _ int64, slot int32) {
+		s.slots[slot].entryIdx = int32(idx)
+	})
+}
+
+// pinIDs stamps the scratchpad locations of every currently-cached ID in
+// idList as pinned for the current Plan epoch.
+func (s *Scratchpad) pinIDs(idList []int64) {
+	for _, id := range idList {
+		if slot, ok := s.hitMap.Get(id); ok {
+			s.slots[slot].pinStamp = s.pinEpoch
+		}
+	}
+}
+
 // allocate finds a slot for a missed ID: free primary slot first, then an
-// unprotected victim, then a reserve slot. evicted is the displaced sparse
-// ID or -1.
-func (s *Scratchpad) allocate(evictable func(int) bool) (slot int32, evicted int64, fromReserve bool, err error) {
+// unprotected victim (per s.evictableFn), then a reserve slot. evicted is
+// the displaced sparse ID or -1.
+func (s *Scratchpad) allocate() (slot int32, evicted int64, fromReserve bool, err error) {
 	if n := len(s.freePrimary); n > 0 {
 		slot = s.freePrimary[n-1]
 		s.freePrimary = s.freePrimary[:n-1]
@@ -378,10 +660,10 @@ func (s *Scratchpad) allocate(evictable func(int) bool) (slot int32, evicted int
 		s.policy.BeginVictimSweep()
 		s.sweepArmed = true
 	}
-	if v := s.policy.Victim(evictable); v >= 0 {
-		old := s.key[v]
-		delete(s.hitMap, old)
-		s.key[v] = -1
+	if v := s.victim(); v >= 0 {
+		old := s.slots[v].key
+		s.hitMap.DeleteAt(int(s.slots[v].entryIdx), s.onMove)
+		s.slots[v].key = -1
 		return int32(v), old, false, nil
 	}
 	// Every unprotected slot is merely hinted (deep look-ahead says a
@@ -390,10 +672,10 @@ func (s *Scratchpad) allocate(evictable func(int) bool) (slot int32, evicted int
 	if !s.hintRelaxed {
 		s.hintRelaxed = true
 		s.policy.BeginVictimSweep()
-		if v := s.policy.Victim(evictable); v >= 0 {
-			old := s.key[v]
-			delete(s.hitMap, old)
-			s.key[v] = -1
+		if v := s.victim(); v >= 0 {
+			old := s.slots[v].key
+			s.hitMap.DeleteAt(int(s.slots[v].entryIdx), s.onMove)
+			s.slots[v].key = -1
 			return int32(v), old, false, nil
 		}
 	}
@@ -407,7 +689,7 @@ func (s *Scratchpad) allocate(evictable func(int) bool) (slot int32, evicted int
 		return slot, -1, true, nil
 	}
 	return 0, -1, false, fmt.Errorf("scratchpad exhausted: %d slots + %d reserve all protected (in-flight %d batches)",
-		s.cfg.Slots, s.cfg.Reserve, len(s.inFlight))
+		s.cfg.Slots, s.cfg.Reserve, s.inFlight.len())
 }
 
 // Release drops the oldest in-flight batch's holds. The engine calls it
@@ -415,19 +697,21 @@ func (s *Scratchpad) allocate(evictable func(int) bool) (slot int32, evicted int
 // chosen as victims again (their eviction read would happen strictly after
 // the training writes, per the pipeline's stage spacing).
 func (s *Scratchpad) Release(seq int) error {
-	if len(s.inFlight) == 0 {
+	if s.inFlight.len() == 0 {
 		return fmt.Errorf("core: release %d: no in-flight batches", seq)
 	}
-	hb := s.inFlight[0]
-	if hb.seq != seq {
-		return fmt.Errorf("core: release %d: oldest in-flight batch is %d (releases must be FIFO)", seq, hb.seq)
+	if got := s.inFlight.front().seq; got != seq {
+		return fmt.Errorf("core: release %d: oldest in-flight batch is %d (releases must be FIFO)", seq, got)
 	}
-	s.inFlight = s.inFlight[1:]
+	hb := s.inFlight.pop()
 	for _, slot := range hb.slots {
-		if s.holds[slot] <= 0 {
+		if s.slots[slot].holds <= 0 {
 			return fmt.Errorf("core: release %d: slot %d hold underflow", seq, slot)
 		}
-		s.holds[slot]--
+		s.slots[slot].holds--
+	}
+	if hb.slots != nil {
+		s.heldPool = append(s.heldPool, hb.slots)
 	}
 	s.stats.Released++
 	return nil
@@ -435,10 +719,10 @@ func (s *Scratchpad) Release(seq int) error {
 
 // Held reports whether a slot is currently protected by any in-flight
 // batch (the hold-mask "!= 0" predicate); exported for invariant tests.
-func (s *Scratchpad) Held(slot int32) bool { return s.holds[slot] != 0 }
+func (s *Scratchpad) Held(slot int32) bool { return s.slots[slot].holds != 0 }
 
 // Key returns the sparse ID cached in slot, or -1. Exported for tests.
-func (s *Scratchpad) Key(slot int32) int64 { return s.key[slot] }
+func (s *Scratchpad) Key(slot int32) int64 { return s.slots[slot].key }
 
 // Prewarm fills the scratchpad's free capacity with IDs drawn from sample
 // before training starts, approximating the steady-state content of an LRU
@@ -453,21 +737,56 @@ func (s *Scratchpad) Key(slot int32) int64 { return s.key[slot] }
 // unbounded fill would degenerate into a coupon-collector walk over the
 // distribution's long tail.
 func (s *Scratchpad) Prewarm(sample func() int64, onFill func(id int64, slot int32)) int {
-	if len(s.inFlight) != 0 {
+	return s.PrewarmRows(0, sample, onFill)
+}
+
+// PrewarmRows is Prewarm for callers that know the sparse ID domain:
+// with rows > 0 the duplicate-draw check runs against a rows-wide bitmap
+// (a few KB, cache-resident) instead of probing the hit map once per
+// draw, inserting identical content several times faster. rows <= 0
+// falls back to hit-map probing.
+func (s *Scratchpad) PrewarmRows(rows int64, sample func() int64, onFill func(id int64, slot int32)) int {
+	if s.inFlight.len() != 0 {
 		panic("core: Prewarm with batches in flight")
+	}
+	var seen []uint64
+	if rows > 0 {
+		seen = make([]uint64, (rows+63)/64)
 	}
 	inserted := 0
 	limit := 8*s.cfg.Slots + 100
 	for draws := 0; len(s.freePrimary) > 0 && draws < limit; draws++ {
 		id := sample()
-		if _, ok := s.hitMap[id]; ok {
-			continue
-		}
 		n := len(s.freePrimary)
 		slot := s.freePrimary[n-1]
+		var at int
+		if seen != nil {
+			w, bit := id/64, uint64(1)<<(uint64(id)%64)
+			if seen[w]&bit != 0 {
+				continue
+			}
+			seen[w] |= bit
+			cap0 := s.hitMap.Cap()
+			at = s.hitMap.PutIdx(id, slot)
+			if s.hitMap.Cap() != cap0 {
+				s.reindex()
+			}
+		} else {
+			cap0 := s.hitMap.Cap()
+			var dup bool
+			_, at, dup = s.hitMap.GetOrPut(id, slot)
+			// GetOrPut may grow the table even when the key turns
+			// out to be a duplicate: reindex before skipping.
+			if s.hitMap.Cap() != cap0 {
+				s.reindex()
+			}
+			if dup {
+				continue
+			}
+		}
+		s.slots[slot].entryIdx = int32(at)
 		s.freePrimary = s.freePrimary[:n-1]
-		s.hitMap[id] = slot
-		s.key[slot] = id
+		s.slots[slot].key = id
 		s.policy.OnInsert(int(slot))
 		if onFill != nil {
 			onFill(id, slot)
@@ -481,9 +800,7 @@ func (s *Scratchpad) Prewarm(sample func() int64, onFill func(id int64, slot int
 // engines use it to flush dirty cached rows back to the CPU tables at the
 // end of training.
 func (s *Scratchpad) ForEach(f func(id int64, slot int32)) {
-	for id, slot := range s.hitMap {
-		f(id, slot)
-	}
+	s.hitMap.ForEach(f)
 }
 
 // WorstCaseReserve returns the reserve capacity that guarantees Plan can

@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dlrm"
+	"repro/internal/hw"
+	"repro/internal/trace"
+)
+
+// benchModel is a metadata-mode configuration heavy enough that per-table
+// work dominates dispatch overhead (8 tables, paper-like ID volume).
+func benchModel() dlrm.Config {
+	cfg := dlrm.DefaultConfig()
+	cfg.RowsPerTable = 200_000
+	cfg.BatchSize = 256
+	return cfg
+}
+
+// BenchmarkCycleParallelTables measures one steady-state ScratchPipe
+// pipeline cycle (all six stages, one batch retired) at several worker
+// counts; 1 worker is the serial baseline.
+func BenchmarkCycleParallelTables(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=GOMAXPROCS"
+		}
+		b.Run(name, func(b *testing.B) {
+			env, err := NewEnv(EnvConfig{
+				Model:   benchModel(),
+				System:  hw.DefaultSystem(),
+				Class:   trace.Medium,
+				Seed:    42,
+				Workers: workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := NewScratchPipe(env, ScratchPipeOptions{CacheFrac: 0.02})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// One warm-up window so the pipeline is full and every
+			// pool has stabilized, then measure b.N iterations in
+			// one Run call.
+			if _, err := eng.Run(16); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if _, err := eng.Run(b.N); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkStrawManCycle is the unpipelined counterpart, isolating the
+// per-table stage work without pipeline bookkeeping.
+func BenchmarkStrawManCycle(b *testing.B) {
+	env, err := NewEnv(EnvConfig{
+		Model:  benchModel(),
+		System: hw.DefaultSystem(),
+		Class:  trace.Medium,
+		Seed:   42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := NewStrawMan(env, 0.02, "lru")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Run(16); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := eng.Run(b.N); err != nil {
+		b.Fatal(err)
+	}
+}

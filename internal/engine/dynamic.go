@@ -6,6 +6,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/embed"
+	"repro/internal/par"
 	"repro/internal/tensor"
 	"repro/internal/trace"
 )
@@ -16,8 +17,11 @@ import (
 // their timing formulas. The straw-man executes the stages back-to-back;
 // ScratchPipe runs them through the pipeline.
 type dynamicState struct {
-	env     *Env
-	cost    costModel
+	env  *Env
+	cost costModel
+	// pool fans per-table work across workers; tables are fully
+	// independent (separate scratchpads, storage, CPU tables).
+	pool    *par.Pool
 	sps     []*core.Scratchpad
 	storage []*tensor.Matrix // per table: TotalSlots x dim (functional mode)
 	// stateStorage shadows storage for per-row optimizer state: the
@@ -26,6 +30,10 @@ type dynamicState struct {
 	// at [Insert] exactly like the embedding rows.
 	stateStorage []*tensor.Matrix
 	hazard       *core.HazardChecker
+	// jobPool recycles spJobs (and, through Scratchpad.Recycle, their
+	// plans) once batches retire, keeping the steady-state cycle free
+	// of per-batch allocations.
+	jobPool []*spJob
 	// gpus > 1 models the §VI-G multi-GPU extension: tables are
 	// partitioned table-wise across gpus GPUs, each running its own
 	// per-table cache manager. GPU-side stage work and PCIe traffic
@@ -38,13 +46,14 @@ type dynamicState struct {
 // spJob is the per-mini-batch pipeline state (core.Job).
 type spJob struct {
 	batch *trace.Batch
-	// futureIDs[k][t] is table t's ID list of the batch k+1 positions
-	// ahead, captured at Load time from the dataset look-ahead window;
-	// hintIDs carries batches beyond the hazard window for
-	// eviction-preference hints.
-	futureIDs [][][]int64
-	hintIDs   [][][]int64
-	plans     []*core.PlanResult
+	// futT[t][k] is table t's ID list of the batch k+1 positions ahead
+	// (the hazard window), captured at Load time from the dataset
+	// look-ahead; hintT carries batches beyond the hazard window for
+	// eviction-preference hints. Stored per table so each table's Plan
+	// reads its own column without per-call projection buffers.
+	futT  [][][]int64
+	hintT [][][]int64
+	plans []*core.PlanResult
 	// fillVals/evictVals stage the embedding payloads between Collect
 	// and Insert (the data "crossing PCIe" at Exchange). Indexed per
 	// table, concatenated row-major. fillState/evictState carry the
@@ -53,6 +62,11 @@ type spJob struct {
 	evictVals  [][]float32
 	fillState  [][]float32
 	evictState [][]float32
+	// tCPU/tGPU are per-table scratch accumulators for the parallel
+	// fan-outs. Stage bodies write tCPU[t]/tGPU[t]; the reduction runs
+	// serially in table order afterward, so a parallel run sums floats
+	// in exactly the order Workers=1 does (bit-identical timing).
+	tCPU, tGPU []float64
 	stageTime  [core.NumStages]float64
 	// stageCPU is the CPU-memory-bound component of each stage, used by
 	// the optional contention model (concurrent stages sharing the one
@@ -75,7 +89,7 @@ func newDynamicState(env *Env, cacheFrac float64, policy cache.PolicyKind, past,
 	if slots < 1 {
 		slots = 1
 	}
-	d := &dynamicState{env: env, cost: costModel{env: env}, hazard: hazard, gpus: 1}
+	d := &dynamicState{env: env, cost: costModel{env: env}, pool: env.Pool, hazard: hazard, gpus: 1}
 	maxUnique := cfg.BatchSize * cfg.Lookups
 	for t := 0; t < cfg.NumTables; t++ {
 		spCfg := core.Config{
@@ -108,7 +122,8 @@ func newDynamicState(env *Env, cacheFrac float64, policy cache.PolicyKind, past,
 // training results are unchanged.
 func (d *dynamicState) prewarm() {
 	dists := d.env.Gen.Dists()
-	for t, sp := range d.sps {
+	d.pool.ForEach(len(d.sps), func(t int) {
+		sp := d.sps[t]
 		rng := newSeededRand(d.env.Cfg.Seed + int64(3000+t))
 		dist := dists[t]
 		var onFill func(id int64, slot int32)
@@ -128,8 +143,62 @@ func (d *dynamicState) prewarm() {
 				}
 			}
 		}
-		sp.Prewarm(func() int64 { return dist.Sample(rng) }, onFill)
+		sp.PrewarmRows(d.env.Cfg.Model.RowsPerTable, func() int64 { return dist.Sample(rng) }, onFill)
+	})
+}
+
+// getJob pops a recycled job or builds one with every per-table buffer
+// preallocated.
+func (d *dynamicState) getJob() *spJob {
+	if n := len(d.jobPool); n > 0 {
+		job := d.jobPool[n-1]
+		d.jobPool[n-1] = nil
+		d.jobPool = d.jobPool[:n-1]
+		return job
 	}
+	nt := d.env.Cfg.Model.NumTables
+	return &spJob{
+		futT:       make([][][]int64, nt),
+		hintT:      make([][][]int64, nt),
+		plans:      make([]*core.PlanResult, nt),
+		fillVals:   make([][]float32, nt),
+		evictVals:  make([][]float32, nt),
+		fillState:  make([][]float32, nt),
+		evictState: make([][]float32, nt),
+		tCPU:       make([]float64, nt),
+		tGPU:       make([]float64, nt),
+	}
+}
+
+// recycleJob returns a fully retired job to the pool, handing its plans
+// back to their scratchpads. The caller must not read the job (or its
+// plans) afterward.
+func (d *dynamicState) recycleJob(job *spJob) {
+	if job == nil {
+		return
+	}
+	for t, plan := range job.plans {
+		if plan != nil {
+			d.sps[t].Recycle(plan)
+			job.plans[t] = nil
+		}
+	}
+	for t := range job.futT {
+		job.futT[t] = job.futT[t][:0]
+	}
+	for t := range job.hintT {
+		job.hintT[t] = job.hintT[t][:0]
+	}
+	// The batch has left the loader window and every job that looked
+	// ahead at it retired earlier (jobs retire in FIFO order), so no
+	// reference into it survives.
+	d.env.Gen.Recycle(job.batch)
+	job.batch = nil
+	job.stageTime = [core.NumStages]float64{}
+	job.stageCPU = [core.NumStages]float64{}
+	job.cpuBusy, job.gpuBusy = 0, 0
+	job.loss = 0
+	d.jobPool = append(d.jobPool, job)
 }
 
 // newJob captures the batch at the loader head plus references to the next
@@ -138,36 +207,29 @@ func (d *dynamicState) prewarm() {
 // are immutable after generation, so sharing the references across
 // concurrently executing stages is race-free.
 func (d *dynamicState) newJob(loader *trace.Loader, future, lookahead int) *spJob {
-	job := &spJob{}
+	job := d.getJob()
+	nt := d.env.Cfg.Model.NumTables
+	// Look-ahead carries the distinct-ID lists: pinning is idempotent,
+	// so probing each future ID once is equivalent to (and much cheaper
+	// than) walking its occurrence stream.
 	for k := 1; k <= future; k++ {
-		job.futureIDs = append(job.futureIDs, loader.Peek(k).Tables)
+		b := loader.Peek(k)
+		for t := 0; t < nt; t++ {
+			job.futT[t] = append(job.futT[t], b.UniqueIDs(t))
+		}
 	}
 	for k := future + 1; k <= lookahead; k++ {
-		job.hintIDs = append(job.hintIDs, loader.Peek(k).Tables)
+		b := loader.Peek(k)
+		for t := 0; t < nt; t++ {
+			job.hintT[t] = append(job.hintT[t], b.UniqueIDs(t))
+		}
 	}
 	job.batch = loader.Advance()
+	// Materialize the distinct-ID lists serially so stagePlan's
+	// per-table fan-out only reads them (generator batches already
+	// carry them; this is a memo check).
+	job.batch.EnsureUnique()
 	return job
-}
-
-// futureForTable projects the captured look-ahead onto one table.
-func (j *spJob) futureForTable(t int) [][]int64 {
-	out := make([][]int64, 0, len(j.futureIDs))
-	for _, tables := range j.futureIDs {
-		out = append(out, tables[t])
-	}
-	return out
-}
-
-// hintsForTable projects the eviction-hint look-ahead onto one table.
-func (j *spJob) hintsForTable(t int) [][]int64 {
-	if len(j.hintIDs) == 0 {
-		return nil
-	}
-	out := make([][]int64, 0, len(j.hintIDs))
-	for _, tables := range j.hintIDs {
-		out = append(out, tables[t])
-	}
-	return out
 }
 
 // stagePlan runs [Plan] for every table: Hit-Map queries, victim planning,
@@ -175,19 +237,26 @@ func (j *spJob) hintsForTable(t int) [][]int64 {
 // probes its Hit-Map structures.
 func (d *dynamicState) stagePlan(job *spJob) error {
 	cfg := d.env.Cfg.Model
-	job.plans = make([]*core.PlanResult, cfg.NumTables)
-	totalIDs := 0
-	var gpuProbe float64
-	for t := 0; t < cfg.NumTables; t++ {
-		ids := job.batch.Tables[t]
-		plan, err := d.sps[t].PlanWithHints(job.batch.Seq, ids, job.futureForTable(t), job.hintsForTable(t))
+	err := d.pool.ForEachErr(cfg.NumTables, func(t int) error {
+		uniq, cnt := job.batch.UniqueWithCounts(t)
+		plan, err := d.sps[t].PlanUniqueWithHints(job.batch.Seq, uniq, cnt, job.futT[t], job.hintT[t])
 		if err != nil {
 			return err
 		}
 		job.plans[t] = plan
-		totalIDs += len(ids)
-		// Hash-probe traffic: key+value per ID.
-		gpuProbe += d.env.Cfg.System.GPU.RandomTime(float64(len(ids)) * 16)
+		// Hash-probe traffic: key+value per ID occurrence (the GPU
+		// probes its Hit-Map once per lookup).
+		job.tGPU[t] = d.env.Cfg.System.GPU.RandomTime(float64(len(job.batch.Tables[t])) * 16)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	totalIDs := 0
+	var gpuProbe float64
+	for t := 0; t < cfg.NumTables; t++ {
+		totalIDs += len(job.batch.Tables[t])
+		gpuProbe += job.tGPU[t]
 	}
 	tTime := d.cost.pcie(idBytes(totalIDs))/d.links() + gpuProbe/float64(d.gpus)
 	job.stageTime[core.StagePlan] = tTime
@@ -209,22 +278,13 @@ func (d *dynamicState) links() float64 {
 func (d *dynamicState) stageCollect(job *spJob) error {
 	cfg := d.env.Cfg.Model
 	dim := cfg.EmbeddingDim
-	var cpuT, gpuT float64
-	if d.env.Cfg.Functional {
-		job.fillVals = make([][]float32, cfg.NumTables)
-		job.evictVals = make([][]float32, cfg.NumTables)
-		if d.stateStorage != nil {
-			job.fillState = make([][]float32, cfg.NumTables)
-			job.evictState = make([][]float32, cfg.NumTables)
-		}
-	}
 	sdim := d.env.StateDim
-	for t := 0; t < cfg.NumTables; t++ {
+	d.pool.ForEach(cfg.NumTables, func(t int) {
 		plan := job.plans[t]
-		cpuT += d.cost.gatherCPU(len(plan.Fills))
-		cpuT += d.cost.stateMoveCPU(len(plan.Fills))
-		gpuT += d.cost.gatherGPU(len(plan.Evictions))
-		gpuT += d.cost.stateMoveGPU(len(plan.Evictions))
+		job.tCPU[t] = d.cost.gatherCPU(len(plan.Fills)) +
+			d.cost.stateMoveCPU(len(plan.Fills))
+		job.tGPU[t] = d.cost.gatherGPU(len(plan.Evictions)) +
+			d.cost.stateMoveGPU(len(plan.Evictions))
 		if d.hazard != nil {
 			for _, f := range plan.Fills {
 				d.hazard.Access(core.StageCollect, core.ResCPURow, t, f.ID, false, job.batch.Seq)
@@ -234,35 +294,49 @@ func (d *dynamicState) stageCollect(job *spJob) error {
 			}
 		}
 		if d.env.Cfg.Functional {
-			fv := make([]float32, len(plan.Fills)*dim)
+			fv := resizeF32(job.fillVals[t], len(plan.Fills)*dim)
 			for i, f := range plan.Fills {
 				copy(fv[i*dim:(i+1)*dim], d.env.Tables[t].Row(f.ID))
 			}
 			job.fillVals[t] = fv
-			ev := make([]float32, len(plan.Evictions)*dim)
+			ev := resizeF32(job.evictVals[t], len(plan.Evictions)*dim)
 			for i, e := range plan.Evictions {
 				copy(ev[i*dim:(i+1)*dim], d.storage[t].Row(int(e.Slot)))
 			}
 			job.evictVals[t] = ev
 			if d.stateStorage != nil {
-				fs := make([]float32, len(plan.Fills)*sdim)
+				fs := resizeF32(job.fillState[t], len(plan.Fills)*sdim)
 				for i, f := range plan.Fills {
 					copy(fs[i*sdim:(i+1)*sdim], d.env.StateTables[t].Row(f.ID))
 				}
 				job.fillState[t] = fs
-				es := make([]float32, len(plan.Evictions)*sdim)
+				es := resizeF32(job.evictState[t], len(plan.Evictions)*sdim)
 				for i, e := range plan.Evictions {
 					copy(es[i*sdim:(i+1)*sdim], d.stateStorage[t].Row(int(e.Slot)))
 				}
 				job.evictState[t] = es
 			}
 		}
+	})
+	var cpuT, gpuT float64
+	for t := 0; t < cfg.NumTables; t++ {
+		cpuT += job.tCPU[t]
+		gpuT += job.tGPU[t]
 	}
 	job.stageTime[core.StageCollect] = maxf(cpuT, gpuT/float64(d.gpus))
 	job.stageCPU[core.StageCollect] = cpuT
 	job.cpuBusy += cpuT
 	job.gpuBusy += gpuT
 	return nil
+}
+
+// resizeF32 returns buf with exactly n elements, reusing its capacity;
+// contents are undefined (callers overwrite every element).
+func resizeF32(buf []float32, n int) []float32 {
+	if cap(buf) < n {
+		return make([]float32, n)
+	}
+	return buf[:n]
 }
 
 // stageExchange ships staged rows across PCIe: fills CPU->GPU concurrently
@@ -285,14 +359,13 @@ func (d *dynamicState) stageExchange(job *spJob) error {
 func (d *dynamicState) stageInsert(job *spJob) error {
 	cfg := d.env.Cfg.Model
 	dim := cfg.EmbeddingDim
-	var cpuT, gpuT float64
 	sdim := d.env.StateDim
-	for t := 0; t < cfg.NumTables; t++ {
+	d.pool.ForEach(cfg.NumTables, func(t int) {
 		plan := job.plans[t]
-		gpuT += d.cost.scatterWriteGPU(len(plan.Fills))
-		gpuT += d.cost.stateMoveGPU(len(plan.Fills))
-		cpuT += d.cost.scatterWriteCPU(len(plan.Evictions))
-		cpuT += d.cost.stateMoveCPU(len(plan.Evictions))
+		job.tGPU[t] = d.cost.scatterWriteGPU(len(plan.Fills)) +
+			d.cost.stateMoveGPU(len(plan.Fills))
+		job.tCPU[t] = d.cost.scatterWriteCPU(len(plan.Evictions)) +
+			d.cost.stateMoveCPU(len(plan.Evictions))
 		if d.hazard != nil {
 			for _, f := range plan.Fills {
 				d.hazard.Access(core.StageInsert, core.ResGPUSlot, t, int64(f.Slot), true, job.batch.Seq)
@@ -321,6 +394,11 @@ func (d *dynamicState) stageInsert(job *spJob) error {
 				}
 			}
 		}
+	})
+	var cpuT, gpuT float64
+	for t := 0; t < cfg.NumTables; t++ {
+		cpuT += job.tCPU[t]
+		gpuT += job.tGPU[t]
 	}
 	job.stageTime[core.StageInsert] = maxf(cpuT, gpuT/float64(d.gpus))
 	job.stageCPU[core.StageInsert] = cpuT
@@ -350,20 +428,23 @@ func (v cacheView) Row(id int64) []float32 {
 // cache "always hits" by construction.
 func (d *dynamicState) stageTrain(job *spJob) error {
 	cfg := d.env.Cfg.Model
-	var embT float64
-	for t := 0; t < cfg.NumTables; t++ {
+	d.pool.ForEach(cfg.NumTables, func(t int) {
 		plan := job.plans[t]
 		uniq := len(plan.UniqueIDs)
-		embT += d.cost.gatherGPU(job.batch.TotalIDs())
-		embT += d.cost.reduceGPU(job.batch.TotalIDs(), cfg.BatchSize)
-		embT += d.cost.dupCoalesceGPU(cfg.BatchSize, job.batch.TotalIDs(), uniq)
-		embT += d.cost.scatterUpdateGPU(uniq)
-		embT += d.cost.stateUpdateGPU(uniq)
+		job.tGPU[t] = d.cost.gatherGPU(job.batch.TotalIDs()) +
+			d.cost.reduceGPU(job.batch.TotalIDs(), cfg.BatchSize) +
+			d.cost.dupCoalesceGPU(cfg.BatchSize, job.batch.TotalIDs(), uniq) +
+			d.cost.scatterUpdateGPU(uniq) +
+			d.cost.stateUpdateGPU(uniq)
 		if d.hazard != nil {
 			for _, slot := range plan.Slots {
 				d.hazard.Access(core.StageTrain, core.ResGPUSlot, t, int64(slot), true, job.batch.Seq)
 			}
 		}
+	})
+	var embT float64
+	for t := 0; t < cfg.NumTables; t++ {
+		embT += job.tGPU[t]
 	}
 	var gpuT float64
 	if d.gpus > 1 {
@@ -390,19 +471,19 @@ func (d *dynamicState) stageTrain(job *spJob) error {
 		b := job.batch
 		pooled := make([]*tensor.Matrix, cfg.NumTables)
 		views := make([]cacheView, cfg.NumTables)
-		for t := 0; t < cfg.NumTables; t++ {
+		d.pool.ForEach(cfg.NumTables, func(t int) {
 			views[t] = cacheView{dim: cfg.EmbeddingDim, storage: d.storage[t], plan: job.plans[t]}
 			pooled[t] = embed.ForwardPooled(views[t], b.Tables[t], b.BatchSize, b.Lookups)
-		}
+		})
 		res := d.env.Model.TrainStep(d.env.DenseMatrix(b), pooled, b.Labels)
-		for t := 0; t < cfg.NumTables; t++ {
+		d.pool.ForEach(cfg.NumTables, func(t int) {
 			g := embed.DuplicateCoalesce(b.Tables[t], res.PooledGrads[t], b.Lookups)
 			var state embed.RowStore
 			if d.stateStorage != nil {
 				state = cacheView{dim: d.env.StateDim, storage: d.stateStorage[t], plan: job.plans[t]}
 			}
 			d.env.Opt.Apply(views[t], state, g)
-		}
+		})
 		job.loss = res.Loss
 	}
 	return nil
@@ -411,12 +492,9 @@ func (d *dynamicState) stageTrain(job *spJob) error {
 // release drops the job's hold protection on every table; the engine calls
 // it exactly when the job enters [Train] (see Scratchpad.Release).
 func (d *dynamicState) release(job *spJob) error {
-	for t := range d.sps {
-		if err := d.sps[t].Release(job.batch.Seq); err != nil {
-			return err
-		}
-	}
-	return nil
+	return d.pool.ForEachErr(len(d.sps), func(t int) error {
+		return d.sps[t].Release(job.batch.Seq)
+	})
 }
 
 // flush writes every dirty cached row (and its optimizer state) back to
@@ -425,7 +503,8 @@ func (d *dynamicState) flush() error {
 	if !d.env.Cfg.Functional {
 		return nil
 	}
-	for t, sp := range d.sps {
+	d.pool.ForEach(len(d.sps), func(t int) {
+		sp := d.sps[t]
 		tbl := d.env.Tables[t]
 		storage := d.storage[t]
 		var stateTbl *embed.Table
@@ -440,7 +519,7 @@ func (d *dynamicState) flush() error {
 				copy(stateTbl.Row(id), stateStorage.Row(int(slot)))
 			}
 		})
-	}
+	})
 	return nil
 }
 

@@ -25,6 +25,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/metrics"
 	"repro/internal/opt"
+	"repro/internal/par"
 	"repro/internal/tensor"
 	"repro/internal/trace"
 )
@@ -46,6 +47,12 @@ type EnvConfig struct {
 	// paper's choice). Stateful optimizers allocate per-row state that
 	// travels through the cache hierarchy alongside the embeddings.
 	Optimizer opt.Kind
+	// Workers bounds the host-side parallelism of the per-table stage
+	// loops (tables are independent, so every engine fans its per-table
+	// work across this many goroutines). 0 selects GOMAXPROCS; 1 forces
+	// the serial path. Parallel runs produce bit-identical simulated
+	// stats and functional results to Workers=1.
+	Workers int
 }
 
 // Env is the shared substrate an engine trains on: the batch stream and,
@@ -62,6 +69,14 @@ type Env struct {
 	Opt opt.SparseOptimizer
 	// StateDim is the resolved per-row optimizer state width.
 	StateDim int
+	// Pool fans per-table work across Cfg.Workers goroutines; engines
+	// built over this env share it.
+	Pool *par.Pool
+	// mlpIterTime caches costModel.mlpTime: it depends only on the
+	// model and system configuration, and recomputing it (with its
+	// layer-size slice appends) every cycle showed up in the hot-path
+	// profile.
+	mlpIterTime float64
 }
 
 // NewEnv materializes an environment from cfg.
@@ -85,7 +100,7 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	env := &Env{Cfg: cfg, Gen: gen}
+	env := &Env{Cfg: cfg, Gen: gen, Pool: par.New(cfg.Workers)}
 	env.Opt, err = opt.New(cfg.Optimizer, cfg.Model.LR)
 	if err != nil {
 		return nil, err
@@ -113,6 +128,7 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		}
 		env.Model = m
 	}
+	env.mlpIterTime = costModel{env: env}.computeMLPTime()
 	return env, nil
 }
 

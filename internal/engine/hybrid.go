@@ -66,6 +66,7 @@ func (h *Hybrid) Run(n int) (*Report, error) {
 		if h.env.Cfg.Functional {
 			lossSum += float64(h.trainStep(b))
 		}
+		h.env.Gen.Recycle(b)
 	}
 	finalizeAverages(rep, n, lossSum)
 	return rep, nil
@@ -76,14 +77,14 @@ func (h *Hybrid) Run(n int) (*Report, error) {
 func (h *Hybrid) trainStep(b *trace.Batch) float32 {
 	cfg := h.env.Cfg.Model
 	pooled := make([]*tensor.Matrix, cfg.NumTables)
-	for t := 0; t < cfg.NumTables; t++ {
+	h.env.Pool.ForEach(cfg.NumTables, func(t int) {
 		pooled[t] = embed.ForwardPooled(h.env.Tables[t], b.Tables[t], b.BatchSize, b.Lookups)
-	}
+	})
 	res := h.env.Model.TrainStep(h.env.DenseMatrix(b), pooled, b.Labels)
-	for t := 0; t < cfg.NumTables; t++ {
+	h.env.Pool.ForEach(cfg.NumTables, func(t int) {
 		g := embed.DuplicateCoalesce(b.Tables[t], res.PooledGrads[t], b.Lookups)
 		h.env.Opt.Apply(h.env.Tables[t], h.env.stateTable(t), g)
-	}
+	})
 	return res.Loss
 }
 

@@ -85,6 +85,7 @@ func (m *MultiGPU) Run(n int) (*Report, error) {
 		if m.env.Cfg.Functional {
 			lossSum += float64(m.trainStep(b))
 		}
+		m.env.Gen.Recycle(b)
 	}
 	finalizeAverages(rep, n, lossSum)
 	return rep, nil
@@ -97,14 +98,14 @@ func (m *MultiGPU) Run(n int) (*Report, error) {
 func (m *MultiGPU) trainStep(b *trace.Batch) float32 {
 	cfg := m.env.Cfg.Model
 	pooled := make([]*tensor.Matrix, cfg.NumTables)
-	for t := 0; t < cfg.NumTables; t++ {
+	m.env.Pool.ForEach(cfg.NumTables, func(t int) {
 		pooled[t] = embed.ForwardPooled(m.env.Tables[t], b.Tables[t], b.BatchSize, b.Lookups)
-	}
+	})
 	res := m.env.Model.TrainStep(m.env.DenseMatrix(b), pooled, b.Labels)
-	for t := 0; t < cfg.NumTables; t++ {
+	m.env.Pool.ForEach(cfg.NumTables, func(t int) {
 		g := embed.DuplicateCoalesce(b.Tables[t], res.PooledGrads[t], b.Lookups)
 		m.env.Opt.Apply(m.env.Tables[t], m.env.stateTable(t), g)
-	}
+	})
 	return res.Loss
 }
 

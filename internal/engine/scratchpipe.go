@@ -222,6 +222,9 @@ func (s *ScratchPipe) Run(n int) (*Report, error) {
 			}
 			rep.CPUBusy += j.cpuBusy
 			rep.GPUBusy += j.gpuBusy
+			// The batch has fully retired: recycle its plans and
+			// buffers for an upcoming batch.
+			s.dyn.recycleJob(j)
 		}
 		return nil
 	}

@@ -24,6 +24,15 @@ type StaticCache struct {
 	// stateCaches shadow caches for per-row optimizer state (nil for
 	// stateless optimizers): hot-row state lives in GPU memory too.
 	stateCaches []*cache.Static
+	// acc is per-table scratch for the parallel fan-out; reduced
+	// serially in table order each iteration.
+	acc []staticAcc
+}
+
+// staticAcc collects one table's contribution to an iteration.
+type staticAcc struct {
+	cpuFwd, cpuBwd, gpu float64
+	hitOcc, missOcc     int
 }
 
 // NewStaticCache builds the engine with a per-table static cache sized to
@@ -57,6 +66,7 @@ func NewStaticCache(env *Env, topFrac float64) (*StaticCache, error) {
 			s.stateCaches = append(s.stateCaches, sc)
 		}
 	}
+	s.acc = make([]staticAcc, cfg.NumTables)
 	return s, nil
 }
 
@@ -76,6 +86,9 @@ func (s *StaticCache) Run(n int) (*Report, error) {
 	var lossSum float64
 	for it := 0; it < n; it++ {
 		b := s.env.Gen.Next()
+		// Serial materialization before the per-table fan-out reads
+		// the distinct-ID lists concurrently.
+		b.EnsureUnique()
 
 		var cpuFwd, cpuBwd, gpu float64
 		// Sparse IDs cross PCIe once for hit/miss evaluation
@@ -83,33 +96,53 @@ func (s *StaticCache) Run(n int) (*Report, error) {
 		totalIDsAll := cfg.NumTables * b.TotalIDs()
 		cpuFwd += s.cost.pcie(idBytes(totalIDsAll) + s.cost.denseInputBytes())
 
-		var missedBack int
-		for t := 0; t < cfg.NumTables; t++ {
-			ids := b.Tables[t]
-			hitOcc, missOcc := s.caches[t].Query(ids)
-			uniqHit, uniqMiss := uniqueHitMiss(b, t, s.caches[t])
-			rep.Hits += int64(hitOcc)
-			rep.Misses += int64(missOcc)
-			missedBack += missOcc
+		// Per-table fan-out: each table touches only its own cache and
+		// its scratch accumulator slot; the reduction below runs in
+		// table order for deterministic float summation.
+		s.env.Pool.ForEach(cfg.NumTables, func(t int) {
+			a := &s.acc[t]
+			uniq, cnt := b.UniqueWithCounts(t)
+			var hitOcc, missOcc, uniqHit, uniqMiss int
+			for i, id := range uniq {
+				if s.caches[t].Hit(id) {
+					uniqHit++
+					hitOcc += int(cnt[i])
+				} else {
+					uniqMiss++
+					missOcc += int(cnt[i])
+				}
+			}
+			s.caches[t].RecordQuery(hitOcc, missOcc)
 
 			// Forward: GPU gathers hits; CPU gathers misses and
 			// partially reduces them; partial sums cross PCIe.
-			gpu += s.cost.gatherGPU(hitOcc)
-			gpu += s.cost.reduceGPU(hitOcc+cfg.BatchSize, cfg.BatchSize)
-			cpuFwd += s.cost.gatherCPU(missOcc)
-			cpuFwd += s.cost.reduceCPU(missOcc, cfg.BatchSize)
-			cpuFwd += s.cost.pcie(s.cost.pooledBytes())
+			a.gpu = s.cost.gatherGPU(hitOcc) +
+				s.cost.reduceGPU(hitOcc+cfg.BatchSize, cfg.BatchSize)
+			a.cpuFwd = s.cost.gatherCPU(missOcc) +
+				s.cost.reduceCPU(missOcc, cfg.BatchSize) +
+				s.cost.pcie(s.cost.pooledBytes())
 
 			// Backward: the pooled gradient crosses to the CPU for
 			// the missed IDs; both sides duplicate/coalesce and
 			// scatter their share.
-			gpu += s.cost.dupCoalesceGPU(cfg.BatchSize, hitOcc, uniqHit)
-			gpu += s.cost.scatterUpdateGPU(uniqHit)
-			gpu += s.cost.stateUpdateGPU(uniqHit)
-			cpuBwd += s.cost.pcie(s.cost.pooledBytes())
-			cpuBwd += s.cost.dupCoalesceCPU(cfg.BatchSize, missOcc, uniqMiss)
-			cpuBwd += s.cost.scatterUpdateCPU(uniqMiss)
-			cpuBwd += s.cost.stateUpdateCPU(uniqMiss)
+			a.gpu += s.cost.dupCoalesceGPU(cfg.BatchSize, hitOcc, uniqHit) +
+				s.cost.scatterUpdateGPU(uniqHit) +
+				s.cost.stateUpdateGPU(uniqHit)
+			a.cpuBwd = s.cost.pcie(s.cost.pooledBytes()) +
+				s.cost.dupCoalesceCPU(cfg.BatchSize, missOcc, uniqMiss) +
+				s.cost.scatterUpdateCPU(uniqMiss) +
+				s.cost.stateUpdateCPU(uniqMiss)
+			a.hitOcc, a.missOcc = hitOcc, missOcc
+		})
+		var missedBack int
+		for t := 0; t < cfg.NumTables; t++ {
+			a := &s.acc[t]
+			rep.Hits += int64(a.hitOcc)
+			rep.Misses += int64(a.missOcc)
+			missedBack += a.missOcc
+			gpu += a.gpu
+			cpuFwd += a.cpuFwd
+			cpuBwd += a.cpuBwd
 		}
 		cpuFwd += s.cost.pcie(idBytes(missedBack))
 		gpu += s.cost.mlpTime()
@@ -124,22 +157,10 @@ func (s *StaticCache) Run(n int) (*Report, error) {
 		if s.env.Cfg.Functional {
 			lossSum += float64(s.trainStep(b))
 		}
+		s.env.Gen.Recycle(b)
 	}
 	finalizeAverages(rep, n, lossSum)
 	return rep, nil
-}
-
-// uniqueHitMiss splits the batch's distinct IDs of table t into cache hits
-// and misses.
-func uniqueHitMiss(b interface{ UniqueIDs(int) []int64 }, t int, c *cache.Static) (hit, miss int) {
-	for _, id := range b.UniqueIDs(t) {
-		if c.Hit(id) {
-			hit++
-		} else {
-			miss++
-		}
-	}
-	return hit, miss
 }
 
 // trainStep runs the real math. The static cache is an embed.RowStore that
@@ -149,18 +170,18 @@ func uniqueHitMiss(b interface{ UniqueIDs(int) []int64 }, t int, c *cache.Static
 func (s *StaticCache) trainStep(b *trace.Batch) float32 {
 	cfg := s.env.Cfg.Model
 	pooled := make([]*tensor.Matrix, cfg.NumTables)
-	for t := 0; t < cfg.NumTables; t++ {
+	s.env.Pool.ForEach(cfg.NumTables, func(t int) {
 		pooled[t] = embed.ForwardPooled(s.caches[t], b.Tables[t], b.BatchSize, b.Lookups)
-	}
+	})
 	res := s.env.Model.TrainStep(s.env.DenseMatrix(b), pooled, b.Labels)
-	for t := 0; t < cfg.NumTables; t++ {
+	s.env.Pool.ForEach(cfg.NumTables, func(t int) {
 		g := embed.DuplicateCoalesce(b.Tables[t], res.PooledGrads[t], b.Lookups)
 		var state embed.RowStore
 		if s.stateCaches != nil {
 			state = s.stateCaches[t]
 		}
 		s.env.Opt.Apply(s.caches[t], state, g)
-	}
+	})
 	return res.Loss
 }
 

@@ -79,6 +79,7 @@ func (s *StrawMan) Run(n int) (*Report, error) {
 		rep.CPUBusy += job.cpuBusy
 		rep.GPUBusy += job.gpuBusy
 		lossSum += float64(job.loss)
+		s.dyn.recycleJob(job)
 	}
 	s.dyn.aggregateCacheStats(rep)
 	finalizeAverages(rep, n, lossSum)

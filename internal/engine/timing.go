@@ -32,32 +32,40 @@ func shapeOf(b *trace.Batch) batchShape {
 // metadata-mode engines need not instantiate a model.
 func mlpFlopsPerIteration(cfg dlrm.Config) float64 {
 	batch := float64(cfg.BatchSize)
-	var fwd float64
-	sizes := append(append([]int{cfg.DenseDim}, cfg.BottomHidden...), cfg.EmbeddingDim)
-	for i := 0; i+1 < len(sizes); i++ {
-		fwd += 2 * batch * float64(sizes[i]) * float64(sizes[i+1])
-	}
-	sizes = append(append([]int{cfg.TopInputDim()}, cfg.TopHidden...), 1)
-	for i := 0; i+1 < len(sizes); i++ {
-		fwd += 2 * batch * float64(sizes[i]) * float64(sizes[i+1])
-	}
+	fwd := chainFlops(batch, cfg.DenseDim, cfg.BottomHidden, cfg.EmbeddingDim)
+	fwd += chainFlops(batch, cfg.TopInputDim(), cfg.TopHidden, 1)
 	fwd += 2 * batch * float64(cfg.NumInteractionPairs()) * float64(cfg.EmbeddingDim)
 	return 3 * fwd
+}
+
+// chainFlops sums the matmul FLOPs of the layer chain in -> hidden... ->
+// out, walking the layer widths in place (the multi-GPU engines call
+// these formulas every cycle, so no slices are built).
+func chainFlops(batch float64, in int, hidden []int, out int) float64 {
+	prev, f := in, 0.0
+	for _, h := range hidden {
+		f += 2 * batch * float64(prev) * float64(h)
+		prev = h
+	}
+	return f + 2*batch*float64(prev)*float64(out)
 }
 
 // mlpParamCount returns the number of dense trainable scalars (for the
 // multi-GPU allreduce volume).
 func mlpParamCount(cfg dlrm.Config) float64 {
-	var n float64
-	sizes := append(append([]int{cfg.DenseDim}, cfg.BottomHidden...), cfg.EmbeddingDim)
-	for i := 0; i+1 < len(sizes); i++ {
-		n += float64(sizes[i])*float64(sizes[i+1]) + float64(sizes[i+1])
+	return chainParams(cfg.DenseDim, cfg.BottomHidden, cfg.EmbeddingDim) +
+		chainParams(cfg.TopInputDim(), cfg.TopHidden, 1)
+}
+
+// chainParams sums weights + biases of the layer chain in -> hidden... ->
+// out.
+func chainParams(in int, hidden []int, out int) float64 {
+	prev, n := in, 0.0
+	for _, h := range hidden {
+		n += float64(prev)*float64(h) + float64(h)
+		prev = h
 	}
-	sizes = append(append([]int{cfg.TopInputDim()}, cfg.TopHidden...), 1)
-	for i := 0; i+1 < len(sizes); i++ {
-		n += float64(sizes[i])*float64(sizes[i+1]) + float64(sizes[i+1])
-	}
-	return n
+	return n + float64(prev)*float64(out) + float64(out)
 }
 
 // costModel bundles the latency formulas shared by the engines. All times
@@ -171,8 +179,13 @@ func (c costModel) embBytes(rows int) float64 {
 
 // mlpTime is the GPU dense time of one full training iteration: bottom and
 // top MLP forward+backward, feature interaction, plus the fixed
-// per-iteration framework overhead. Charged once per iteration.
-func (c costModel) mlpTime() float64 {
+// per-iteration framework overhead. Charged once per iteration. The value
+// depends only on the configuration, so NewEnv computes it once and every
+// per-cycle call reads the cache.
+func (c costModel) mlpTime() float64 { return c.env.mlpIterTime }
+
+// computeMLPTime is the uncached formula behind mlpTime.
+func (c costModel) computeMLPTime() float64 {
 	cfg := c.env.Cfg.Model
 	flops := mlpFlopsPerIteration(cfg)
 	// Operand traffic: weights and activations each stream roughly once

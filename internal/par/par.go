@@ -1,0 +1,107 @@
+// Package par provides the shared worker pool the engines use to fan
+// per-table work across CPUs. Embedding tables are independent (separate
+// scratchpad managers, separate storage arrays, separate CPU tables), so
+// every per-table stage loop parallelizes without locks; the pool gives
+// all engines one Workers knob and one deterministic fan-out shape.
+//
+// Determinism contract: ForEach callers write per-index results into
+// preallocated slots and reduce serially in index order afterward, so a
+// parallel run produces bit-identical output to Workers=1 (the
+// equivalence tests rely on this).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool bounds the parallelism of ForEach fan-outs. The zero-size (nil)
+// pool degrades to serial execution, so callers never need a nil check.
+// Goroutines are spawned per call rather than parked permanently: the
+// fan-out granularity is one pipeline stage (microseconds of work per
+// table), so spawn cost is negligible, and pools need no lifecycle
+// management — an Env can be dropped without leaking workers.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool running at most workers tasks concurrently;
+// workers <= 0 selects GOMAXPROCS.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the configured parallelism (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// ForEach runs fn(i) for every i in [0, n), using up to Workers()
+// goroutines (the caller participates). It returns when all calls have
+// completed.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	_ = p.ForEachErr(n, func(i int) error {
+		fn(i)
+		return nil
+	})
+}
+
+// ForEachErr is ForEach over a fallible body. Every index runs even when
+// some fail; the returned error is the failing call with the lowest
+// index, which keeps error reporting deterministic under parallelism.
+func (p *Pool) ForEachErr(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+
+	var next atomic.Int64
+	var mu sync.Mutex
+	firstIdx := n
+	var firstErr error
+	body := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			if err := fn(i); err != nil {
+				mu.Lock()
+				if i < firstIdx {
+					firstIdx, firstErr = i, err
+				}
+				mu.Unlock()
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for k := 0; k < w-1; k++ {
+		go func() {
+			defer wg.Done()
+			body()
+		}()
+	}
+	body() // the caller is worker 0
+	wg.Wait()
+	return firstErr
+}

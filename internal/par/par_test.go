@@ -1,0 +1,99 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		for _, n := range []int{0, 1, 2, 7, 8, 100} {
+			p := New(workers)
+			hits := make([]atomic.Int32, n)
+			p.ForEach(n, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestNilPoolIsSerial(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool Workers = %d, want 1", p.Workers())
+	}
+	order := []int{}
+	p.ForEach(5, func(i int) { order = append(order, i) }) // no race: serial
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("nil pool ran out of order: %v", order)
+		}
+	}
+}
+
+func TestForEachErrLowestIndexWins(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		err := p.ForEachErr(50, func(i int) error {
+			if i%10 == 3 { // fails at 3, 13, 23, ...
+				return fmt.Errorf("index %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "index 3" {
+			t.Fatalf("workers=%d: err = %v, want index 3", workers, err)
+		}
+	}
+}
+
+func TestForEachErrAllIndicesRunDespiteError(t *testing.T) {
+	p := New(4)
+	var ran atomic.Int32
+	sentinel := errors.New("boom")
+	err := p.ForEachErr(32, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if ran.Load() != 32 {
+		t.Fatalf("ran %d of 32 indices", ran.Load())
+	}
+}
+
+func TestDefaultWorkersIsGOMAXPROCS(t *testing.T) {
+	if New(0).Workers() < 1 {
+		t.Fatal("New(0) must resolve to at least 1 worker")
+	}
+	if New(-3).Workers() < 1 {
+		t.Fatal("New(-3) must resolve to at least 1 worker")
+	}
+}
+
+// TestConcurrentForEach exercises two simultaneous fan-outs on one pool
+// (the parallel pipeline runs several stages' ForEach concurrently).
+func TestConcurrentForEach(t *testing.T) {
+	p := New(4)
+	done := make(chan bool, 2)
+	for g := 0; g < 2; g++ {
+		go func() {
+			var sum atomic.Int64
+			p.ForEach(1000, func(i int) { sum.Add(int64(i)) })
+			done <- sum.Load() == 999*1000/2
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		if !<-done {
+			t.Fatal("concurrent ForEach lost updates")
+		}
+	}
+}

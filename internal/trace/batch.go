@@ -3,6 +3,8 @@ package trace
 import (
 	"fmt"
 	"math/rand"
+
+	"repro/internal/intmap"
 )
 
 // Batch is one training mini-batch's worth of sparse feature IDs: for each
@@ -29,6 +31,15 @@ type Batch struct {
 	// Labels holds the click/no-click label per sample in {0,1}. May be
 	// nil in metadata mode.
 	Labels []float32
+	// Uniq[t]/Cnt[t] are table t's distinct IDs in first-appearance
+	// order with their occurrence counts, deduplicated once at
+	// generation time so every consumer (Plan classification, pin
+	// passes, cache statistics) works on the distinct working set
+	// instead of re-deduplicating the occurrence stream. Nil for
+	// batches from sources that do not precompute them; UniqueIDs
+	// builds and memoizes on demand.
+	Uniq [][]int64
+	Cnt  [][]int32
 }
 
 // NumTables returns the number of embedding tables the batch addresses.
@@ -39,19 +50,38 @@ func (b *Batch) TotalIDs() int { return b.BatchSize * b.Lookups }
 
 // UniqueIDs returns the deduplicated IDs of table t in first-appearance
 // order. The order is deterministic so every engine coalesces gradients
-// identically (required for the bitwise-equivalence tests).
+// identically (required for the bitwise-equivalence tests). The result
+// is memoized on the batch; callers must not mutate it.
 func (b *Batch) UniqueIDs(t int) []int64 {
-	ids := b.Tables[t]
-	seen := make(map[int64]struct{}, len(ids))
-	out := make([]int64, 0, len(ids))
-	for _, id := range ids {
-		if _, ok := seen[id]; ok {
-			continue
-		}
-		seen[id] = struct{}{}
-		out = append(out, id)
+	u, _ := b.UniqueWithCounts(t)
+	return u
+}
+
+// UniqueWithCounts returns table t's distinct IDs (first-appearance
+// order) alongside each ID's occurrence count, computing and memoizing
+// them if the batch's source did not. Not safe for concurrent first
+// computation on the same table; engines prepare batches serially before
+// fanning per-table work out.
+func (b *Batch) UniqueWithCounts(t int) ([]int64, []int32) {
+	if b.Uniq == nil {
+		b.Uniq = make([][]int64, len(b.Tables))
+		b.Cnt = make([][]int32, len(b.Tables))
 	}
-	return out
+	if b.Uniq[t] == nil {
+		b.Uniq[t], b.Cnt[t] = intmap.Dedup(b.Tables[t], intmap.New(len(b.Tables[t])), nil, nil)
+	}
+	return b.Uniq[t], b.Cnt[t]
+}
+
+// EnsureUnique precomputes every table's distinct-ID lists so later
+// concurrent per-table UniqueWithCounts calls are read-only. Engines
+// call it once, from a single goroutine, before fanning per-table work
+// out (for generator batches the lists already exist and this is a
+// cheap memo check).
+func (b *Batch) EnsureUnique() {
+	for t := range b.Tables {
+		b.UniqueWithCounts(t)
+	}
 }
 
 // GeneratorConfig configures a synthetic trace generator.
@@ -116,6 +146,11 @@ type Generator struct {
 	rngIDs   *rand.Rand
 	rngDense *rand.Rand
 	seq      int
+	// free recycles retired batches (engines opt in via Recycle):
+	// batches are the steady-state loop's largest remaining allocation.
+	free []*Batch
+	// seen is the dedup scratch reused across batches (O(1) clear).
+	seen *intmap.Map
 }
 
 // NewGenerator builds a generator from cfg, materializing the per-table
@@ -145,6 +180,7 @@ func NewGenerator(cfg GeneratorConfig) (*Generator, error) {
 		dists:    dists,
 		rngIDs:   rand.New(rand.NewSource(cfg.Seed)),
 		rngDense: rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D)),
+		seen:     intmap.New(cfg.BatchSize * cfg.Lookups),
 	}, nil
 }
 
@@ -160,35 +196,68 @@ func (g *Generator) Dists() []Distribution {
 
 // Next produces the next mini-batch in the stream.
 func (g *Generator) Next() *Batch {
-	b := &Batch{
-		Seq:       g.seq,
-		BatchSize: g.cfg.BatchSize,
-		Lookups:   g.cfg.Lookups,
-		Tables:    make([][]int64, g.cfg.NumTables),
-		DenseDim:  g.cfg.DenseDim,
+	var b *Batch
+	if n := len(g.free); n > 0 {
+		b = g.free[n-1]
+		g.free[n-1] = nil
+		g.free = g.free[:n-1]
+		b.Seq = g.seq
+	} else {
+		b = &Batch{
+			Seq:       g.seq,
+			BatchSize: g.cfg.BatchSize,
+			Lookups:   g.cfg.Lookups,
+			Tables:    make([][]int64, g.cfg.NumTables),
+			Uniq:      make([][]int64, g.cfg.NumTables),
+			Cnt:       make([][]int32, g.cfg.NumTables),
+			DenseDim:  g.cfg.DenseDim,
+		}
+		n := b.TotalIDs()
+		// One flat backing array for all tables' IDs: a batch costs
+		// two allocations instead of NumTables+1.
+		flat := make([]int64, n*g.cfg.NumTables)
+		for t := 0; t < g.cfg.NumTables; t++ {
+			b.Tables[t] = flat[t*n : (t+1)*n : (t+1)*n]
+			b.Uniq[t] = make([]int64, 0, n)
+			b.Cnt[t] = make([]int32, 0, n)
+		}
+		if !g.cfg.MetadataOnly && g.cfg.DenseDim > 0 {
+			b.Dense = make([]float32, g.cfg.BatchSize*g.cfg.DenseDim)
+			b.Labels = make([]float32, g.cfg.BatchSize)
+		}
 	}
 	g.seq++
-	n := b.TotalIDs()
 	for t := 0; t < g.cfg.NumTables; t++ {
-		ids := make([]int64, n)
+		ids := b.Tables[t]
+		dist := g.dists[t]
 		for i := range ids {
-			ids[i] = g.dists[t].Sample(g.rngIDs)
+			ids[i] = dist.Sample(g.rngIDs)
 		}
-		b.Tables[t] = ids
+		b.Uniq[t], b.Cnt[t] = intmap.Dedup(ids, g.seen, b.Uniq[t][:0], b.Cnt[t][:0])
 	}
 	if !g.cfg.MetadataOnly && g.cfg.DenseDim > 0 {
-		b.Dense = make([]float32, g.cfg.BatchSize*g.cfg.DenseDim)
 		for i := range b.Dense {
 			b.Dense[i] = float32(g.rngDense.NormFloat64())
 		}
-		b.Labels = make([]float32, g.cfg.BatchSize)
 		for i := range b.Labels {
+			b.Labels[i] = 0
 			if g.rngDense.Float64() < 0.5 {
 				b.Labels[i] = 1
 			}
 		}
 	}
 	return b
+}
+
+// Recycle hands a retired batch back for reuse by a future Next. The
+// caller must have dropped every reference into the batch (including
+// subslices of Tables); engines call it once a batch has fully left
+// their pipeline.
+func (g *Generator) Recycle(b *Batch) {
+	if b == nil {
+		return
+	}
+	g.free = append(g.free, b)
 }
 
 // Source is any producer of an ordered mini-batch stream. Both the

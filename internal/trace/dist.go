@@ -46,6 +46,11 @@ type Point struct {
 type Piecewise struct {
 	rows int64
 	pts  []Point // strictly increasing in both coordinates, ends at (1,1)
+	// lut[k] is the first knot index whose AccessShare covers u=k/256:
+	// Sample starts its knot scan there instead of at 0, making the
+	// per-draw scan O(1) expected (sampling is the simulator's single
+	// hottest trace-generation call).
+	lut [256]uint8
 }
 
 // NewPiecewise builds a distribution over rows table rows from CDF knots.
@@ -81,7 +86,18 @@ func NewPiecewise(rows int64, pts []Point) (*Piecewise, error) {
 	}
 	cp := make([]Point, len(pts))
 	copy(cp, pts)
-	return &Piecewise{rows: rows, pts: cp}, nil
+	p := &Piecewise{rows: rows, pts: cp}
+	if len(cp) > 255 {
+		return nil, fmt.Errorf("trace: piecewise: %d knots exceeds 255", len(cp))
+	}
+	i := uint8(0)
+	for k := range p.lut {
+		for cp[i].AccessShare < float64(k)/256 {
+			i++
+		}
+		p.lut[k] = i
+	}
+	return p, nil
 }
 
 // MustPiecewise is NewPiecewise that panics on invalid knots; used for the
@@ -104,7 +120,14 @@ func (p *Piecewise) Rows() int64 { return p.rows }
 // then to a concrete row, uniform within its segment.
 func (p *Piecewise) Sample(r *rand.Rand) int64 {
 	u := r.Float64()
-	i := sort.Search(len(p.pts), func(i int) bool { return p.pts[i].AccessShare >= u })
+	// Jump to the LUT's knot for u's 1/256 bucket, then settle with at
+	// most a step or two of linear scan — exactly the index
+	// sort.Search(AccessShare >= u) would return, without its closure
+	// indirection or data-dependent branch cascade.
+	i := int(p.lut[int(u*256)])
+	for i < len(p.pts) && p.pts[i].AccessShare < u {
+		i++
+	}
 	lo := Point{0, 0}
 	if i > 0 {
 		lo = p.pts[i-1]

@@ -127,6 +127,11 @@ type Config struct {
 	Optimizer OptimizerKind
 	// Seed drives all randomness (traces, init, policies).
 	Seed int64
+	// Workers bounds the host-side per-table fan-out parallelism of the
+	// simulator (tables are independent): 0 selects GOMAXPROCS, 1 the
+	// serial path. Simulated stats and functional results are
+	// bit-identical at any worker count.
+	Workers int
 }
 
 func (c *Config) applyDefaults() {
@@ -164,6 +169,7 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 		Seed:       cfg.Seed,
 		Functional: cfg.Functional,
 		Optimizer:  cfg.Optimizer,
+		Workers:    cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
