@@ -1,10 +1,11 @@
-# Developer entry points. `make check` is the CI gate: everything it runs
-# must stay green on every PR, including the race detector over the
-# packages with parallel per-table fan-out.
+# Developer entry points. `make check` is the CI gate (run on every
+# push/PR by .github/workflows/ci.yml): everything it runs must stay
+# green, including the race detector over every package that spawns or
+# drives goroutines.
 
 GO ?= go
 
-.PHONY: check vet build test race bench hotpath
+.PHONY: check vet build test race bench hotpath benchgate fmtcheck
 
 check: vet build test race
 
@@ -17,13 +18,33 @@ build:
 test:
 	$(GO) test ./...
 
-# The scratchpad control plane and the engines run per-table work across
-# goroutines; any hold-discipline or fan-out bug must surface as a race.
+# Every package that spawns goroutines or drives goroutine-spawning code
+# runs under the race detector: the worker pool itself (par), the
+# scratchpad control plane and pipeline (core), the sharded planner with
+# its shard-parallel Plan pass (shard), the engines' per-table fan-outs
+# (engine), the trace loader (trace), the harness that drives them all
+# (bench), and the public facade (scratchpipe). Any hold-discipline,
+# shard-partition, or fan-out bug must surface as a race here.
 race:
-	$(GO) test -race ./internal/core/ ./internal/engine/
+	$(GO) test -race ./internal/par/ ./internal/core/ ./internal/shard/ \
+		./internal/engine/ ./internal/trace/ ./internal/bench/ ./scratchpipe/
+
+# Fails if any file is not gofmt-clean (CI runs this before make check).
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 bench:
 	$(GO) test -run='^$$' -bench=Figure13 -benchmem .
 
 hotpath:
 	$(GO) run ./cmd/spbench -quick -json BENCH_hotpath.json
+
+# Benchmark-regression smoke gate: re-runs the quick hot-path sweep and
+# fails if wall time or allocations regress beyond the thresholds against
+# the last committed BENCH_hotpath.json baseline entry (>25% by default;
+# override flags via BENCHGATE_FLAGS — CI loosens the wall factor because
+# its runners are not the machine that recorded the baseline, while the
+# allocation gate is machine-independent and stays tight).
+benchgate:
+	$(GO) run ./cmd/benchgate -baseline BENCH_hotpath.json $(BENCHGATE_FLAGS)

@@ -1,0 +1,122 @@
+// Command benchgate is the CI benchmark-regression smoke gate: it re-runs
+// the quick hot-path sweep (the same measurement `spbench -quick -json`
+// records) and fails when wall time or allocation count regresses beyond
+// the configured thresholds against the committed BENCH_hotpath.json
+// baseline.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_hotpath.json [-wall-factor 1.25]
+//	          [-alloc-factor 1.25] [-runs 2] [-workers 1] [-shards 1]
+//
+// The gate measures with Workers=1 and Shards=1 by default so allocation
+// counts are deterministic and wall time does not depend on the CI
+// runner's core count; it compares against the most recent baseline entry
+// with the same configuration label, preferring entries with the same
+// workers/shards shape. Wall time is the minimum of -runs sweeps, which
+// damps scheduler noise on shared runners. Exit status 1 means a
+// regression, 2 a usage/baseline problem.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_hotpath.json", "committed hot-path history to gate against")
+	configName := flag.String("config", "quick", "configuration label to measure and match (quick|full)")
+	wallFactor := flag.Float64("wall-factor", 1.25, "fail if wall time exceeds baseline by this factor")
+	allocFactor := flag.Float64("alloc-factor", 1.25, "fail if allocation count exceeds baseline by this factor")
+	runs := flag.Int("runs", 2, "measurement repetitions (best wall time wins)")
+	workers := flag.Int("workers", 1, "per-table fan-out parallelism for the measurement")
+	shards := flag.Int("shards", 1, "scratchpad shards per table for the measurement")
+	flag.Parse()
+
+	data, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	var hist bench.HotPathHistory
+	if err := json.Unmarshal(data, &hist); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %s is not a hot-path history: %v\n", *baseline, err)
+		os.Exit(2)
+	}
+	base := pickBaseline(hist.History, *configName, *workers, *shards)
+	if base == nil {
+		fmt.Fprintf(os.Stderr,
+			"benchgate: no %q entry with workers=%d shards=%d in %s to gate against; record one with:\n  go run ./cmd/spbench -quick -json %s -workers %d -shards %d\n",
+			*configName, *workers, *shards, *baseline, *baseline, *workers, *shards)
+		os.Exit(2)
+	}
+
+	cfg := bench.Default()
+	if *configName == "quick" {
+		cfg = bench.Quick()
+	}
+	cfg.Workers = *workers
+	cfg.Shards = *shards
+
+	var best *bench.HotPathResult
+	for i := 0; i < *runs; i++ {
+		res, err := bench.HotPath(cfg, *configName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		if best == nil || res.WallSeconds < best.WallSeconds {
+			best = res
+		}
+	}
+
+	fmt.Printf("benchgate: baseline %s (workers=%d shards=%d): %.2fs wall, %d allocs\n",
+		base.Timestamp, base.Workers, base.Shards, base.WallSeconds, base.Allocs)
+	fmt.Printf("benchgate: measured (best of %d):            %.2fs wall, %d allocs\n",
+		*runs, best.WallSeconds, best.Allocs)
+
+	failed := false
+	if limit := base.WallSeconds * *wallFactor; best.WallSeconds > limit {
+		fmt.Printf("benchgate: FAIL wall time %.2fs exceeds %.2fs (baseline x %.2f)\n",
+			best.WallSeconds, limit, *wallFactor)
+		failed = true
+	}
+	if limit := float64(base.Allocs) * *allocFactor; float64(best.Allocs) > limit {
+		fmt.Printf("benchgate: FAIL allocs %d exceed %.0f (baseline x %.2f)\n",
+			best.Allocs, limit, *allocFactor)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: PASS (wall %.2fx, allocs %.2fx of baseline)\n",
+		best.WallSeconds/base.WallSeconds, float64(best.Allocs)/float64(base.Allocs))
+}
+
+// pickBaseline returns the most recent entry matching the configuration
+// label AND the measurement's workers/shards shape (shards 0 and 1 both
+// mean unsharded). A shape mismatch returns nil rather than silently
+// gating against an entry measured under a different fan-out — e.g. the
+// committed S=8 shard-scaling record is ~50% slower and 4x more
+// allocation-heavy than the S=1 baseline, and comparing against it would
+// mask real regressions.
+func pickBaseline(hist []bench.HotPathResult, config string, workers, shards int) *bench.HotPathResult {
+	norm := func(s int) int {
+		if s <= 1 {
+			return 1
+		}
+		return s
+	}
+	var exact *bench.HotPathResult
+	for i := range hist {
+		e := &hist[i]
+		if e.Config == config && e.Workers == workers && norm(e.Shards) == norm(shards) {
+			exact = e
+		}
+	}
+	return exact
+}

@@ -28,6 +28,7 @@ func main() {
 	policy := flag.String("policy", "lru", "replacement policy: lru|lfu|random")
 	parallel := flag.Bool("parallel", false, "run pipeline stages in goroutines")
 	workers := flag.Int("workers", 0, "per-table fan-out parallelism (0 = GOMAXPROCS, 1 = serial)")
+	shards := flag.Int("shards", 1, "scratchpad shards per table (1 = unsharded; results identical at any count)")
 	functional := flag.Bool("functional", true, "execute real float32 training")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
@@ -53,6 +54,7 @@ func main() {
 		Policy:     scratchpipe.PolicyKind(*policy),
 		Parallel:   *parallel,
 		Workers:    *workers,
+		Shards:     *shards,
 		Functional: *functional,
 		Seed:       *seed,
 	})

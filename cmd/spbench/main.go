@@ -4,13 +4,15 @@
 //
 //	spbench [-experiment all|fig3|fig5|fig6|fig6classes|fig12a|fig12b|
 //	         fig13|fig14|fig15a|fig15b|tablei|overhead|sensitivity|ablation]
-//	        [-iters N] [-quick] [-seed S] [-workers N]
-//	spbench -json BENCH_hotpath.json [-quick] [-workers N] [-note TEXT]
+//	        [-iters N] [-quick] [-seed S] [-workers N] [-shards S]
+//	spbench -json BENCH_hotpath.json [-quick] [-workers N] [-shards S] [-note TEXT]
 //
 // With -quick the paper-scale tables (10M rows) shrink 50x, which changes
 // absolute hit rates slightly but preserves every qualitative shape; use it
 // for smoke runs. -workers bounds the simulator's per-table parallelism
-// (0 = GOMAXPROCS); simulated results are identical at any worker count.
+// (0 = GOMAXPROCS); -shards partitions each table's scratchpad control
+// plane across socket shards (internal/shard); simulated results are
+// identical at any worker and shard count.
 //
 // With -json the command runs the hot-path benchmark (one Figure 13
 // sweep) instead of printing tables, appends the wall-clock and allocator
@@ -49,6 +51,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use the 50x scaled-down configuration")
 	seed := flag.Int64("seed", 42, "random seed")
 	workers := flag.Int("workers", 0, "per-table fan-out parallelism (0 = GOMAXPROCS, 1 = serial)")
+	shards := flag.Int("shards", 1, "scratchpad shards per table (1 = unsharded; results identical at any count; non-LRU policy studies always run unsharded)")
 	jsonPath := flag.String("json", "", "run the hot-path benchmark and append the measurement to this JSON history file")
 	note := flag.String("note", "", "free-form note recorded with the -json measurement")
 	flag.Parse()
@@ -64,6 +67,7 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.Shards = *shards
 
 	if *jsonPath != "" {
 		res, err := bench.HotPath(cfg, configName)
@@ -76,8 +80,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "spbench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("hotpath (%s, workers=%d): %.2fs wall, %d allocs, %.1f MB allocated, sp-vs-static avg %.2fx -> %s\n",
-			configName, res.Workers, res.WallSeconds, res.Allocs, float64(res.AllocBytes)/1e6,
+		fmt.Printf("hotpath (%s, workers=%d, shards=%d): %.2fs wall, %d allocs, %.1f MB allocated, sp-vs-static avg %.2fx -> %s\n",
+			configName, res.Workers, res.Shards, res.WallSeconds, res.Allocs, float64(res.AllocBytes)/1e6,
 			res.ScratchPipeSpeedupAvg, *jsonPath)
 		return
 	}

@@ -35,6 +35,10 @@ type Config struct {
 	// (0 = GOMAXPROCS, 1 = serial). Simulated results are bit-identical
 	// at any worker count.
 	Workers int
+	// Shards partitions every table's scratchpad control plane across
+	// socket shards (0/1 = unsharded; see internal/shard). Simulated
+	// results are identical at any shard count.
+	Shards int
 }
 
 // Default returns the paper's §V methodology configuration. Iters must
@@ -131,6 +135,7 @@ func newEnv(cfg Config, model dlrm.Config, class trace.Class) (*engine.Env, erro
 		Seed:       cfg.Seed,
 		Functional: false,
 		Workers:    cfg.Workers,
+		Shards:     cfg.Shards,
 	})
 }
 

@@ -23,6 +23,9 @@ type HotPathResult struct {
 	// parallelism it resolved against.
 	Workers    int `json:"workers"`
 	GoMaxProcs int `json:"gomaxprocs"`
+	// Shards is the per-table scratchpad shard count (0/1 = unsharded),
+	// so the history records per-shard-count scaling of the same sweep.
+	Shards int `json:"shards,omitempty"`
 	// Iters is the measured iterations per data point.
 	Iters int `json:"iters"`
 	// WallSeconds is the real time of one full Figure 13 sweep.
@@ -67,6 +70,7 @@ func HotPath(cfg Config, configName string) (*HotPathResult, error) {
 		Timestamp:             time.Now().UTC().Format(time.RFC3339),
 		Config:                configName,
 		Workers:               cfg.Workers,
+		Shards:                cfg.Shards,
 		GoMaxProcs:            runtime.GOMAXPROCS(0),
 		Iters:                 cfg.Iters,
 		WallSeconds:           wall.Seconds(),

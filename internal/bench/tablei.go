@@ -79,10 +79,17 @@ func SensitivityExtra(cfg Config) (*Table, error) {
 		Title:   "SecVI-E: replacement policy, batch size, MLP-intensive sensitivity",
 		Columns: []string{"study", "variant", "class", "iter (ms)", "hit rate"},
 	}
-	// Replacement policy.
+	// Replacement policy. The sharded control plane is LRU-specific (the
+	// cross-shard eviction coordinator merges LRU recency orders), so
+	// the non-LRU sensitivity points run unsharded at any -shards
+	// setting — their results never depend on the shard count anyway.
 	for _, pol := range []cache.PolicyKind{cache.LRU, cache.LFU, cache.RandomPolicy} {
+		polCfg := cfg
+		if pol != cache.LRU {
+			polCfg.Shards = 1
+		}
 		for _, class := range []trace.Class{trace.Low, trace.High} {
-			rep, err := runEngine(cfg, cfg.Model, class, func(env *engine.Env) (engine.Engine, error) {
+			rep, err := runEngine(polCfg, cfg.Model, class, func(env *engine.Env) (engine.Engine, error) {
 				return engine.NewScratchPipe(env, engine.ScratchPipeOptions{CacheFrac: 0.02, Policy: pol})
 			})
 			if err != nil {

@@ -1,0 +1,48 @@
+package core
+
+// HeldBatch is one in-flight batch's hold set: the slots the batch
+// protects from eviction until it is released.
+type HeldBatch struct {
+	Seq   int
+	Slots []int32
+}
+
+// BatchRing is a growable FIFO of HeldBatch, shared by the unsharded
+// scratchpad (one ring) and the sharded manager (one ring per shard). A
+// naive slice-header FIFO (`q = q[1:]`) pins the whole backing array and
+// leaks one slot per release for the lifetime of the run; the ring
+// reuses its buffer in place.
+type BatchRing struct {
+	buf  []HeldBatch
+	head int
+	n    int
+}
+
+// Len returns the number of queued batches.
+func (r *BatchRing) Len() int { return r.n }
+
+// Push appends hb at the back of the FIFO.
+func (r *BatchRing) Push(hb HeldBatch) {
+	if r.n == len(r.buf) {
+		grown := make([]HeldBatch, 2*len(r.buf)+1)
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf = grown
+		r.head = 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = hb
+	r.n++
+}
+
+// Front returns the oldest batch; callers must check Len() > 0.
+func (r *BatchRing) Front() HeldBatch { return r.buf[r.head] }
+
+// Pop removes and returns the oldest batch.
+func (r *BatchRing) Pop() HeldBatch {
+	hb := r.buf[r.head]
+	r.buf[r.head] = HeldBatch{} // drop the slots reference
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return hb
+}

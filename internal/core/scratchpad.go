@@ -131,8 +131,16 @@ func (r *PlanResult) Slot(id int64) int32 {
 	return s
 }
 
-// reset clears the result for reuse, keeping every buffer's capacity.
-func (r *PlanResult) reset() {
+// NewPlanResult builds an empty result with its lazy index initialized;
+// external plan producers (the sharded manager) pool results through
+// NewPlanResult/Reset exactly like the scratchpad's internal pool.
+func NewPlanResult() *PlanResult {
+	return &PlanResult{slotOf: intmap.New(0)}
+}
+
+// Reset clears the result for reuse, keeping every buffer's capacity. A
+// reset result must not be read until it has been replanned.
+func (r *PlanResult) Reset() {
 	r.Seq = 0
 	r.UniqueIDs = r.UniqueIDs[:0]
 	r.Slots = r.Slots[:0]
@@ -235,7 +243,7 @@ type Scratchpad struct {
 	freePrimary []int32 // unused slots in [0, Slots)
 	freeReserve []int32 // unused slots in [Slots, Slots+Reserve)
 
-	inFlight     batchRing // FIFO, oldest first
+	inFlight     BatchRing // FIFO, oldest first
 	reserveInUse int
 	sweepArmed   bool // victim sweep armed for the current Plan
 
@@ -253,52 +261,11 @@ type Scratchpad struct {
 	// dedup/uniqScratch/cntScratch back the occurrence-list entry
 	// points (Plan/PlanWithHints), which deduplicate into these before
 	// running the unique-list planner.
-	dedup      *intmap.Map
+	dedup       *intmap.Map
 	uniqScratch []int64
 	cntScratch  []int32
 
 	stats Stats
-}
-
-type heldBatch struct {
-	seq   int
-	slots []int32
-}
-
-// batchRing is a growable FIFO of heldBatch. The previous implementation
-// advanced a slice header (`s.inFlight = s.inFlight[1:]`), which pins the
-// whole backing array and leaks one slot per Release for the lifetime of
-// the run; the ring reuses its buffer in place.
-type batchRing struct {
-	buf  []heldBatch
-	head int
-	n    int
-}
-
-func (r *batchRing) len() int { return r.n }
-
-func (r *batchRing) push(hb heldBatch) {
-	if r.n == len(r.buf) {
-		grown := make([]heldBatch, 2*len(r.buf)+1)
-		for i := 0; i < r.n; i++ {
-			grown[i] = r.buf[(r.head+i)%len(r.buf)]
-		}
-		r.buf = grown
-		r.head = 0
-	}
-	r.buf[(r.head+r.n)%len(r.buf)] = hb
-	r.n++
-}
-
-// front returns the oldest element; callers must check len() > 0.
-func (r *batchRing) front() heldBatch { return r.buf[r.head] }
-
-func (r *batchRing) pop() heldBatch {
-	hb := r.buf[r.head]
-	r.buf[r.head] = heldBatch{} // drop the slots reference
-	r.head = (r.head + 1) % len(r.buf)
-	r.n--
-	return hb
 }
 
 // NewScratchpad builds a scratchpad manager from cfg.
@@ -368,7 +335,7 @@ func (s *Scratchpad) getPlanResult() *PlanResult {
 		s.planPool = s.planPool[:n-1]
 		return res
 	}
-	return &PlanResult{slotOf: intmap.New(0)}
+	return NewPlanResult()
 }
 
 // getHeldSlots pops a recycled hold-list buffer or returns nil (append
@@ -391,7 +358,7 @@ func (s *Scratchpad) Recycle(res *PlanResult) {
 	if res == nil {
 		return
 	}
-	res.reset()
+	res.Reset()
 	s.planPool = append(s.planPool, res)
 }
 
@@ -411,7 +378,7 @@ func (s *Scratchpad) Contains(id int64) bool {
 }
 
 // InFlight returns the number of batches currently holding slots.
-func (s *Scratchpad) InFlight() int { return s.inFlight.len() }
+func (s *Scratchpad) InFlight() int { return s.inFlight.Len() }
 
 // Stats returns accumulated counters.
 func (s *Scratchpad) Stats() Stats { return s.stats }
@@ -596,7 +563,7 @@ func (s *Scratchpad) PlanUniqueWithHints(seq int, uniq []int64, counts []int32, 
 		res.Slots[k] = slot
 		res.Fills = append(res.Fills, Fill{ID: id, Slot: slot})
 	}
-	s.inFlight.push(heldBatch{seq: seq, slots: held})
+	s.inFlight.Push(HeldBatch{Seq: seq, Slots: held})
 
 	s.stats.Planned++
 	s.stats.Queries += int64(res.OccHits + res.OccMisses)
@@ -689,7 +656,7 @@ func (s *Scratchpad) allocate() (slot int32, evicted int64, fromReserve bool, er
 		return slot, -1, true, nil
 	}
 	return 0, -1, false, fmt.Errorf("scratchpad exhausted: %d slots + %d reserve all protected (in-flight %d batches)",
-		s.cfg.Slots, s.cfg.Reserve, s.inFlight.len())
+		s.cfg.Slots, s.cfg.Reserve, s.inFlight.Len())
 }
 
 // Release drops the oldest in-flight batch's holds. The engine calls it
@@ -697,21 +664,21 @@ func (s *Scratchpad) allocate() (slot int32, evicted int64, fromReserve bool, er
 // chosen as victims again (their eviction read would happen strictly after
 // the training writes, per the pipeline's stage spacing).
 func (s *Scratchpad) Release(seq int) error {
-	if s.inFlight.len() == 0 {
+	if s.inFlight.Len() == 0 {
 		return fmt.Errorf("core: release %d: no in-flight batches", seq)
 	}
-	if got := s.inFlight.front().seq; got != seq {
+	if got := s.inFlight.Front().Seq; got != seq {
 		return fmt.Errorf("core: release %d: oldest in-flight batch is %d (releases must be FIFO)", seq, got)
 	}
-	hb := s.inFlight.pop()
-	for _, slot := range hb.slots {
+	hb := s.inFlight.Pop()
+	for _, slot := range hb.Slots {
 		if s.slots[slot].holds <= 0 {
 			return fmt.Errorf("core: release %d: slot %d hold underflow", seq, slot)
 		}
 		s.slots[slot].holds--
 	}
-	if hb.slots != nil {
-		s.heldPool = append(s.heldPool, hb.slots)
+	if hb.Slots != nil {
+		s.heldPool = append(s.heldPool, hb.Slots)
 	}
 	s.stats.Released++
 	return nil
@@ -746,7 +713,7 @@ func (s *Scratchpad) Prewarm(sample func() int64, onFill func(id int64, slot int
 // draw, inserting identical content several times faster. rows <= 0
 // falls back to hit-map probing.
 func (s *Scratchpad) PrewarmRows(rows int64, sample func() int64, onFill func(id int64, slot int32)) int {
-	if s.inFlight.len() != 0 {
+	if s.inFlight.Len() != 0 {
 		panic("core: Prewarm with batches in flight")
 	}
 	var seen []uint64

@@ -57,6 +57,39 @@ func BenchmarkCycleParallelTables(b *testing.B) {
 	}
 }
 
+// BenchmarkCycleSharded measures the steady-state ScratchPipe cycle at
+// several per-table shard counts (shards plan concurrently within each
+// table, on top of the cross-table fan-out; simulated results are
+// identical at every point — only wall time may differ).
+func BenchmarkCycleSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			env, err := NewEnv(EnvConfig{
+				Model:  benchModel(),
+				System: hw.DefaultSystem(),
+				Class:  trace.Medium,
+				Seed:   42,
+				Shards: shards,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := NewScratchPipe(env, ScratchPipeOptions{CacheFrac: 0.02})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Run(16); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if _, err := eng.Run(b.N); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 // BenchmarkStrawManCycle is the unpipelined counterpart, isolating the
 // per-table stage work without pipeline bookkeeping.
 func BenchmarkStrawManCycle(b *testing.B) {

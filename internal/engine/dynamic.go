@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/embed"
 	"repro/internal/par"
+	"repro/internal/shard"
 	"repro/internal/tensor"
 	"repro/internal/trace"
 )
@@ -16,13 +17,19 @@ import (
 // functional GPU storage arrays, and the five stage implementations with
 // their timing formulas. The straw-man executes the stages back-to-back;
 // ScratchPipe runs them through the pipeline.
+//
+// Each table's control plane is a shard.Manager: with Shards == 1 it is
+// the unsharded core scratchpad; with Shards > 1 its ID space is
+// hash-partitioned across socket shards that plan concurrently (within a
+// table) while the per-table fan-out parallelizes across tables, with
+// plans and statistics identical at every shard/worker count.
 type dynamicState struct {
 	env  *Env
 	cost costModel
 	// pool fans per-table work across workers; tables are fully
 	// independent (separate scratchpads, storage, CPU tables).
 	pool    *par.Pool
-	sps     []*core.Scratchpad
+	sps     []*shard.Manager
 	storage []*tensor.Matrix // per table: TotalSlots x dim (functional mode)
 	// stateStorage shadows storage for per-row optimizer state: the
 	// scratchpad caches optimizer accumulators with the same slot
@@ -91,6 +98,11 @@ func newDynamicState(env *Env, cacheFrac float64, policy cache.PolicyKind, past,
 	}
 	d := &dynamicState{env: env, cost: costModel{env: env}, pool: env.Pool, hazard: hazard, gpus: 1}
 	maxUnique := cfg.BatchSize * cfg.Lookups
+	// The shard fan-out nests inside the per-table fan-out, so its own
+	// pool gets the per-table share of the Workers budget (total
+	// concurrency stays ~Workers rather than Workers x Shards); on hosts
+	// with more cores than tables the surplus parallelizes the shards.
+	shardPool := par.New((env.Pool.Workers() + cfg.NumTables - 1) / cfg.NumTables)
 	for t := 0; t < cfg.NumTables; t++ {
 		spCfg := core.Config{
 			Slots:        slots,
@@ -100,7 +112,11 @@ func newDynamicState(env *Env, cacheFrac float64, policy cache.PolicyKind, past,
 			FutureWindow: future,
 		}
 		spCfg.Reserve = core.WorstCaseReserve(spCfg, maxUnique)
-		sp, err := core.NewScratchpad(spCfg)
+		sp, err := shard.New(shard.Config{
+			Scratchpad: spCfg,
+			Shards:     env.Cfg.Shards,
+			Pool:       shardPool,
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -53,6 +53,13 @@ type EnvConfig struct {
 	// the serial path. Parallel runs produce bit-identical simulated
 	// stats and functional results to Workers=1.
 	Workers int
+	// Shards partitions each table's scratchpad control plane across
+	// this many socket shards (hash-partitioned ID space, per-shard
+	// Hit-Maps/free lists/hold rings, cross-shard eviction-budget
+	// coordination; see internal/shard). 0 and 1 select the unsharded
+	// planner. Simulated stats and functional results are identical at
+	// any shard count; Shards > 1 requires the LRU policy.
+	Shards int
 }
 
 // Env is the shared substrate an engine trains on: the batch stream and,
@@ -86,6 +93,9 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 	}
 	if err := cfg.System.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("engine: Shards %d < 0", cfg.Shards)
 	}
 	gen, err := trace.NewGenerator(trace.GeneratorConfig{
 		NumTables:    cfg.Model.NumTables,

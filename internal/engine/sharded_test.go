@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/dlrm"
+	"repro/internal/hw"
+	"repro/internal/trace"
+)
+
+// metaEnv builds a metadata-mode environment with the given shard count.
+func metaEnv(t *testing.T, model dlrm.Config, class trace.Class, shards int) *Env {
+	t.Helper()
+	env, err := NewEnv(EnvConfig{
+		Model:   model,
+		System:  hw.DefaultSystem(),
+		Class:   class,
+		Seed:    42,
+		Workers: 2,
+		Shards:  shards,
+	})
+	if err != nil {
+		t.Fatalf("NewEnv(shards=%d): %v", shards, err)
+	}
+	return env
+}
+
+// TestShardsReportEquivalence is the engine-level half of the sharding
+// acceptance criterion: the simulated Report — timing, stage averages,
+// hit/miss/fill/eviction counts, reserve peaks — must be identical at
+// every shard count, for both dynamic-cache engines.
+func TestShardsReportEquivalence(t *testing.T) {
+	model := dlrm.DefaultConfig()
+	model.RowsPerTable = 50_000
+	model.BatchSize = 128
+
+	builders := map[string]func(*Env) (Engine, error){
+		"scratchpipe": func(e *Env) (Engine, error) {
+			return NewScratchPipe(e, ScratchPipeOptions{CacheFrac: 0.02})
+		},
+		"scratchpipe-lookahead": func(e *Env) (Engine, error) {
+			return NewScratchPipe(e, ScratchPipeOptions{CacheFrac: 0.02, EvictionLookahead: 5})
+		},
+		"strawman": func(e *Env) (Engine, error) { return NewStrawMan(e, 0.02, cache.LRU) },
+		"static":   func(e *Env) (Engine, error) { return NewStaticCache(e, 0.02) },
+	}
+	for name, build := range builders {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) {
+			var base *Report
+			for _, shards := range []int{1, 2, 4} {
+				eng, err := build(metaEnv(t, model, trace.Medium, shards))
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				rep, err := eng.Run(20)
+				if err != nil {
+					t.Fatalf("shards=%d: Run: %v", shards, err)
+				}
+				if base == nil {
+					base = rep
+					continue
+				}
+				if !reflect.DeepEqual(base, rep) {
+					t.Fatalf("report diverged at shards=%d:\nS=1 %+v\nS=%d %+v", shards, base, shards, rep)
+				}
+			}
+		})
+	}
+}
+
+// TestShardsFunctionalEquivalence extends the bitwise model-state
+// equivalence claim to the sharded control plane: sharding changes which
+// physical slot a row occupies, never its values or update order.
+func TestShardsFunctionalEquivalence(t *testing.T) {
+	const iters = 30
+	base := newTestEnv(t, trace.Medium, 7)
+	runAndFlush(t, NewHybrid(base), iters)
+
+	for _, shards := range []int{2, 4} {
+		env, err := NewEnv(EnvConfig{
+			Model:      smallModel(),
+			System:     hw.DefaultSystem(),
+			Class:      trace.Medium,
+			Seed:       7,
+			Functional: true,
+			Shards:     shards,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewScratchPipe(env, ScratchPipeOptions{CacheFrac: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runAndFlush(t, eng, iters)
+		assertSameModelState(t, "sharded-scratchpipe", env, base)
+	}
+}
+
+// TestShardsValidation: invalid shard configurations must be rejected at
+// construction, not discovered mid-run.
+func TestShardsValidation(t *testing.T) {
+	if _, err := NewEnv(EnvConfig{
+		Model:  smallModel(),
+		System: hw.DefaultSystem(),
+		Shards: -1,
+	}); err == nil {
+		t.Fatal("negative shard count accepted by NewEnv")
+	}
+	env := metaEnv(t, smallModel(), trace.Medium, 2)
+	if _, err := NewScratchPipe(env, ScratchPipeOptions{CacheFrac: 0.05, Policy: cache.LFU}); err == nil {
+		t.Fatal("sharded LFU accepted (eviction coordinator is LRU-specific)")
+	}
+	if _, err := NewStrawMan(env, 0.05, cache.RandomPolicy); err == nil {
+		t.Fatal("sharded random policy accepted")
+	}
+}

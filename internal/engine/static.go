@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/embed"
+	"repro/internal/par"
 	"repro/internal/tensor"
 	"repro/internal/trace"
 )
@@ -27,12 +28,27 @@ type StaticCache struct {
 	// acc is per-table scratch for the parallel fan-out; reduced
 	// serially in table order each iteration.
 	acc []staticAcc
+	// shards > 1 routes each table's hit/miss classification through
+	// the sharded control plane: the distinct-ID list splits into
+	// shards ranges classified concurrently (the static cache's hit
+	// predicate is a pure function of the ID, so no hash routing is
+	// needed), with per-shard counters reduced serially — identical
+	// totals at any shard count. shardPool carries the per-table share
+	// of the Workers budget, like the dynamic engines' shard fan-out.
+	shards    int
+	shardPool *par.Pool
+	chunks    [][]staticChunk
 }
 
 // staticAcc collects one table's contribution to an iteration.
 type staticAcc struct {
 	cpuFwd, cpuBwd, gpu float64
 	hitOcc, missOcc     int
+}
+
+// staticChunk collects one shard range's classification counts.
+type staticChunk struct {
+	hitOcc, missOcc, uniqHit, uniqMiss int
 }
 
 // NewStaticCache builds the engine with a per-table static cache sized to
@@ -67,6 +83,17 @@ func NewStaticCache(env *Env, topFrac float64) (*StaticCache, error) {
 		}
 	}
 	s.acc = make([]staticAcc, cfg.NumTables)
+	s.shards = env.Cfg.Shards
+	if s.shards < 1 {
+		s.shards = 1
+	}
+	if s.shards > 1 {
+		s.shardPool = par.New((env.Pool.Workers() + cfg.NumTables - 1) / cfg.NumTables)
+		s.chunks = make([][]staticChunk, cfg.NumTables)
+		for t := range s.chunks {
+			s.chunks[t] = make([]staticChunk, s.shards)
+		}
+	}
 	return s, nil
 }
 
@@ -103,13 +130,38 @@ func (s *StaticCache) Run(n int) (*Report, error) {
 			a := &s.acc[t]
 			uniq, cnt := b.UniqueWithCounts(t)
 			var hitOcc, missOcc, uniqHit, uniqMiss int
-			for i, id := range uniq {
-				if s.caches[t].Hit(id) {
-					uniqHit++
-					hitOcc += int(cnt[i])
-				} else {
-					uniqMiss++
-					missOcc += int(cnt[i])
+			if s.shards > 1 {
+				chunks := s.chunks[t]
+				s.shardPool.ForEach(s.shards, func(c int) {
+					lo := c * len(uniq) / s.shards
+					hi := (c + 1) * len(uniq) / s.shards
+					var ch staticChunk
+					for i := lo; i < hi; i++ {
+						if s.caches[t].Hit(uniq[i]) {
+							ch.uniqHit++
+							ch.hitOcc += int(cnt[i])
+						} else {
+							ch.uniqMiss++
+							ch.missOcc += int(cnt[i])
+						}
+					}
+					chunks[c] = ch
+				})
+				for _, ch := range chunks {
+					hitOcc += ch.hitOcc
+					missOcc += ch.missOcc
+					uniqHit += ch.uniqHit
+					uniqMiss += ch.uniqMiss
+				}
+			} else {
+				for i, id := range uniq {
+					if s.caches[t].Hit(id) {
+						uniqHit++
+						hitOcc += int(cnt[i])
+					} else {
+						uniqMiss++
+						missOcc += int(cnt[i])
+					}
 				}
 			}
 			s.caches[t].RecordQuery(hitOcc, missOcc)

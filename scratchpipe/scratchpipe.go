@@ -132,6 +132,12 @@ type Config struct {
 	// serial path. Simulated stats and functional results are
 	// bit-identical at any worker count.
 	Workers int
+	// Shards partitions each table's scratchpad control plane across
+	// socket shards (hash-partitioned ID space with cross-shard
+	// eviction-budget coordination; see internal/shard). 0 and 1 select
+	// the unsharded planner; simulated stats and functional results are
+	// identical at any shard count. Shards > 1 requires the LRU policy.
+	Shards int
 }
 
 func (c *Config) applyDefaults() {
@@ -170,6 +176,7 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 		Functional: cfg.Functional,
 		Optimizer:  cfg.Optimizer,
 		Workers:    cfg.Workers,
+		Shards:     cfg.Shards,
 	})
 	if err != nil {
 		return nil, err
