@@ -5,15 +5,21 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench hotpath benchgate fmtcheck
+.PHONY: check vet build test race examples bench hotpath benchgate fmtcheck
 
-check: vet build test race
+check: vet build test race examples
 
 vet:
 	$(GO) vet ./...
 
 build:
 	$(GO) build ./...
+
+# Build-only gate for every example program (vet+build already cover
+# them via ./..., but an explicit target keeps them from silently
+# dropping out of the gate if the build patterns ever narrow).
+examples:
+	$(GO) build ./examples/...
 
 test:
 	$(GO) test ./...

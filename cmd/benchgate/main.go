@@ -8,14 +8,17 @@
 //
 //	benchgate -baseline BENCH_hotpath.json [-wall-factor 1.25]
 //	          [-alloc-factor 1.25] [-runs 2] [-workers 1] [-shards 1]
+//	          [-topology single] [-placement stripe]
 //
 // The gate measures with Workers=1 and Shards=1 by default so allocation
 // counts are deterministic and wall time does not depend on the CI
 // runner's core count; it compares against the most recent baseline entry
-// with the same configuration label, preferring entries with the same
-// workers/shards shape. Wall time is the minimum of -runs sweeps, which
-// damps scheduler noise on shared runners. Exit status 1 means a
-// regression, 2 a usage/baseline problem.
+// with the same configuration label and the same
+// workers/shards/topology/placement shape. Passing -shards with
+// -topology/-placement gates the sharded+placement entry family (the
+// coordination-metering hot path) against its own baseline. Wall time is
+// the minimum of -runs sweeps, which damps scheduler noise on shared
+// runners. Exit status 1 means a regression, 2 a usage/baseline problem.
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/hw"
 )
 
 func main() {
@@ -35,7 +39,24 @@ func main() {
 	runs := flag.Int("runs", 2, "measurement repetitions (best wall time wins)")
 	workers := flag.Int("workers", 1, "per-table fan-out parallelism for the measurement")
 	shards := flag.Int("shards", 1, "scratchpad shards per table for the measurement")
+	topology := flag.String("topology", "single", "shard placement topology for the measurement ("+hw.TopologyNames+")")
+	placement := flag.String("placement", "stripe", "shard placement policy for the measurement (stripe|range|loadaware)")
 	flag.Parse()
+
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "benchgate: -shards %d: shard count must be >= 1\n", *shards)
+		os.Exit(2)
+	}
+	topo, err := hw.ParseTopology(*topology)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: -topology %q: want %s\n", *topology, hw.TopologyNames)
+		os.Exit(2)
+	}
+	policy, err := hw.ParsePlacementPolicy(*placement)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: -placement %q: want stripe, range, or loadaware\n", *placement)
+		os.Exit(2)
+	}
 
 	data, err := os.ReadFile(*baseline)
 	if err != nil {
@@ -47,11 +68,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: %s is not a hot-path history: %v\n", *baseline, err)
 		os.Exit(2)
 	}
-	base := pickBaseline(hist.History, *configName, *workers, *shards)
+	topoName := ""
+	if topo.NumNodes() > 1 {
+		topoName = topo.Name
+	}
+	base := pickBaseline(hist.History, *configName, *workers, *shards, topoName, string(policy))
 	if base == nil {
 		fmt.Fprintf(os.Stderr,
-			"benchgate: no %q entry with workers=%d shards=%d in %s to gate against; record one with:\n  go run ./cmd/spbench -quick -json %s -workers %d -shards %d\n",
-			*configName, *workers, *shards, *baseline, *baseline, *workers, *shards)
+			"benchgate: no %q entry with workers=%d shards=%d topology=%q placement=%q in %s to gate against; record one with:\n  go run ./cmd/spbench -quick -json %s -workers %d -shards %d -topology %s -placement %s\n",
+			*configName, *workers, *shards, *topology, *placement, *baseline, *baseline, *workers, *shards, *topology, *placement)
 		os.Exit(2)
 	}
 
@@ -61,6 +86,10 @@ func main() {
 	}
 	cfg.Workers = *workers
 	cfg.Shards = *shards
+	if topo.NumNodes() > 1 {
+		cfg.Topology = topo
+		cfg.Placement = policy
+	}
 
 	var best *bench.HotPathResult
 	for i := 0; i < *runs; i++ {
@@ -98,23 +127,40 @@ func main() {
 }
 
 // pickBaseline returns the most recent entry matching the configuration
-// label AND the measurement's workers/shards shape (shards 0 and 1 both
-// mean unsharded). A shape mismatch returns nil rather than silently
-// gating against an entry measured under a different fan-out — e.g. the
-// committed S=8 shard-scaling record is ~50% slower and 4x more
-// allocation-heavy than the S=1 baseline, and comparing against it would
-// mask real regressions.
-func pickBaseline(hist []bench.HotPathResult, config string, workers, shards int) *bench.HotPathResult {
+// label AND the measurement's workers/shards/topology/placement shape
+// (shards 0 and 1 both mean unsharded; topology ""/"single" and
+// placement ""/"stripe" are the co-located defaults). A shape mismatch
+// returns nil rather than silently gating against an entry measured
+// under a different fan-out — e.g. the committed S=8 shard-scaling
+// record is ~50% slower and 4x more allocation-heavy than the S=1
+// baseline, and comparing against it would mask real regressions; the
+// placement-family entries additionally pay coordination metering the
+// co-located sweep never executes.
+func pickBaseline(hist []bench.HotPathResult, config string, workers, shards int, topology, placement string) *bench.HotPathResult {
 	norm := func(s int) int {
 		if s <= 1 {
 			return 1
 		}
 		return s
 	}
+	normTopo := func(s string) string {
+		if s == "single" {
+			return ""
+		}
+		return s
+	}
+	normPlace := func(s string) string {
+		if s == "stripe" {
+			return ""
+		}
+		return s
+	}
 	var exact *bench.HotPathResult
 	for i := range hist {
 		e := &hist[i]
-		if e.Config == config && e.Workers == workers && norm(e.Shards) == norm(shards) {
+		if e.Config == config && e.Workers == workers && norm(e.Shards) == norm(shards) &&
+			normTopo(e.Topology) == normTopo(topology) &&
+			(normTopo(e.Topology) == "" || normPlace(e.Placement) == normPlace(placement)) {
 			exact = e
 		}
 	}

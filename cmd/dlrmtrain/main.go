@@ -5,15 +5,23 @@
 //
 //	dlrmtrain -engine scratchpipe -class High -iters 50 -rows 100000
 //	dlrmtrain -engine hybrid -functional=false -iters 20   # timing only
+//	dlrmtrain -shards 4 -topology cluster2x2 -placement loadaware
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/scratchpipe"
 )
+
+// fail prints a one-line usage error and exits with status 2.
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dlrmtrain: "+format+"\n", args...)
+	os.Exit(2)
+}
 
 func main() {
 	engineFlag := flag.String("engine", "scratchpipe", "hybrid|static|strawman|scratchpipe|multigpu")
@@ -29,9 +37,33 @@ func main() {
 	parallel := flag.Bool("parallel", false, "run pipeline stages in goroutines")
 	workers := flag.Int("workers", 0, "per-table fan-out parallelism (0 = GOMAXPROCS, 1 = serial)")
 	shards := flag.Int("shards", 1, "scratchpad shards per table (1 = unsharded; results identical at any count)")
+	topology := flag.String("topology", "single", "shard placement topology (single, numa<N>, pcie<N>, nvlink<N>, cluster<H>x<S>)")
+	placement := flag.String("placement", "stripe", "shard placement policy (stripe|range|loadaware)")
 	functional := flag.Bool("functional", true, "execute real float32 training")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
+
+	// Reject bad knob combinations here, with one-line errors, instead
+	// of letting them fail (or silently misbehave) deep in the engine.
+	if *shards < 1 {
+		fail("-shards %d: shard count must be >= 1", *shards)
+	}
+	switch scratchpipe.PolicyKind(*policy) {
+	case scratchpipe.LRU, scratchpipe.LFU, scratchpipe.RandomPolicy:
+	default:
+		fail("-policy %q: want lru, lfu, or random", *policy)
+	}
+	if *shards > 1 && scratchpipe.PolicyKind(*policy) != scratchpipe.LRU {
+		fail("-shards %d requires -policy lru (the cross-shard eviction coordinator merges LRU recency orders)", *shards)
+	}
+	topo, err := scratchpipe.ParseTopology(*topology)
+	if err != nil {
+		fail("-topology %q: want single, numa<N>, pcie<N>, nvlink<N>, or cluster<H>x<S>", *topology)
+	}
+	place, err := scratchpipe.ParsePlacementPolicy(*placement)
+	if err != nil {
+		fail("-placement %q: want stripe, range, or loadaware", *placement)
+	}
 
 	class, err := scratchpipe.ParseClass(*classFlag)
 	if err != nil {
@@ -46,7 +78,7 @@ func main() {
 	model.BottomHidden = []int{64, 32}
 	model.TopHidden = []int{128, 64}
 
-	tr, err := scratchpipe.NewTrainer(scratchpipe.Config{
+	cfg := scratchpipe.Config{
 		Engine:     scratchpipe.Kind(*engineFlag),
 		Model:      model,
 		Class:      class,
@@ -57,7 +89,12 @@ func main() {
 		Shards:     *shards,
 		Functional: *functional,
 		Seed:       *seed,
-	})
+		Placement:  place,
+	}
+	if topo.NumNodes() > 1 {
+		cfg.Topology = topo
+	}
+	tr, err := scratchpipe.NewTrainer(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,4 +120,8 @@ func main() {
 	}
 	fmt.Printf("  breakdown: cpu-emb-fwd %.3f ms, cpu-emb-bwd %.3f ms, gpu %.3f ms\n",
 		rep.CPUEmbFwd*1e3, rep.CPUEmbBwd*1e3, rep.GPUTime*1e3)
+	if rep.CoordTime > 0 {
+		fmt.Printf("  shard coordination:       %.3f ms/iter (%s, %s placement, %d shards)\n",
+			rep.CoordTime*1e3, topo.Name, place, *shards)
+	}
 }

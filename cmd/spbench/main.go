@@ -5,7 +5,9 @@
 //	spbench [-experiment all|fig3|fig5|fig6|fig6classes|fig12a|fig12b|
 //	         fig13|fig14|fig15a|fig15b|tablei|overhead|sensitivity|ablation]
 //	        [-iters N] [-quick] [-seed S] [-workers N] [-shards S]
-//	spbench -json BENCH_hotpath.json [-quick] [-workers N] [-shards S] [-note TEXT]
+//	        [-topology T] [-placement P]
+//	spbench -json BENCH_hotpath.json [-quick] [-workers N] [-shards S]
+//	        [-topology T] [-placement P] [-note TEXT]
 //
 // With -quick the paper-scale tables (10M rows) shrink 50x, which changes
 // absolute hit rates slightly but preserves every qualitative shape; use it
@@ -13,6 +15,13 @@
 // (0 = GOMAXPROCS); -shards partitions each table's scratchpad control
 // plane across socket shards (internal/shard); simulated results are
 // identical at any worker and shard count.
+//
+// -topology places the shards on a platform graph ("single", "numa2",
+// "pcie4", "cluster2x2", ...) and -placement picks the shard-to-node
+// policy (stripe|range|loadaware): the cross-shard coordinator's traffic
+// is then priced on the links the placement crosses. The default single
+// topology co-locates everything at zero cost, so every table stays
+// bit-identical to the unplaced tree.
 //
 // With -json the command runs the hot-path benchmark (one Figure 13
 // sweep) instead of printing tables, appends the wall-clock and allocator
@@ -26,6 +35,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/hw"
 )
 
 var experiments = map[string]func(bench.Config) (*bench.Table, error){
@@ -52,9 +62,28 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	workers := flag.Int("workers", 0, "per-table fan-out parallelism (0 = GOMAXPROCS, 1 = serial)")
 	shards := flag.Int("shards", 1, "scratchpad shards per table (1 = unsharded; results identical at any count; non-LRU policy studies always run unsharded)")
+	topology := flag.String("topology", "single", "shard placement topology ("+hw.TopologyNames+")")
+	placement := flag.String("placement", "stripe", "shard placement policy (stripe|range|loadaware)")
 	jsonPath := flag.String("json", "", "run the hot-path benchmark and append the measurement to this JSON history file")
 	note := flag.String("note", "", "free-form note recorded with the -json measurement")
 	flag.Parse()
+
+	// Validate the knobs here, with one-line errors, rather than deep in
+	// the engine.
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "spbench: -shards %d: shard count must be >= 1\n", *shards)
+		os.Exit(2)
+	}
+	topo, err := hw.ParseTopology(*topology)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spbench: -topology %q: want %s\n", *topology, hw.TopologyNames)
+		os.Exit(2)
+	}
+	policy, err := hw.ParsePlacementPolicy(*placement)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spbench: -placement %q: want stripe, range, or loadaware\n", *placement)
+		os.Exit(2)
+	}
 
 	cfg := bench.Default()
 	configName := "full"
@@ -68,6 +97,10 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Workers = *workers
 	cfg.Shards = *shards
+	if topo.NumNodes() > 1 {
+		cfg.Topology = topo
+		cfg.Placement = policy
+	}
 
 	if *jsonPath != "" {
 		res, err := bench.HotPath(cfg, configName)
@@ -80,8 +113,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "spbench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("hotpath (%s, workers=%d, shards=%d): %.2fs wall, %d allocs, %.1f MB allocated, sp-vs-static avg %.2fx -> %s\n",
-			configName, res.Workers, res.Shards, res.WallSeconds, res.Allocs, float64(res.AllocBytes)/1e6,
+		shape := ""
+		if res.Topology != "" {
+			shape = fmt.Sprintf(", topology=%s, placement=%s", res.Topology, res.Placement)
+		}
+		fmt.Printf("hotpath (%s, workers=%d, shards=%d%s): %.2fs wall, %d allocs, %.1f MB allocated, sp-vs-static avg %.2fx -> %s\n",
+			configName, res.Workers, res.Shards, shape, res.WallSeconds, res.Allocs, float64(res.AllocBytes)/1e6,
 			res.ScratchPipeSpeedupAvg, *jsonPath)
 		return
 	}

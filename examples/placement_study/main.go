@@ -1,0 +1,140 @@
+// Placement study: the communication wall, priced. PR 2's sharded
+// planner coordinates through shared memory at zero modeled cost; this
+// study places the shards on real topology nodes (sockets, PCIe
+// devices, hosts) and sweeps placement policies x shard counts, showing
+// how the cross-shard coordinator's victim-merge, touch-stamp, and
+// borrow traffic turns into iteration latency as placement crosses
+// NUMA -> PCIe -> network tiers — the scaling wall "Understanding
+// Training Efficiency of DLRM at Scale" (Acun et al.) measures — and
+// what each point costs in Table I's units (one rented instance per
+// host the placement spans).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/hw"
+	"repro/scratchpipe"
+)
+
+func main() {
+	classFlag := flag.String("class", "Medium", "locality class: Random|Low|Medium|High")
+	iters := flag.Int("iters", 12, "simulated iterations per data point")
+	rows := flag.Int64("rows", 200_000, "rows per embedding table (quick scale)")
+	flag.Parse()
+
+	class, err := scratchpipe.ParseClass(*classFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := scratchpipe.DefaultModel()
+	model.RowsPerTable = *rows
+	model.BatchSize = 256
+
+	run := func(shards int, topoName string, policy scratchpipe.PlacementPolicy) *scratchpipe.Report {
+		var topo *scratchpipe.Topology
+		if topoName != "single" {
+			topo, err = scratchpipe.ParseTopology(topoName)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		tr, err := scratchpipe.NewTrainer(scratchpipe.Config{
+			Engine:    scratchpipe.KindScratchPipe,
+			Model:     model,
+			Class:     class,
+			CacheFrac: 0.02,
+			Shards:    shards,
+			Topology:  topo,
+			Placement: policy,
+			Seed:      42,
+		})
+		if err != nil {
+			log.Fatalf("%s/%s/S=%d: %v", topoName, policy, shards, err)
+		}
+		rep, err := tr.Train(*iters)
+		if err != nil {
+			log.Fatalf("%s/%s/S=%d: %v", topoName, policy, shards, err)
+		}
+		return rep
+	}
+
+	fmt.Printf("Placement study — ScratchPipe, class %s, %d tables x %d rows, 2%% cache\n\n",
+		class, model.NumTables, model.RowsPerTable)
+
+	// Part 1: the tier ladder. Same shard count, same placement policy,
+	// topologies one interconnect tier apart. Coordination latency must
+	// climb monotonically; cache statistics must not move at all.
+	const ladderShards = 4
+	fmt.Println("Tier ladder (4 shards, stripe placement): the same coordinator, priced per tier")
+	fmt.Printf("%-12s %-8s %12s %14s %12s %10s\n",
+		"topology", "tier", "iter (ms)", "coord (ms)", "hit rate", "hosts")
+	base := run(ladderShards, "single", scratchpipe.PlaceStripe)
+	for _, row := range []struct{ topo, tier string }{
+		{"single", "local"},
+		{"numa4", "numa"},
+		{"pcie4", "pcie"},
+		{"cluster4x1", "net"},
+	} {
+		rep := run(ladderShards, row.topo, scratchpipe.PlaceStripe)
+		topo, _ := scratchpipe.ParseTopology(row.topo)
+		cl := cost.ClusterFor(topo, cost.P32xlarge)
+		fmt.Printf("%-12s %-8s %12.3f %14.4f %11.1f%% %10d\n",
+			row.topo, row.tier, rep.IterTime*1e3, rep.CoordTime*1e3, rep.HitRate()*100, cl.Hosts)
+		if rep.Hits != base.Hits || rep.Misses != base.Misses || rep.Evictions != base.Evictions {
+			log.Fatalf("%s: cache behaviour changed under placement — invariance broken", row.topo)
+		}
+	}
+
+	// Part 2: the policy x shard-count frontier on the two-host cluster.
+	// More shards buy parallelism a 1-CPU simulation cannot show, but
+	// every extra shard adds coordinator traffic; the frontier shows
+	// throughput against rented-fleet cost.
+	fmt.Println()
+	fmt.Println("Policy frontier on cluster2x2 (two hosts x two sockets, network between hosts)")
+	fmt.Printf("%-10s %-10s %12s %14s %16s %14s\n",
+		"placement", "shards", "iter (ms)", "coord (ms)", "$/1M iters", "fleet")
+	topo, _ := scratchpipe.ParseTopology("cluster2x2")
+	for _, policy := range []scratchpipe.PlacementPolicy{
+		scratchpipe.PlaceStripe, scratchpipe.PlaceRange, scratchpipe.PlaceLoadAware,
+	} {
+		for _, shards := range []int{2, 4, 8} {
+			rep := run(shards, "cluster2x2", policy)
+			// Rent only the hosts this placement actually spans (e.g.
+			// stripe S=2 keeps both shards on host 0). Host span is
+			// weight-independent for stripe/range by construction and
+			// for greedy load-aware whenever every shard carries mass
+			// (empty nodes win ties before any node doubles up), so
+			// nil weights reproduce the engine's placements' span.
+			pl, err := hw.NewPlacement(policy, topo, shards, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fleet := cost.Cluster{Instance: cost.P32xlarge, Hosts: pl.Hosts()}
+			fmt.Printf("%-10s %-10d %12.3f %14.4f %16s %14s\n",
+				policy, shards, rep.IterTime*1e3, rep.CoordTime*1e3,
+				cost.FormatUSD(fleet.MillionIterCost(rep.IterTime)), fleet.Name())
+		}
+	}
+	single := cost.Cluster{Instance: cost.P32xlarge, Hosts: 1}
+	fmt.Printf("%-10s %-10d %12.3f %14.4f %16s %14s   <- the paper's design point\n",
+		"(none)", 1, base.IterTime*1e3, 0.0,
+		cost.FormatUSD(single.MillionIterCost(base.IterTime)), single.Name())
+
+	fmt.Println()
+	fmt.Println(strings.TrimSpace(`
+Reading: plans, evictions, and hit rates are identical in every row —
+placement only prices the coordination the shared-memory planner got for
+free. Crossing NUMA is nearly free; crossing PCIe visibly stretches the
+Plan stage; crossing the network multiplies iteration time while DOUBLING
+the hourly bill (two rented hosts), which is the Acun et al. scaling wall
+in Table I units: scale-out buys parallel planning capacity only if the
+per-iteration coordination it adds stays off the critical path. Range
+placement keeps neighbor shards co-located (fewest cross-host borrow
+hops); load-aware placement balances hot-table shard mass and pulls the
+worst-case rows in when table heat is skewed.`))
+}

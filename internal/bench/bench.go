@@ -6,8 +6,8 @@
 //
 // Absolute times come from the calibrated analytic model in internal/hw;
 // the claims to check are the *shapes*: who wins, by what factor, and
-// where the crossovers fall. EXPERIMENTS.md records paper-vs-measured for
-// every experiment.
+// where the crossovers fall. DESIGN.md records the calibration rationale
+// behind the absolute numbers.
 package bench
 
 import (
@@ -39,6 +39,13 @@ type Config struct {
 	// socket shards (0/1 = unsharded; see internal/shard). Simulated
 	// results are identical at any shard count.
 	Shards int
+	// Topology places the shards on a platform graph and Placement
+	// picks the shard-to-node policy (stripe/range/loadaware): the
+	// shard coordinator's traffic is then priced on the crossed links.
+	// nil topology co-locates everything at zero cost, keeping every
+	// figure bit-identical to the unplaced tree.
+	Topology  *hw.Topology
+	Placement hw.PlacementPolicy
 }
 
 // Default returns the paper's §V methodology configuration. Iters must
@@ -136,6 +143,8 @@ func newEnv(cfg Config, model dlrm.Config, class trace.Class) (*engine.Env, erro
 		Functional: false,
 		Workers:    cfg.Workers,
 		Shards:     cfg.Shards,
+		Topology:   cfg.Topology,
+		Placement:  cfg.Placement,
 	})
 }
 

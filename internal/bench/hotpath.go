@@ -26,6 +26,12 @@ type HotPathResult struct {
 	// Shards is the per-table scratchpad shard count (0/1 = unsharded),
 	// so the history records per-shard-count scaling of the same sweep.
 	Shards int `json:"shards,omitempty"`
+	// Topology/Placement record the shard placement shape of the sweep
+	// (empty = all shards co-located / stripe): entries of the
+	// sharded+placement family gate independently of the co-located
+	// baseline, whose coordination cost is zero by construction.
+	Topology  string `json:"topology,omitempty"`
+	Placement string `json:"placement,omitempty"`
 	// Iters is the measured iterations per data point.
 	Iters int `json:"iters"`
 	// WallSeconds is the real time of one full Figure 13 sweep.
@@ -66,11 +72,17 @@ func HotPath(cfg Config, configName string) (*HotPathResult, error) {
 		_, _, sp := p.SpeedupVsStatic()
 		spSum += sp
 	}
+	topoName := ""
+	if cfg.Topology != nil {
+		topoName = cfg.Topology.Name
+	}
 	return &HotPathResult{
 		Timestamp:             time.Now().UTC().Format(time.RFC3339),
 		Config:                configName,
 		Workers:               cfg.Workers,
 		Shards:                cfg.Shards,
+		Topology:              topoName,
+		Placement:             string(cfg.Placement),
 		GoMaxProcs:            runtime.GOMAXPROCS(0),
 		Iters:                 cfg.Iters,
 		WallSeconds:           wall.Seconds(),

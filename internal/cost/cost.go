@@ -2,9 +2,18 @@
 // on-demand pricing multiplied by the simulated time to run one million
 // training iterations. ScratchPipe's pitch is that a single-GPU p3.2xlarge
 // matching (a fraction of) an 8-GPU p3.16xlarge's throughput wins on cost.
+//
+// Beyond the paper's two single-instance rows, Cluster generalizes the
+// arithmetic to multi-host topologies: a shard placement that spans H
+// hosts rents H instances, so the placement study can price the
+// coordination-latency/throughput frontier in the same units as Table I.
 package cost
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/hw"
+)
 
 // Instance is one AWS EC2 instance type.
 type Instance struct {
@@ -39,3 +48,57 @@ func MillionIterCost(inst Instance, iterTime float64) float64 {
 
 // FormatUSD renders a dollar amount Table I style.
 func FormatUSD(v float64) string { return fmt.Sprintf("$ %.2f", v) }
+
+// Cluster is a fleet of identically priced instances: the unit a
+// multi-host shard placement rents. One host is Table I's original
+// single-instance arithmetic.
+type Cluster struct {
+	// Instance is the per-host instance type.
+	Instance Instance
+	// Hosts is the number of instances rented.
+	Hosts int
+}
+
+// Name renders the cluster ("p3.2xlarge" or "4x p3.2xlarge").
+func (c Cluster) Name() string {
+	if c.Hosts <= 1 {
+		return c.Instance.Name
+	}
+	return fmt.Sprintf("%dx %s", c.Hosts, c.Instance.Name)
+}
+
+// PricePerHour is the fleet's aggregate on-demand price.
+func (c Cluster) PricePerHour() float64 {
+	h := c.Hosts
+	if h < 1 {
+		h = 1
+	}
+	return float64(h) * c.Instance.PricePerHour
+}
+
+// CostFor returns the USD cost of running iters iterations at iterTime
+// seconds each on the whole fleet (every host is rented for the full
+// duration, which is exactly why unpriced cross-host placements flatter
+// scale-out).
+func (c Cluster) CostFor(iterTime float64, iters int64) float64 {
+	if iterTime < 0 || iters < 0 {
+		return 0
+	}
+	return iterTime * float64(iters) / 3600 * c.PricePerHour()
+}
+
+// MillionIterCost is the fleet's "1M Iter. Cost" column.
+func (c Cluster) MillionIterCost(iterTime float64) float64 {
+	return c.CostFor(iterTime, 1_000_000)
+}
+
+// ClusterFor sizes a fleet for a topology: one instance per distinct
+// host the topology's nodes span. A nil topology is the single-host
+// degenerate case.
+func ClusterFor(topo *hw.Topology, inst Instance) Cluster {
+	hosts := 1
+	if topo != nil {
+		hosts = topo.Hosts()
+	}
+	return Cluster{Instance: inst, Hosts: hosts}
+}

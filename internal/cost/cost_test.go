@@ -4,6 +4,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"repro/internal/hw"
 )
 
 func TestTableIPricing(t *testing.T) {
@@ -43,5 +45,37 @@ func TestCostForEdgeCases(t *testing.T) {
 func TestFormatUSD(t *testing.T) {
 	if got := FormatUSD(40.635); !strings.HasPrefix(got, "$ 40.6") {
 		t.Errorf("FormatUSD = %q", got)
+	}
+}
+
+func TestClusterArithmetic(t *testing.T) {
+	// One host degenerates to the single-instance arithmetic.
+	one := Cluster{Instance: P32xlarge, Hosts: 1}
+	if one.MillionIterCost(47.82e-3) != MillionIterCost(P32xlarge, 47.82e-3) {
+		t.Error("1-host cluster diverges from single-instance cost")
+	}
+	if one.Name() != P32xlarge.Name {
+		t.Errorf("1-host cluster name %q", one.Name())
+	}
+	// Four hosts cost exactly four times as much for the same duration.
+	four := Cluster{Instance: P32xlarge, Hosts: 4}
+	if got, want := four.CostFor(3600, 1), 4*P32xlarge.PricePerHour; math.Abs(got-want) > 1e-9 {
+		t.Errorf("4-host hour costs %v, want %v", got, want)
+	}
+	if four.Name() != "4x p3.2xlarge" {
+		t.Errorf("cluster name %q", four.Name())
+	}
+	if four.CostFor(-1, 100) != 0 {
+		t.Error("negative inputs should cost zero")
+	}
+	// Topology sizing: one instance per distinct host.
+	if got := ClusterFor(hw.Cluster(2, 2), P32xlarge).Hosts; got != 2 {
+		t.Errorf("cluster2x2 rents %d hosts, want 2", got)
+	}
+	if got := ClusterFor(hw.MultiSocket(4), P32xlarge).Hosts; got != 1 {
+		t.Errorf("numa4 rents %d hosts, want 1", got)
+	}
+	if got := ClusterFor(nil, P32xlarge).Hosts; got != 1 {
+		t.Errorf("nil topology rents %d hosts, want 1", got)
 	}
 }

@@ -74,7 +74,12 @@ type spJob struct {
 	// serially in table order afterward, so a parallel run sums floats
 	// in exactly the order Workers=1 does (bit-identical timing).
 	tCPU, tGPU []float64
-	stageTime  [core.NumStages]float64
+	// tCoord collects each table's cross-node shard-coordination
+	// latency for the Plan just executed; coord accumulates the batch's
+	// total (zero under co-located placement).
+	tCoord    []float64
+	coord     float64
+	stageTime [core.NumStages]float64
 	// stageCPU is the CPU-memory-bound component of each stage, used by
 	// the optional contention model (concurrent stages sharing the one
 	// CPU socket's DRAM bandwidth serialize in the worst case).
@@ -112,10 +117,15 @@ func newDynamicState(env *Env, cacheFrac float64, policy cache.PolicyKind, past,
 			FutureWindow: future,
 		}
 		spCfg.Reserve = core.WorstCaseReserve(spCfg, maxUnique)
+		place, err := placementFor(env, t, env.Cfg.Shards)
+		if err != nil {
+			return nil, err
+		}
 		sp, err := shard.New(shard.Config{
 			Scratchpad: spCfg,
 			Shards:     env.Cfg.Shards,
 			Pool:       shardPool,
+			Placement:  place,
 		})
 		if err != nil {
 			return nil, err
@@ -183,6 +193,7 @@ func (d *dynamicState) getJob() *spJob {
 		evictState: make([][]float32, nt),
 		tCPU:       make([]float64, nt),
 		tGPU:       make([]float64, nt),
+		tCoord:     make([]float64, nt),
 	}
 }
 
@@ -213,6 +224,7 @@ func (d *dynamicState) recycleJob(job *spJob) {
 	job.stageTime = [core.NumStages]float64{}
 	job.stageCPU = [core.NumStages]float64{}
 	job.cpuBusy, job.gpuBusy = 0, 0
+	job.coord = 0
 	job.loss = 0
 	d.jobPool = append(d.jobPool, job)
 }
@@ -263,19 +275,27 @@ func (d *dynamicState) stagePlan(job *spJob) error {
 		// Hash-probe traffic: key+value per ID occurrence (the GPU
 		// probes its Hit-Map once per lookup).
 		job.tGPU[t] = d.env.Cfg.System.GPU.RandomTime(float64(len(job.batch.Tables[t])) * 16)
+		// Cross-node coordination latency this table's placement just
+		// paid (zero when its shards are co-located).
+		job.tCoord[t] = d.sps[t].LastPlanCoord()
 		return nil
 	})
 	if err != nil {
 		return err
 	}
 	totalIDs := 0
-	var gpuProbe float64
+	var gpuProbe, coord float64
 	for t := 0; t < cfg.NumTables; t++ {
 		totalIDs += len(job.batch.Tables[t])
 		gpuProbe += job.tGPU[t]
+		coord += job.tCoord[t]
 	}
-	tTime := d.cost.pcie(idBytes(totalIDs))/d.links() + gpuProbe/float64(d.gpus)
+	// The per-table coordinators contend for the same inter-node links,
+	// so their communication serializes (sum, not max) on top of the
+	// local Plan work.
+	tTime := d.cost.pcie(idBytes(totalIDs))/d.links() + gpuProbe/float64(d.gpus) + coord
 	job.stageTime[core.StagePlan] = tTime
+	job.coord += coord
 	job.gpuBusy += gpuProbe
 	return nil
 }

@@ -60,6 +60,19 @@ type EnvConfig struct {
 	// planner. Simulated stats and functional results are identical at
 	// any shard count; Shards > 1 requires the LRU policy.
 	Shards int
+	// Topology places the shards of each table's scratchpad on the
+	// nodes of a platform graph (sockets, hosts; see hw.Topology): the
+	// cross-shard coordinator's messages are then charged to the links
+	// the placement crosses and surface as Report.CoordTime. nil (or
+	// any single-node topology) co-locates all shards at zero
+	// coordination cost — the exact pre-topology behaviour, so every
+	// figure is bit-identical to the unplaced tree.
+	Topology *hw.Topology
+	// Placement selects how shards spread over Topology's nodes:
+	// stripe (default), range, or loadaware (greedy balance of each
+	// table's per-shard query mass). Placement changes only the modeled
+	// coordination latency, never plans or statistics.
+	Placement hw.PlacementPolicy
 }
 
 // Env is the shared substrate an engine trains on: the batch stream and,
@@ -96,6 +109,14 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 	}
 	if cfg.Shards < 0 {
 		return nil, fmt.Errorf("engine: Shards %d < 0", cfg.Shards)
+	}
+	if _, err := hw.ParsePlacementPolicy(string(cfg.Placement)); err != nil {
+		return nil, err
+	}
+	if cfg.Topology != nil {
+		if err := cfg.Topology.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	gen, err := trace.NewGenerator(trace.GeneratorConfig{
 		NumTables:    cfg.Model.NumTables,
@@ -174,6 +195,11 @@ type Report struct {
 	// StageAvg is the average latency of each pipeline stage per
 	// iteration (Figure 12b); only the dynamic-cache engines fill it.
 	StageAvg [core.NumStages]float64
+	// CoordTime is the average per-iteration cross-node shard
+	// coordination latency (victim merge, touch-stamp sync, free-slot
+	// borrowing on the placement's links; included in the Plan stage's
+	// time). Zero unless shards are placed across topology nodes.
+	CoordTime float64
 	// CPUBusy/GPUBusy are average per-iteration device-active times for
 	// the energy model (Figure 14).
 	CPUBusy float64

@@ -101,6 +101,7 @@ func finalizeAverages(rep *Report, n int, lossSum float64) {
 	rep.GPUTime /= fn
 	rep.CPUBusy /= fn
 	rep.GPUBusy /= fn
+	rep.CoordTime /= fn
 	for s := range rep.StageAvg {
 		rep.StageAvg[s] /= fn
 	}

@@ -220,6 +220,7 @@ func (s *ScratchPipe) Run(n int) (*Report, error) {
 			for st, t := range j.stageTime {
 				rep.StageAvg[st] += t
 			}
+			rep.CoordTime += j.coord
 			rep.CPUBusy += j.cpuBusy
 			rep.GPUBusy += j.gpuBusy
 			// The batch has fully retired: recycle its plans and

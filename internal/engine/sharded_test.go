@@ -50,7 +50,7 @@ func TestShardsReportEquivalence(t *testing.T) {
 		name, build := name, build
 		t.Run(name, func(t *testing.T) {
 			var base *Report
-			for _, shards := range []int{1, 2, 4} {
+			for _, shards := range []int{1, 2, 3, 4, 7} {
 				eng, err := build(metaEnv(t, model, trace.Medium, shards))
 				if err != nil {
 					t.Fatalf("shards=%d: %v", shards, err)
@@ -97,6 +97,108 @@ func TestShardsFunctionalEquivalence(t *testing.T) {
 		}
 		runAndFlush(t, eng, iters)
 		assertSameModelState(t, "sharded-scratchpipe", env, base)
+	}
+}
+
+// placedEnv builds a metadata-mode environment with a shard placement.
+func placedEnv(t *testing.T, model dlrm.Config, shards int, topo *hw.Topology, policy hw.PlacementPolicy) *Env {
+	t.Helper()
+	env, err := NewEnv(EnvConfig{
+		Model:     model,
+		System:    hw.DefaultSystem(),
+		Class:     trace.Medium,
+		Seed:      42,
+		Workers:   2,
+		Shards:    shards,
+		Topology:  topo,
+		Placement: policy,
+	})
+	if err != nil {
+		t.Fatalf("NewEnv(topology=%v): %v", topo, err)
+	}
+	return env
+}
+
+// TestPlacementReportInvariance is the engine half of the placement
+// acceptance criterion: cache behaviour (hits, misses, fills, evictions,
+// reserve pressure) is identical across placements; only the modeled
+// coordination latency — and therefore iteration time — may move. A
+// single-node topology must reproduce the unplaced report exactly.
+func TestPlacementReportInvariance(t *testing.T) {
+	model := dlrm.DefaultConfig()
+	model.RowsPerTable = 50_000
+	model.BatchSize = 128
+	const shards = 4
+
+	run := func(t *testing.T, env *Env) *Report {
+		t.Helper()
+		eng, err := NewScratchPipe(env, ScratchPipeOptions{CacheFrac: 0.02})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := eng.Run(20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	base := run(t, metaEnv(t, model, trace.Medium, shards))
+	if base.CoordTime != 0 {
+		t.Fatalf("unplaced run reports coordination time %g", base.CoordTime)
+	}
+
+	// Degenerate placement: a single-node topology is the unplaced tree
+	// bit for bit.
+	single := run(t, placedEnv(t, model, shards, hw.SingleNode(), hw.PlaceStripe))
+	if !reflect.DeepEqual(base, single) {
+		t.Fatalf("single-node placement diverged:\nbase   %+v\nplaced %+v", base, single)
+	}
+
+	topo := hw.Cluster(2, 2)
+	for _, policy := range hw.PlacementPolicies {
+		rep := run(t, placedEnv(t, model, shards, topo, policy))
+		if rep.Hits != base.Hits || rep.Misses != base.Misses ||
+			rep.Fills != base.Fills || rep.Evictions != base.Evictions ||
+			rep.ReservePeak != base.ReservePeak {
+			t.Fatalf("placement %s changed cache behaviour:\nbase   %+v\nplaced %+v", policy, base, rep)
+		}
+		if rep.CoordTime <= 0 {
+			t.Fatalf("placement %s on %s reports no coordination latency", policy, topo.Name)
+		}
+		if rep.IterTime <= base.IterTime {
+			t.Fatalf("placement %s: iteration time %g not above unplaced %g despite coordination cost",
+				policy, rep.IterTime, base.IterTime)
+		}
+	}
+
+	// Crossing a slower tier must cost strictly more: NUMA < network
+	// for the same placement shape.
+	numa := run(t, placedEnv(t, model, shards, hw.MultiSocket(4), hw.PlaceStripe))
+	net := run(t, placedEnv(t, model, shards, hw.Cluster(4, 1), hw.PlaceStripe))
+	if numa.CoordTime <= 0 || net.CoordTime <= numa.CoordTime {
+		t.Fatalf("tier penalty not monotone: numa %g, net %g", numa.CoordTime, net.CoordTime)
+	}
+}
+
+// TestPlacementValidationEngine: unknown placement policies and invalid
+// topologies must be rejected at environment construction.
+func TestPlacementValidationEngine(t *testing.T) {
+	if _, err := NewEnv(EnvConfig{
+		Model:     smallModel(),
+		System:    hw.DefaultSystem(),
+		Placement: "bogus",
+	}); err == nil {
+		t.Fatal("unknown placement policy accepted by NewEnv")
+	}
+	bad := hw.NewTopology("bad", []hw.Node{{Name: "a"}, {Name: "b"}}, hw.TierNUMA)
+	bad.SetLink(0, 1, hw.Link{Name: "x", Tier: hw.TierNUMA, Bandwidth: -1})
+	if _, err := NewEnv(EnvConfig{
+		Model:    smallModel(),
+		System:   hw.DefaultSystem(),
+		Topology: bad,
+	}); err == nil {
+		t.Fatal("invalid topology accepted by NewEnv")
 	}
 }
 

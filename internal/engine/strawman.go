@@ -76,6 +76,7 @@ func (s *StrawMan) Run(n int) (*Report, error) {
 			rep.StageAvg[st] += t
 		}
 		rep.Wall += iter
+		rep.CoordTime += job.coord
 		rep.CPUBusy += job.cpuBusy
 		rep.GPUBusy += job.gpuBusy
 		lossSum += float64(job.loss)

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 
 	"repro/internal/dlrm"
+	"repro/internal/hw"
+	"repro/internal/shard"
 	"repro/internal/trace"
 )
 
@@ -218,4 +220,54 @@ func (c costModel) denseInputBytes() float64 {
 func (c costModel) pooledBytes() float64 {
 	cfg := c.env.Cfg.Model
 	return float64(cfg.BatchSize) * float64(cfg.EmbeddingDim) * 4
+}
+
+// --- cross-node shard coordination -------------------------------------
+//
+// When EnvConfig places scratchpad shards across topology nodes, the
+// shard coordinator's victim-merge, touch-stamp, and free-slot-borrow
+// messages are metered in bytes (internal/shard's coordMeter) and priced
+// on the links each table's placement crosses. The resulting latency is
+// charged to the [Plan] stage — the coordinator runs inside Plan — and
+// surfaces as Report.CoordTime. With every shard on one node the charge
+// is exactly zero, so all pre-topology figures are bit-identical.
+
+// loadWeightSamples is the number of trace-distribution draws used to
+// estimate per-shard query mass for load-aware placement.
+const loadWeightSamples = 4096
+
+// shardLoadWeights estimates each shard's share of one table's query
+// mass: draws from the table's trace distribution are hashed through the
+// shard router and counted. Deterministic in the seed, so every engine
+// built over the same environment places identically.
+func shardLoadWeights(dist trace.Distribution, seed int64, shards int) []float64 {
+	rng := newSeededRand(seed)
+	w := make([]float64, shards)
+	for i := 0; i < loadWeightSamples; i++ {
+		w[shard.ShardOf(dist.Sample(rng), shards)]++
+	}
+	return w
+}
+
+// placementFor builds table t's shard-to-node assignment under the
+// environment's topology and placement policy. The zero Placement
+// (co-located, costless) is returned when no topology is configured or
+// the table is unsharded.
+func placementFor(env *Env, t, shards int) (hw.Placement, error) {
+	topo := env.Cfg.Topology
+	if topo == nil || shards <= 1 {
+		return hw.Placement{}, nil
+	}
+	policy, err := hw.ParsePlacementPolicy(string(env.Cfg.Placement))
+	if err != nil {
+		return hw.Placement{}, err
+	}
+	var weights []float64
+	if policy == hw.PlaceLoadAware {
+		// Per-shard heat varies per table (hot tables concentrate
+		// their mass on few shards), so each table places its own
+		// shards against its own distribution.
+		weights = shardLoadWeights(env.Gen.Dists()[t], env.Cfg.Seed+int64(5000+t), shards)
+	}
+	return hw.NewPlacement(policy, topo, shards, weights)
 }

@@ -50,10 +50,14 @@ type Device struct {
 	IterOverhead float64
 }
 
-// Link describes an interconnect between devices.
+// Link describes an interconnect between devices or topology nodes.
 type Link struct {
 	// Name identifies the link ("pcie", "nvlink").
 	Name string
+	// Tier classifies where the link sits in the machine hierarchy
+	// (see LinkTier); the zero value TierLocal marks co-located
+	// endpoints whose communication has zero modeled cost.
+	Tier LinkTier
 	// Bandwidth is effective bytes/second per direction.
 	Bandwidth float64
 	// Latency is the fixed per-transfer latency in seconds.
@@ -78,7 +82,7 @@ type System struct {
 // 15.7 TFLOPS FP32), PCIe gen3 x16 (16 GB/s). Efficiency constants are
 // calibrated so the baseline hybrid CPU-GPU configuration lands in the
 // paper's measured range (~150-200 ms/iteration, Figure 5) and ScratchPipe
-// lands in Table I's 26-48 ms range; see EXPERIMENTS.md.
+// lands in Table I's 26-48 ms range; see DESIGN.md §7.
 func DefaultSystem() System {
 	return System{
 		CPU: Device{
@@ -103,12 +107,14 @@ func DefaultSystem() System {
 		},
 		PCIe: Link{
 			Name:       "pcie",
+			Tier:       TierPCIe,
 			Bandwidth:  16e9,
 			Latency:    15e-6,
 			FullDuplex: true,
 		},
 		NVLink: Link{
 			Name:       "nvlink",
+			Tier:       TierNVLink,
 			Bandwidth:  150e9,
 			Latency:    5e-6,
 			FullDuplex: true,

@@ -1,0 +1,174 @@
+// Placement maps scratchpad shards onto topology nodes. The shard
+// coordinator's victim-merge, touch-stamp, and free-slot-borrow messages
+// then cross the links between the nodes its shards occupy, which is
+// what turns the shared-memory coordinator into a costed distributed
+// one. Placement never changes plans, evictions, or statistics — only
+// the modeled coordination latency (the equivalence tests in
+// internal/shard prove the invariance).
+
+package hw
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PlacementPolicy selects how shards spread across topology nodes.
+type PlacementPolicy string
+
+const (
+	// PlaceStripe assigns shard j to node j mod N (round-robin):
+	// maximal spread, every node loaded within one shard of even.
+	PlaceStripe PlacementPolicy = "stripe"
+	// PlaceRange assigns contiguous shard ranges to nodes (shard j to
+	// node j*N/S): neighbors co-locate, which keeps more coordination
+	// local when the shard count exceeds the node count.
+	PlaceRange PlacementPolicy = "range"
+	// PlaceLoadAware greedily balances per-shard load weights (e.g.
+	// each shard's share of a hot table's query mass) across nodes:
+	// heaviest shard first onto the least-loaded node.
+	PlaceLoadAware PlacementPolicy = "loadaware"
+)
+
+// PlacementPolicies lists every policy for usage errors and sweeps.
+var PlacementPolicies = []PlacementPolicy{PlaceStripe, PlaceRange, PlaceLoadAware}
+
+// ParsePlacementPolicy resolves a policy name ("" selects stripe).
+func ParsePlacementPolicy(s string) (PlacementPolicy, error) {
+	switch PlacementPolicy(s) {
+	case "", PlaceStripe:
+		return PlaceStripe, nil
+	case PlaceRange:
+		return PlaceRange, nil
+	case PlaceLoadAware:
+		return PlaceLoadAware, nil
+	}
+	return "", fmt.Errorf("hw: unknown placement policy %q (want stripe, range, or loadaware)", s)
+}
+
+// Placement is a concrete shard-to-node assignment on a topology. The
+// zero value (nil Topo) means "everything co-located": zero coordination
+// cost, the pre-topology behaviour.
+type Placement struct {
+	// Topo is the platform graph the shards are placed on.
+	Topo *Topology
+	// Node[j] is the topology node hosting shard j.
+	Node []int
+	// Policy records how the assignment was computed (reports only).
+	Policy PlacementPolicy
+}
+
+// Distributed reports whether the placement spans more than one node
+// (i.e. whether any coordination cost can arise).
+func (p Placement) Distributed() bool {
+	if p.Topo == nil || len(p.Node) == 0 {
+		return false
+	}
+	for _, n := range p.Node[1:] {
+		if n != p.Node[0] {
+			return true
+		}
+	}
+	return false
+}
+
+// Hosts returns the number of distinct hosts the placement's assigned
+// nodes span — the fleet a deployment of this placement actually rents,
+// which can be smaller than the topology's host count (e.g. two shards
+// striped onto one host of a two-host cluster). Zero-value placements
+// span one host.
+func (p Placement) Hosts() int {
+	if p.Topo == nil || len(p.Node) == 0 {
+		return 1
+	}
+	seen := make(map[int]struct{}, len(p.Node))
+	for _, n := range p.Node {
+		seen[p.Topo.Nodes[n].Host] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Validate reports a descriptive error for an inconsistent placement.
+func (p Placement) Validate(shards int) error {
+	if p.Topo == nil {
+		if len(p.Node) != 0 {
+			return fmt.Errorf("hw: placement has node assignments but no topology")
+		}
+		return nil
+	}
+	if err := p.Topo.Validate(); err != nil {
+		return err
+	}
+	if len(p.Node) != shards {
+		return fmt.Errorf("hw: placement covers %d shards, want %d", len(p.Node), shards)
+	}
+	for j, n := range p.Node {
+		if n < 0 || n >= p.Topo.NumNodes() {
+			return fmt.Errorf("hw: shard %d placed on node %d, topology %q has %d nodes",
+				j, n, p.Topo.Name, p.Topo.NumNodes())
+		}
+	}
+	return nil
+}
+
+// NewPlacement assigns shards to topo's nodes under the given policy.
+// weights carries per-shard load estimates for PlaceLoadAware (heavier
+// shards are spread first); nil weights treat shards as uniform. The
+// assignment is deterministic: equal weights and ties always break
+// toward the lower shard/node index.
+func NewPlacement(policy PlacementPolicy, topo *Topology, shards int, weights []float64) (Placement, error) {
+	pol, err := ParsePlacementPolicy(string(policy))
+	if err != nil {
+		return Placement{}, err
+	}
+	if topo == nil {
+		return Placement{}, fmt.Errorf("hw: placement needs a topology")
+	}
+	if err := topo.Validate(); err != nil {
+		return Placement{}, err
+	}
+	if shards < 1 {
+		return Placement{}, fmt.Errorf("hw: placement of %d shards", shards)
+	}
+	if weights != nil && len(weights) != shards {
+		return Placement{}, fmt.Errorf("hw: %d load weights for %d shards", len(weights), shards)
+	}
+	n := topo.NumNodes()
+	node := make([]int, shards)
+	switch pol {
+	case PlaceStripe:
+		for j := range node {
+			node[j] = j % n
+		}
+	case PlaceRange:
+		for j := range node {
+			node[j] = j * n / shards
+		}
+	case PlaceLoadAware:
+		// Greedy LPT bin packing: heaviest shard first onto the
+		// least-loaded node.
+		order := make([]int, shards)
+		for j := range order {
+			order[j] = j
+		}
+		w := func(j int) float64 {
+			if weights == nil {
+				return 1
+			}
+			return weights[j]
+		}
+		sort.SliceStable(order, func(a, b int) bool { return w(order[a]) > w(order[b]) })
+		load := make([]float64, n)
+		for _, j := range order {
+			best := 0
+			for k := 1; k < n; k++ {
+				if load[k] < load[best] {
+					best = k
+				}
+			}
+			node[j] = best
+			load[best] += w(j)
+		}
+	}
+	return Placement{Topo: topo, Node: node, Policy: pol}, nil
+}

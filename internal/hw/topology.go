@@ -1,0 +1,340 @@
+// Topology generalizes the fixed {one CPU socket, NumGPUs, PCIe, NVLink}
+// platform of System into a graph: a set of named nodes (sockets, GPUs,
+// grouped into hosts) plus a symmetric link matrix whose entries carry an
+// interconnect tier (intra-socket, NUMA, PCIe, NVLink, network). The
+// paper's single-node platform is one instance of this graph
+// (System.Topology); scale-out studies build wider instances and place
+// scratchpad shards on their nodes, which is what prices the
+// communication wall the Acun et al. scaling study identifies.
+//
+// Link calibration constants per tier live in DefaultLink and are
+// documented in DESIGN.md §7.
+
+package hw
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LinkTier classifies an interconnect by where it sits in the machine
+// hierarchy. Tiers are ordered: a higher tier is a slower, more remote
+// hop for the small coordination messages the shard coordinator sends.
+type LinkTier uint8
+
+const (
+	// TierLocal is intra-socket communication (shared LLC/DRAM): the
+	// degenerate zero-cost tier — co-located shards coordinate through
+	// shared memory, exactly the pre-topology model.
+	TierLocal LinkTier = iota
+	// TierNUMA is socket-to-socket traffic on one host (UPI/QPI).
+	TierNUMA
+	// TierPCIe is host-to-device traffic over PCIe gen3 x16.
+	TierPCIe
+	// TierNVLink is device-to-device traffic over an NVLink fabric.
+	TierNVLink
+	// TierNet is host-to-host traffic over the datacenter network
+	// (the p3-class 25 Gb Ethernet).
+	TierNet
+)
+
+var tierNames = [...]string{"local", "numa", "pcie", "nvlink", "net"}
+
+// String returns the tier's short name.
+func (t LinkTier) String() string {
+	if int(t) < len(tierNames) {
+		return tierNames[t]
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// DefaultLink returns the calibrated link model for a tier (DESIGN.md §7).
+// TierLocal returns the zero Link: co-located endpoints communicate
+// through shared memory at zero modeled coordination cost.
+func DefaultLink(t LinkTier) Link {
+	switch t {
+	case TierLocal:
+		return Link{Name: "local", Tier: TierLocal, FullDuplex: true}
+	case TierNUMA:
+		// One UPI/QPI hop: ~20 GB/s per direction, sub-microsecond
+		// small-message latency.
+		return Link{Name: "numa", Tier: TierNUMA, Bandwidth: 20e9, Latency: 0.3e-6, FullDuplex: true}
+	case TierPCIe:
+		// Mirrors DefaultSystem's PCIe gen3 x16 calibration.
+		return Link{Name: "pcie", Tier: TierPCIe, Bandwidth: 16e9, Latency: 15e-6, FullDuplex: true}
+	case TierNVLink:
+		// Mirrors DefaultSystem's NVLink calibration.
+		return Link{Name: "nvlink", Tier: TierNVLink, Bandwidth: 150e9, Latency: 5e-6, FullDuplex: true}
+	case TierNet:
+		// p3-class 25 Gb Ethernet: ~3.1 GB/s effective, tens of
+		// microseconds per small message.
+		return Link{Name: "net", Tier: TierNet, Bandwidth: 3.1e9, Latency: 30e-6, FullDuplex: true}
+	}
+	return Link{}
+}
+
+// NodeKind classifies a topology node.
+type NodeKind uint8
+
+const (
+	// KindSocket is a CPU socket (DRAM + cores).
+	KindSocket NodeKind = iota
+	// KindGPU is an accelerator with its own memory.
+	KindGPU
+)
+
+// String returns the kind's short name.
+func (k NodeKind) String() string {
+	if k == KindGPU {
+		return "gpu"
+	}
+	return "socket"
+}
+
+// Node is one placement target in the topology: a socket or a GPU,
+// grouped into a host (cost accounting rents whole hosts).
+type Node struct {
+	// Name identifies the node in reports ("host0/socket1").
+	Name string
+	// Kind classifies the node.
+	Kind NodeKind
+	// Host is the index of the physical host the node belongs to.
+	Host int
+}
+
+// Topology is the general platform graph: named nodes plus a symmetric
+// link matrix. The zero-cost diagonal (a node to itself) is implicit:
+// Link(i, i) is always the TierLocal zero link.
+type Topology struct {
+	// Name identifies the topology ("single", "numa2", "cluster2x2").
+	Name  string
+	Nodes []Node
+	// links is the flattened upper-triangular link matrix: links[idx(i,j)]
+	// for i < j.
+	links []Link
+}
+
+// NewTopology builds a topology with every off-diagonal link set to the
+// given default tier; callers adjust individual links with SetLink.
+func NewTopology(name string, nodes []Node, tier LinkTier) *Topology {
+	n := len(nodes)
+	t := &Topology{Name: name, Nodes: nodes, links: make([]Link, n*(n-1)/2)}
+	l := DefaultLink(tier)
+	for i := range t.links {
+		t.links[i] = l
+	}
+	return t
+}
+
+// NumNodes returns the node count.
+func (t *Topology) NumNodes() int { return len(t.Nodes) }
+
+// Hosts returns the number of distinct hosts spanned by the nodes
+// (host indices need not be dense).
+func (t *Topology) Hosts() int {
+	seen := make(map[int]struct{}, len(t.Nodes))
+	for _, n := range t.Nodes {
+		seen[n.Host] = struct{}{}
+	}
+	return len(seen)
+}
+
+// PairIndex flattens an unordered node pair (i != j) into the
+// upper-triangular index of the link matrix. It is the layout contract
+// for anything that keeps per-link state alongside a topology (the
+// shard coordinator's traffic meter indexes its counters with it).
+func (t *Topology) PairIndex(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	n := len(t.Nodes)
+	return i*(2*n-i-1)/2 + (j - i - 1)
+}
+
+// NumLinkPairs returns the number of unordered node pairs (the length
+// of a per-link state array indexed by PairIndex).
+func (t *Topology) NumLinkPairs() int {
+	n := len(t.Nodes)
+	return n * (n - 1) / 2
+}
+
+// Link returns the interconnect between nodes i and j; i == j returns
+// the TierLocal zero link.
+func (t *Topology) Link(i, j int) Link {
+	if i == j {
+		return DefaultLink(TierLocal)
+	}
+	return t.links[t.PairIndex(i, j)]
+}
+
+// SetLink installs l as the (symmetric) interconnect between i and j.
+func (t *Topology) SetLink(i, j int, l Link) {
+	if i == j {
+		panic("hw: SetLink on the diagonal")
+	}
+	t.links[t.PairIndex(i, j)] = l
+}
+
+// Validate reports a descriptive error if the graph is unusable.
+func (t *Topology) Validate() error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("hw: topology %q has no nodes", t.Name)
+	}
+	for i, n := range t.Nodes {
+		if n.Host < 0 {
+			return fmt.Errorf("hw: topology %q: node %d (%s): negative host", t.Name, i, n.Name)
+		}
+	}
+	for i := 0; i < len(t.Nodes); i++ {
+		for j := i + 1; j < len(t.Nodes); j++ {
+			l := t.links[t.PairIndex(i, j)]
+			if l.Tier == TierLocal {
+				continue // co-located nodes: zero-cost shared memory
+			}
+			if l.Bandwidth <= 0 {
+				return fmt.Errorf("hw: topology %q: link %s-%s: non-positive bandwidth %g",
+					t.Name, t.Nodes[i].Name, t.Nodes[j].Name, l.Bandwidth)
+			}
+			if l.Latency < 0 {
+				return fmt.Errorf("hw: topology %q: link %s-%s: negative latency",
+					t.Name, t.Nodes[i].Name, t.Nodes[j].Name)
+			}
+		}
+	}
+	return nil
+}
+
+// SingleNode returns the degenerate one-socket topology: every shard
+// co-located, all coordination at zero modeled cost — the exact
+// pre-topology behaviour.
+func SingleNode() *Topology {
+	return NewTopology("single", []Node{{Name: "socket0", Kind: KindSocket}}, TierLocal)
+}
+
+// MultiSocket returns n CPU sockets on one host, fully connected by NUMA
+// (UPI) links.
+func MultiSocket(n int) *Topology {
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{Name: fmt.Sprintf("socket%d", i), Kind: KindSocket}
+	}
+	return NewTopology(fmt.Sprintf("numa%d", n), nodes, TierNUMA)
+}
+
+// PCIePool returns n accelerator nodes on one host whose coordination
+// traffic crosses the PCIe root complex (shards pushed down to
+// device-resident control planes).
+func PCIePool(n int) *Topology {
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{Name: fmt.Sprintf("dev%d", i), Kind: KindGPU}
+	}
+	return NewTopology(fmt.Sprintf("pcie%d", n), nodes, TierPCIe)
+}
+
+// NVLinkPool returns n accelerator nodes on one host connected by an
+// all-to-all NVLink fabric (the 8-GPU comparison system's interconnect).
+func NVLinkPool(n int) *Topology {
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{Name: fmt.Sprintf("gpu%d", i), Kind: KindGPU}
+	}
+	return NewTopology(fmt.Sprintf("nvlink%d", n), nodes, TierNVLink)
+}
+
+// Cluster returns hosts x socketsPerHost CPU sockets: NUMA links within
+// each host, network links across hosts — the paper's p3.16xlarge-style
+// scale-out baseline shape.
+func Cluster(hosts, socketsPerHost int) *Topology {
+	nodes := make([]Node, 0, hosts*socketsPerHost)
+	for h := 0; h < hosts; h++ {
+		for s := 0; s < socketsPerHost; s++ {
+			nodes = append(nodes, Node{
+				Name: fmt.Sprintf("host%d/socket%d", h, s),
+				Kind: KindSocket,
+				Host: h,
+			})
+		}
+	}
+	t := NewTopology(fmt.Sprintf("cluster%dx%d", hosts, socketsPerHost), nodes, TierNet)
+	numa := DefaultLink(TierNUMA)
+	for i := range nodes {
+		for j := i + 1; j < len(nodes); j++ {
+			if nodes[i].Host == nodes[j].Host {
+				t.SetLink(i, j, numa)
+			}
+		}
+	}
+	return t
+}
+
+// TopologyNames lists the parseable topology families for usage errors.
+const TopologyNames = "single, numa<N>, pcie<N>, nvlink<N>, cluster<H>x<S>"
+
+// ParseTopology resolves a topology name: "single" (or ""), "numa<N>"
+// (N sockets over UPI), "pcie<N>" (N devices over PCIe), "nvlink<N>"
+// (N GPUs over NVLink), or "cluster<H>x<S>" (H hosts x S sockets, NUMA
+// within a host, network across).
+func ParseTopology(name string) (*Topology, error) {
+	switch {
+	case name == "" || name == "single":
+		return SingleNode(), nil
+	case strings.HasPrefix(name, "numa"):
+		if n, err := parseCount(name, "numa"); err == nil {
+			return MultiSocket(n), nil
+		}
+	case strings.HasPrefix(name, "nvlink"):
+		if n, err := parseCount(name, "nvlink"); err == nil {
+			return NVLinkPool(n), nil
+		}
+	case strings.HasPrefix(name, "pcie"):
+		if n, err := parseCount(name, "pcie"); err == nil {
+			return PCIePool(n), nil
+		}
+	case strings.HasPrefix(name, "cluster"):
+		var h, s int
+		// Sscanf tolerates trailing garbage; the round-trip check
+		// rejects it ("cluster2x2x3" must not parse as cluster2x2).
+		if _, err := fmt.Sscanf(name, "cluster%dx%d", &h, &s); err == nil &&
+			h >= 1 && s >= 1 && name == fmt.Sprintf("cluster%dx%d", h, s) {
+			return Cluster(h, s), nil
+		}
+	}
+	return nil, fmt.Errorf("hw: unknown topology %q (want %s)", name, TopologyNames)
+}
+
+// parseCount parses the <N> suffix of a "<prefix><N>" topology name.
+func parseCount(name, prefix string) (int, error) {
+	var n int
+	if _, err := fmt.Sscanf(name[len(prefix):], "%d", &n); err != nil || n < 1 ||
+		name != fmt.Sprintf("%s%d", prefix, n) {
+		return 0, fmt.Errorf("hw: bad node count in %q", name)
+	}
+	return n, nil
+}
+
+// Topology materializes the System's own platform as a topology graph:
+// one CPU socket plus NumGPUs GPU nodes, PCIe links between the socket
+// and each GPU, NVLink among the GPUs. DefaultSystem().Topology() is the
+// paper's §V machine as one instance of the general model.
+func (s System) Topology() *Topology {
+	nodes := make([]Node, 0, 1+s.NumGPUs)
+	nodes = append(nodes, Node{Name: s.CPU.Name, Kind: KindSocket})
+	for g := 0; g < s.NumGPUs; g++ {
+		nodes = append(nodes, Node{Name: fmt.Sprintf("%s%d", s.GPU.Name, g), Kind: KindGPU})
+	}
+	t := NewTopology("system", nodes, TierNVLink)
+	pcie := s.PCIe
+	pcie.Tier = TierPCIe
+	nvlink := s.NVLink
+	nvlink.Tier = TierNVLink
+	for g := 1; g <= s.NumGPUs; g++ {
+		t.SetLink(0, g, pcie)
+	}
+	for a := 1; a <= s.NumGPUs; a++ {
+		for b := a + 1; b <= s.NumGPUs; b++ {
+			t.SetLink(a, b, nvlink)
+		}
+	}
+	return t
+}

@@ -1,0 +1,227 @@
+package hw
+
+import "testing"
+
+func TestTopologyBuilders(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		topo       *Topology
+		nodes      int
+		hosts      int
+		sampleTier LinkTier
+		sampleA    int
+		sampleB    int
+	}{
+		{"single", SingleNode(), 1, 1, TierLocal, 0, 0},
+		{"numa2", MultiSocket(2), 2, 1, TierNUMA, 0, 1},
+		{"pcie4", PCIePool(4), 4, 1, TierPCIe, 1, 3},
+		{"nvlink8", NVLinkPool(8), 8, 1, TierNVLink, 0, 7},
+		{"cluster2x2", Cluster(2, 2), 4, 2, TierNet, 0, 2},
+	} {
+		if err := tc.topo.Validate(); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := tc.topo.NumNodes(); got != tc.nodes {
+			t.Fatalf("%s: %d nodes, want %d", tc.name, got, tc.nodes)
+		}
+		if got := tc.topo.Hosts(); got != tc.hosts {
+			t.Fatalf("%s: %d hosts, want %d", tc.name, got, tc.hosts)
+		}
+		if got := tc.topo.Link(tc.sampleA, tc.sampleB).Tier; got != tc.sampleTier {
+			t.Fatalf("%s: link(%d,%d) tier %s, want %s", tc.name, tc.sampleA, tc.sampleB, got, tc.sampleTier)
+		}
+	}
+	// Cluster intra-host links are NUMA, inter-host links network.
+	cl := Cluster(2, 2)
+	if got := cl.Link(0, 1).Tier; got != TierNUMA {
+		t.Fatalf("cluster intra-host tier %s, want numa", got)
+	}
+	if got := cl.Link(1, 2).Tier; got != TierNet {
+		t.Fatalf("cluster inter-host tier %s, want net", got)
+	}
+	// The diagonal is always the local tier (costing skips TierLocal).
+	if l := cl.Link(3, 3); l.Tier != TierLocal {
+		t.Fatalf("diagonal link not local: %+v", l)
+	}
+	// Hosts counts distinct host values, not max+1: non-dense host
+	// numbering must not inflate the rented fleet.
+	sparse := NewTopology("sparse", []Node{{Name: "a", Host: 0}, {Name: "b", Host: 3}}, TierNet)
+	if got := sparse.Hosts(); got != 2 {
+		t.Fatalf("sparse host numbering: %d hosts, want 2", got)
+	}
+}
+
+func TestTierCostOrdering(t *testing.T) {
+	// The placement study's monotone penalty depends on tier ordering
+	// for coordination-sized messages: local < NUMA < PCIe < network.
+	const msg = 64.0
+	prev := 0.0
+	for _, tier := range []LinkTier{TierLocal, TierNUMA, TierPCIe, TierNet} {
+		l := DefaultLink(tier)
+		cost := 0.0
+		if tier != TierLocal {
+			cost = l.TransferTime(msg)
+		}
+		if cost < prev {
+			t.Fatalf("tier %s costs %g < previous tier's %g: tiers not monotone", tier, cost, prev)
+		}
+		if tier != TierLocal && cost <= prev {
+			t.Fatalf("tier %s costs %g, not strictly above previous %g", tier, cost, prev)
+		}
+		prev = cost
+	}
+}
+
+func TestParseTopology(t *testing.T) {
+	for name, nodes := range map[string]int{
+		"":           1,
+		"single":     1,
+		"numa2":      2,
+		"numa4":      4,
+		"pcie4":      4,
+		"nvlink8":    8,
+		"cluster2x2": 4,
+		"cluster4x1": 4,
+	} {
+		topo, err := ParseTopology(name)
+		if err != nil {
+			t.Fatalf("ParseTopology(%q): %v", name, err)
+		}
+		if topo.NumNodes() != nodes {
+			t.Fatalf("ParseTopology(%q): %d nodes, want %d", name, topo.NumNodes(), nodes)
+		}
+	}
+	for _, bad := range []string{"mesh", "numa0", "numa-2", "numa2x", "cluster2", "clusterx2", "cluster2x2x3", "cluster2x2junk", "cluster0x2", "pcie", "bogus9"} {
+		if _, err := ParseTopology(bad); err == nil {
+			t.Fatalf("ParseTopology(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSystemTopologyInstance(t *testing.T) {
+	sys := DefaultSystem()
+	topo := sys.Topology()
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.NumNodes(); got != 1+sys.NumGPUs {
+		t.Fatalf("%d nodes, want %d", got, 1+sys.NumGPUs)
+	}
+	if l := topo.Link(0, 1); l.Tier != TierPCIe || l.Bandwidth != sys.PCIe.Bandwidth {
+		t.Fatalf("cpu-gpu link %+v, want the system's PCIe link", l)
+	}
+	if l := topo.Link(1, 2); l.Tier != TierNVLink || l.Bandwidth != sys.NVLink.Bandwidth {
+		t.Fatalf("gpu-gpu link %+v, want the system's NVLink fabric", l)
+	}
+}
+
+func TestPlacementPolicies(t *testing.T) {
+	topo := Cluster(2, 2) // 4 nodes
+	stripe, err := NewPlacement(PlaceStripe, topo, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStripe := []int{0, 1, 2, 3, 0, 1, 2, 3}
+	for j, n := range stripe.Node {
+		if n != wantStripe[j] {
+			t.Fatalf("stripe: shard %d on node %d, want %d", j, n, wantStripe[j])
+		}
+	}
+	rng, err := NewPlacement(PlaceRange, topo, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRange := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	for j, n := range rng.Node {
+		if n != wantRange[j] {
+			t.Fatalf("range: shard %d on node %d, want %d", j, n, wantRange[j])
+		}
+	}
+	// Load-aware: one hot shard plus light shards — the hot shard must
+	// sit alone-ish while light shards pack the remaining nodes evenly.
+	weights := []float64{10, 1, 1, 1, 1, 1, 1, 1}
+	la, err := NewPlacement(PlaceLoadAware, topo, 8, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := make([]float64, topo.NumNodes())
+	for j, n := range la.Node {
+		load[n] += weights[j]
+	}
+	hot := la.Node[0]
+	for n, l := range load {
+		if n != hot && l > load[hot] {
+			t.Fatalf("load-aware: node %d carries %g > hot node %d's %g", n, l, hot, load[hot])
+		}
+	}
+	if !la.Distributed() || !stripe.Distributed() {
+		t.Fatal("multi-node placements must report Distributed")
+	}
+	// Hosts() counts the hosts the placement spans, not the topology's:
+	// two shards striped onto cluster2x2 land on nodes 0,1 — one host —
+	// while range spreads them to nodes 0,2 — both hosts.
+	s2, err := NewPlacement(PlaceStripe, topo, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Hosts(); got != 1 {
+		t.Fatalf("stripe S=2 spans %d hosts, want 1", got)
+	}
+	r2, err := NewPlacement(PlaceRange, topo, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Hosts(); got != 2 {
+		t.Fatalf("range S=2 spans %d hosts, want 2", got)
+	}
+	if got := stripe.Hosts(); got != 2 {
+		t.Fatalf("stripe S=8 spans %d hosts, want 2", got)
+	}
+	if got := (Placement{}).Hosts(); got != 1 {
+		t.Fatalf("zero placement spans %d hosts, want 1", got)
+	}
+	single, err := NewPlacement(PlaceStripe, SingleNode(), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Distributed() {
+		t.Fatal("single-node placement reports Distributed")
+	}
+	if (Placement{}).Distributed() {
+		t.Fatal("zero placement reports Distributed")
+	}
+}
+
+func TestPlacementValidation(t *testing.T) {
+	topo := MultiSocket(2)
+	if _, err := NewPlacement("bogus", topo, 4, nil); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := NewPlacement(PlaceStripe, nil, 4, nil); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+	if _, err := NewPlacement(PlaceStripe, topo, 0, nil); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	if _, err := NewPlacement(PlaceLoadAware, topo, 4, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched weights accepted")
+	}
+	p, err := NewPlacement(PlaceStripe, topo, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(3); err == nil {
+		t.Fatal("shard-count mismatch accepted")
+	}
+	bad := p
+	bad.Node = []int{0, 1, 2, 1}
+	if err := bad.Validate(4); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if err := (Placement{}).Validate(4); err != nil {
+		t.Fatalf("zero placement should validate: %v", err)
+	}
+}

@@ -1,0 +1,164 @@
+package shard
+
+import "repro/internal/hw"
+
+// The cross-shard eviction-budget coordinator is free only while every
+// shard lives in one socket's shared memory. Under a distributed
+// placement (hw.Placement spanning several topology nodes) its three
+// communication patterns become real messages on real links:
+//
+//   - touch-stamp sync: each Plan, the coordinator broadcasts the batch's
+//     stamp base and collects every remote shard's touch count, keeping
+//     the global recency timeline consistent (one round trip per remote
+//     shard per Plan).
+//   - victim merge: the k-way LRU merge polls a shard for its next
+//     evictable candidate whenever its parked candidate is consumed or
+//     invalidated (one round trip per fresh poll), confirms each chosen
+//     victim to its owner, and transfers slot ownership when the victim's
+//     shard is not the missing ID's shard.
+//   - free-slot borrowing: taking a never-used slot from another shard's
+//     stripe is a request/grant round trip between the two shards.
+//
+// The meter counts those messages and their payload bytes per link pair
+// within one Plan, then prices the Plan's coordination latency as the
+// sum over links of rounds x latency + bytes / bandwidth (the
+// coordinator pass is serial, so link times add). Message sizes are
+// control-plane metadata (slot + stamp + ID sized), not embedding
+// payloads — row data still moves through the pipeline's Exchange stage.
+// Co-located shards (same node, or any TierLocal link) contribute
+// nothing, so a single-node placement reproduces the shared-memory
+// coordinator bit-for-bit at zero cost.
+const (
+	// stampSyncBytes is one touch-stamp round trip: stamp base out,
+	// touch count back.
+	stampSyncBytes = 16
+	// victimPollBytes is one candidate poll: request out, (slot, stamp)
+	// back.
+	victimPollBytes = 24
+	// victimConfirmBytes confirms a chosen victim to its owning shard.
+	victimConfirmBytes = 16
+	// slotMoveBytes transfers a slot's ownership between shards after a
+	// cross-shard eviction.
+	slotMoveBytes = 16
+	// borrowBytes is one free-slot borrow: request out, slot grant back.
+	borrowBytes = 16
+)
+
+// CoordStats aggregates the coordinator's cross-node communication over
+// a Manager's lifetime. All byte counts are control-message payloads
+// that crossed a non-local link; co-located coordination is free and
+// uncounted.
+type CoordStats struct {
+	// VictimMergeBytes is the k-way LRU merge's traffic: candidate
+	// polls, victim confirmations, and cross-shard slot transfers.
+	VictimMergeBytes float64
+	// TouchStampBytes is the per-Plan stamp-clock synchronization.
+	TouchStampBytes float64
+	// BorrowBytes is the free-slot borrowing traffic.
+	BorrowBytes float64
+	// Messages counts cross-node message round trips.
+	Messages int64
+	// Seconds is the total modeled link time charged to Plans.
+	Seconds float64
+}
+
+// Bytes returns the total coordination payload.
+func (s CoordStats) Bytes() float64 {
+	return s.VictimMergeBytes + s.TouchStampBytes + s.BorrowBytes
+}
+
+// coordMeter accumulates one Plan's coordination traffic per link pair
+// and prices it against the placement's topology. nil meter (co-located
+// placement) costs nothing and is never consulted.
+type coordMeter struct {
+	place  hw.Placement
+	nodeOf []int32 // shard -> topology node
+	nnodes int
+
+	// coordShard anchors the serial coordinator: it runs on shard 0's
+	// node, so polls and stamp syncs cross the links from that node.
+	coordNode int32
+
+	// bytes/rounds are the current Plan's per-link-pair traffic,
+	// indexed by hw.Topology.PairIndex (the link matrix's own layout);
+	// touched lists the dirty node pairs so the per-Plan reset and
+	// pricing walk is proportional to traffic, not topology size.
+	bytes   []float64
+	rounds  []int64
+	touched []linkUse
+
+	stats CoordStats
+}
+
+// linkUse records one dirty link of the current Plan: the flattened
+// pair index plus the node pair itself (so pricing needs no reverse
+// lookup).
+type linkUse struct {
+	idx  int32
+	a, b int32
+}
+
+// newCoordMeter builds a meter for a distributed placement; returns nil
+// when the placement cannot generate cross-node traffic.
+func newCoordMeter(p hw.Placement, shards int) *coordMeter {
+	if !p.Distributed() || shards < 2 {
+		return nil
+	}
+	m := &coordMeter{
+		place:  p,
+		nodeOf: make([]int32, shards),
+		nnodes: p.Topo.NumNodes(),
+		bytes:  make([]float64, p.Topo.NumLinkPairs()),
+		rounds: make([]int64, p.Topo.NumLinkPairs()),
+	}
+	for j := range m.nodeOf {
+		m.nodeOf[j] = int32(p.Node[j])
+	}
+	m.coordNode = m.nodeOf[0]
+	return m
+}
+
+// addNodes records one message round of the given payload between two
+// nodes; same-node traffic is free.
+func (c *coordMeter) addNodes(a, b int32, payload float64, bucket *float64) {
+	if a == b {
+		return
+	}
+	idx := int32(c.place.Topo.PairIndex(int(a), int(b)))
+	if c.rounds[idx] == 0 && c.bytes[idx] == 0 {
+		c.touched = append(c.touched, linkUse{idx: idx, a: a, b: b})
+	}
+	c.bytes[idx] += payload
+	c.rounds[idx]++
+	c.stats.Messages++
+	*bucket += payload
+}
+
+// addCoord records a message round between the coordinator and shard j.
+func (c *coordMeter) addCoord(j int, payload float64, bucket *float64) {
+	c.addNodes(c.coordNode, c.nodeOf[j], payload, bucket)
+}
+
+// addShards records a message round between two shards.
+func (c *coordMeter) addShards(a, b int, payload float64, bucket *float64) {
+	c.addNodes(c.nodeOf[a], c.nodeOf[b], payload, bucket)
+}
+
+// finishPlan prices the Plan's accumulated traffic, folds it into the
+// lifetime stats, resets the per-Plan state, and returns the Plan's
+// coordination latency in seconds. The coordinator pass is serial, so
+// the per-link times sum.
+func (c *coordMeter) finishPlan() float64 {
+	var t float64
+	for _, u := range c.touched {
+		l := c.place.Topo.Link(int(u.a), int(u.b))
+		if l.Tier != hw.TierLocal {
+			t += float64(c.rounds[u.idx])*l.Latency + c.bytes[u.idx]/l.Bandwidth
+		}
+		c.bytes[u.idx] = 0
+		c.rounds[u.idx] = 0
+	}
+	c.touched = c.touched[:0]
+	c.stats.Seconds += t
+	return t
+}

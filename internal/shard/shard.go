@@ -29,6 +29,13 @@
 // unsharded tree by construction (including its zero-allocation Plan
 // path). Shards > 1 requires the LRU policy: the stamp-merge coordinator
 // is the distributed form of the LRU eviction order specifically.
+//
+// A Config.Placement assigns shards to the nodes of an hw.Topology
+// (sockets, hosts, GPUs); the coordinator's victim-merge, touch-stamp,
+// and free-slot-borrow messages are then metered in bytes and charged to
+// the links the assignment crosses (coord.go), pricing the communication
+// wall a scale-out deployment pays. Placement changes only the modeled
+// coordination latency — never plans, victims, or statistics.
 package shard
 
 import (
@@ -36,6 +43,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/hw"
 	"repro/internal/intmap"
 	"repro/internal/par"
 )
@@ -57,6 +65,14 @@ type Config struct {
 	// Pool bounds the shard fan-out parallelism; nil runs shards
 	// serially. Results are bit-identical either way.
 	Pool *par.Pool
+	// Placement assigns each shard to a topology node; the cross-shard
+	// coordinator's victim-merge, touch-stamp, and free-slot-borrow
+	// messages are then metered in bytes and charged to the links the
+	// assignment crosses (see coord.go). The zero value co-locates all
+	// shards: zero coordination cost, the pre-topology behaviour.
+	// Placement never changes plans, victims, or statistics — only the
+	// modeled coordination latency reported by LastPlanCoord.
+	Placement hw.Placement
 }
 
 // Validate reports a descriptive error for an unusable configuration.
@@ -67,6 +83,13 @@ func (c Config) Validate() error {
 	if c.Shards > 1 && c.Scratchpad.Policy != cache.LRU {
 		return fmt.Errorf("shard: %d shards requires the %q policy (cross-shard eviction coordination merges LRU recency orders), got %q",
 			c.Shards, cache.LRU, c.Scratchpad.Policy)
+	}
+	n := c.Shards
+	if n == 0 {
+		n = 1
+	}
+	if err := c.Placement.Validate(n); err != nil {
+		return err
 	}
 	return c.Scratchpad.Validate()
 }
@@ -142,6 +165,17 @@ type Manager struct {
 	cfg     core.Config
 	nshards int
 	pool    *par.Pool
+
+	// place is the shard-to-node assignment; coord meters the
+	// coordinator's cross-node traffic under it (nil when co-located:
+	// no metering, zero cost). lastCoord is the coordination latency
+	// charged to the most recent Plan.
+	place     hw.Placement
+	coord     *coordMeter
+	lastCoord float64
+	// prewarming suppresses coordination metering during PrewarmRows
+	// (setup-time slot shuffling is not per-iteration traffic).
+	prewarming bool
 
 	// single is the unsharded fast path (Shards == 1): full delegation,
 	// bit-identical to the pre-sharding tree.
@@ -222,6 +256,8 @@ func New(cfg Config) (*Manager, error) {
 		cfg:     c,
 		nshards: n,
 		pool:    cfg.Pool,
+		place:   cfg.Placement,
+		coord:   newCoordMeter(cfg.Placement, n),
 		shards:  make([]shardState, n),
 		meta:    make([]slotMeta, total),
 		next:    make([]int32, total),
@@ -263,6 +299,24 @@ func New(cfg Config) (*Manager, error) {
 
 // Shards returns the shard count.
 func (m *Manager) Shards() int { return m.nshards }
+
+// Placement returns the shard-to-node assignment (zero value when
+// co-located).
+func (m *Manager) Placement() hw.Placement { return m.place }
+
+// LastPlanCoord returns the modeled cross-node coordination latency
+// (seconds) of the most recent Plan: zero for co-located placements and
+// the S=1 delegate.
+func (m *Manager) LastPlanCoord() float64 { return m.lastCoord }
+
+// CoordStats returns the lifetime cross-node coordination traffic (the
+// zero value when the placement is co-located).
+func (m *Manager) CoordStats() CoordStats {
+	if m.coord == nil {
+		return CoordStats{}
+	}
+	return m.coord.stats
+}
 
 // Capacity returns the nominal slot count (excluding reserve).
 func (m *Manager) Capacity() int { return m.cfg.Slots }
@@ -339,9 +393,16 @@ func (m *Manager) ShardStats() []ShardStats {
 	return out
 }
 
+// ShardOf returns the shard owning sparse ID id under an S-way hash
+// partition (the Manager's own routing function); exported so placement
+// policies can estimate per-shard load from a trace distribution.
+func ShardOf(id int64, shards int) int {
+	return int((uint64(id) * fibMult) >> 32 % uint64(shards))
+}
+
 // shardFor hashes a sparse ID to its owning shard.
 func (m *Manager) shardFor(id int64) int {
-	return int((uint64(id) * fibMult) >> 32 % uint64(m.nshards))
+	return ShardOf(id, m.nshards)
 }
 
 // --- recency lists -----------------------------------------------------
@@ -414,6 +475,12 @@ func (m *Manager) shardCand(j int) int32 {
 	if sh.sweepCand != candAdvance {
 		return sh.sweepCand
 	}
+	if m.coord != nil {
+		// Fresh candidate: the coordinator polls shard j for its next
+		// evictable (slot, stamp) pair. Parked candidates are cached
+		// coordinator-side and cost nothing to re-compare.
+		m.coord.addCoord(j, victimPollBytes, &m.coord.stats.VictimMergeBytes)
+	}
 	for cur := sh.sweepCur; cur != nilSlot; {
 		nxt := m.next[cur]
 		if m.isEvictable(cur) {
@@ -442,6 +509,11 @@ func (m *Manager) victim() (int32, int) {
 	}
 	if best >= 0 {
 		m.shards[bestShard].sweepCand = candAdvance
+		if m.coord != nil {
+			// Confirm the merge winner to its owning shard, which
+			// unlinks the victim and re-arms its cursor.
+			m.coord.addCoord(bestShard, victimConfirmBytes, &m.coord.stats.VictimMergeBytes)
+		}
 	}
 	return best, bestShard
 }
@@ -462,6 +534,15 @@ func (m *Manager) borrowPrimary(j int) int32 {
 		}
 		if donor < 0 {
 			return nilSlot
+		}
+		if m.coord != nil && donor != j && !m.prewarming {
+			// Free-slot borrow: request/grant round trip between the
+			// starved shard and the donor stripe's owner. Prewarm-time
+			// borrowing is construction work before the measured run
+			// starts and is deliberately not metered — otherwise the
+			// warm-up's slot shuffling would be billed to the first
+			// Plan's coordination latency.
+			m.coord.addShards(j, donor, borrowBytes, &m.coord.stats.BorrowBytes)
 		}
 		sh = &m.shards[donor]
 	}
@@ -693,6 +774,15 @@ func (m *Manager) PlanUniqueWithHints(seq int, uniq []int64, counts []int32, fut
 		res.OccHits += sh.occHits
 		res.OccMisses += sh.occMisses
 	}
+	if m.coord != nil {
+		// Touch-stamp sync: the coordinator broadcasts the Plan's stamp
+		// base and collects each remote shard's touch count so the
+		// global recency timeline stays merge-consistent (co-located
+		// shards are free; addCoord drops them).
+		for j := 0; j < m.nshards; j++ {
+			m.coord.addCoord(j, stampSyncBytes, &m.coord.stats.TouchStampBytes)
+		}
+	}
 
 	// Collect the misses in first-appearance order (the order the
 	// coordinator must allocate them in to match the serial planner).
@@ -744,6 +834,11 @@ func (m *Manager) PlanUniqueWithHints(seq int, uniq []int64, counts []int32, fut
 				m.unlink(vsh, v)
 				m.meta[v].key = -1
 				slot = v
+				if m.coord != nil && vsh != j {
+					// The victim's slot changes owners: transfer its
+					// control metadata to the missing ID's shard.
+					m.coord.addShards(vsh, j, slotMoveBytes, &m.coord.stats.VictimMergeBytes)
+				}
 				res.Evictions = append(res.Evictions, core.Eviction{OldID: old, Slot: slot})
 			} else if n := len(m.freeReserve); n > 0 {
 				slot = m.freeReserve[n-1]
@@ -769,6 +864,10 @@ func (m *Manager) PlanUniqueWithHints(seq int, uniq []int64, counts []int32, fut
 		sh := &m.shards[j]
 		sh.inFlight.Push(core.HeldBatch{Seq: seq, Slots: sh.held})
 		sh.held = nil
+	}
+
+	if m.coord != nil {
+		m.lastCoord = m.coord.finishPlan()
 	}
 
 	m.stats.Planned++
@@ -834,6 +933,8 @@ func (m *Manager) PrewarmRows(rows int64, sample func() int64, onFill func(id in
 	if m.InFlight() != 0 {
 		panic("shard: Prewarm with batches in flight")
 	}
+	m.prewarming = true
+	defer func() { m.prewarming = false }()
 	var seen []uint64
 	if rows > 0 {
 		seen = make([]uint64, (rows+63)/64)

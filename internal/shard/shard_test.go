@@ -230,6 +230,8 @@ func TestShardedEquivalence(t *testing.T) {
 		{"S3-hints", 3, 1, 6},
 		{"S4-parallel", 4, 4, 0},
 		{"S4-parallel-hints", 4, 4, 6},
+		{"S7-parallel", 7, 3, 0},
+		{"S7-parallel-hints", 7, 3, 6},
 		{"S8-parallel", 8, 0, 0},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
@@ -318,14 +320,17 @@ func TestMoreShardsThanIDs(t *testing.T) {
 }
 
 // TestFuzzStatsEquivalence is the fuzz-style satellite: random
-// configurations and random traces, S=1 vs S=4, identical aggregate
-// hit/miss/eviction statistics every time.
+// configurations and random traces, S=1 against a rotating non-trivial
+// shard count (including the non-power-of-two 3 and 7), identical
+// aggregate hit/miss/eviction statistics every time.
 func TestFuzzStatsEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
+	shardCounts := []int{4, 3, 7}
 	for trial := 0; trial < 12; trial++ {
 		slots := 64 + rng.Intn(512)
 		batchLen := 16 + rng.Intn(96)
 		idSpace := int64(slots/2 + rng.Intn(slots*6))
+		shards := shardCounts[trial%len(shardCounts)]
 		cfg := core.Config{
 			Slots:        slots,
 			Policy:       cache.LRU,
@@ -337,15 +342,15 @@ func TestFuzzStatsEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		m4, err := New(Config{Scratchpad: cfg, Shards: 4, Pool: par.New(2)})
+		mS, err := New(Config{Scratchpad: cfg, Shards: shards, Pool: par.New(2)})
 		if err != nil {
 			t.Fatal(err)
 		}
 		st := newStream(rng.Int63(), 32, batchLen, idSpace)
-		driveLockstep(t, "fuzz", m1, m4, st, 60, cfg.FutureWindow, 0)
-		if m1.Stats() != m4.Stats() {
-			t.Fatalf("trial %d (slots %d, batch %d, ids %d): stats diverged:\nS=1 %+v\nS=4 %+v",
-				trial, slots, batchLen, idSpace, m1.Stats(), m4.Stats())
+		driveLockstep(t, "fuzz", m1, mS, st, 60, cfg.FutureWindow, 0)
+		if m1.Stats() != mS.Stats() {
+			t.Fatalf("trial %d (slots %d, batch %d, ids %d): stats diverged:\nS=1 %+v\nS=%d %+v",
+				trial, slots, batchLen, idSpace, m1.Stats(), shards, mS.Stats())
 		}
 	}
 }

@@ -77,6 +77,27 @@ type SystemConfig = hw.System
 // V100 over PCIe gen3).
 func DefaultSystem() SystemConfig { return hw.DefaultSystem() }
 
+// Topology is the general platform graph (nodes + tiered link matrix)
+// scratchpad shards are placed on.
+type Topology = hw.Topology
+
+// ParseTopology resolves a topology name: "single", "numa<N>",
+// "pcie<N>", "nvlink<N>", or "cluster<H>x<S>".
+func ParseTopology(name string) (*Topology, error) { return hw.ParseTopology(name) }
+
+// PlacementPolicy selects how shards spread across topology nodes.
+type PlacementPolicy = hw.PlacementPolicy
+
+// Shard placement policies.
+const (
+	PlaceStripe    = hw.PlaceStripe
+	PlaceRange     = hw.PlaceRange
+	PlaceLoadAware = hw.PlaceLoadAware
+)
+
+// ParsePlacementPolicy resolves a placement policy name ("" = stripe).
+func ParsePlacementPolicy(s string) (PlacementPolicy, error) { return hw.ParsePlacementPolicy(s) }
+
 // PolicyKind selects the scratchpad replacement policy.
 type PolicyKind = cache.PolicyKind
 
@@ -138,6 +159,16 @@ type Config struct {
 	// the unsharded planner; simulated stats and functional results are
 	// identical at any shard count. Shards > 1 requires the LRU policy.
 	Shards int
+	// Topology places the shards on a platform graph (hw.ParseTopology
+	// names one: "numa2", "pcie4", "cluster2x2", ...); the shard
+	// coordinator's victim-merge, touch-stamp, and borrow traffic is
+	// then charged to the links the placement crosses and surfaces as
+	// Report.CoordTime. nil co-locates all shards at zero cost.
+	Topology *Topology
+	// Placement selects the shard-to-node policy: stripe (default),
+	// range, or loadaware. Placement affects only modeled coordination
+	// latency, never plans, statistics, or training results.
+	Placement PlacementPolicy
 }
 
 func (c *Config) applyDefaults() {
@@ -177,6 +208,8 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 		Optimizer:  cfg.Optimizer,
 		Workers:    cfg.Workers,
 		Shards:     cfg.Shards,
+		Topology:   cfg.Topology,
+		Placement:  cfg.Placement,
 	})
 	if err != nil {
 		return nil, err

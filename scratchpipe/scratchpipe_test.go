@@ -133,3 +133,46 @@ func TestParallelFunctionalEquivalenceViaFacade(t *testing.T) {
 		t.Fatalf("parallel pipeline changed training: %v vs %v", seq.AvgLoss, par.AvgLoss)
 	}
 }
+
+// TestTopologyPlacementViaFacade: the public Config's topology/placement
+// knobs price coordination without touching cache behaviour or training
+// results, and reject unknown placement policies.
+func TestTopologyPlacementViaFacade(t *testing.T) {
+	topo, err := ParseTopology("cluster2x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := NewTrainer(Config{Model: smallModel(), Class: Medium, Shards: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	placed, err := NewTrainer(Config{Model: smallModel(), Class: Medium, Shards: 4, Seed: 3,
+		Topology: topo, Placement: PlaceLoadAware})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repBase, err := base.Train(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repPlaced, err := placed.Train(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repBase.CoordTime != 0 {
+		t.Fatalf("unplaced CoordTime %g", repBase.CoordTime)
+	}
+	if repPlaced.CoordTime <= 0 {
+		t.Fatal("placed run reports no coordination latency")
+	}
+	if repBase.Hits != repPlaced.Hits || repBase.Misses != repPlaced.Misses ||
+		repBase.Evictions != repPlaced.Evictions {
+		t.Fatalf("placement changed cache behaviour: %+v vs %+v", repBase, repPlaced)
+	}
+	if repBase.AvgLoss != repPlaced.AvgLoss {
+		t.Fatalf("placement changed training: loss %v vs %v", repBase.AvgLoss, repPlaced.AvgLoss)
+	}
+	if _, err := NewTrainer(Config{Model: smallModel(), Placement: "bogus"}); err == nil {
+		t.Fatal("unknown placement policy accepted by the facade")
+	}
+}
