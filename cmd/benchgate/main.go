@@ -7,18 +7,24 @@
 // Usage:
 //
 //	benchgate -baseline BENCH_hotpath.json [-wall-factor 1.25]
-//	          [-alloc-factor 1.25] [-runs 2] [-workers 1] [-shards 1]
-//	          [-topology single] [-placement stripe]
+//	          [-alloc-factor 1.25] [-coord-factor 1.25] [-runs 2]
+//	          [-workers 1] [-shards 1] [-topology single]
+//	          [-placement stripe] [-coord exact]
 //
 // The gate measures with Workers=1 and Shards=1 by default so allocation
 // counts are deterministic and wall time does not depend on the CI
 // runner's core count; it compares against the most recent baseline entry
 // with the same configuration label and the same
-// workers/shards/topology/placement shape. Passing -shards with
+// workers/shards/topology/placement/coord shape. Passing -shards with
 // -topology/-placement gates the sharded+placement entry family (the
-// coordination-metering hot path) against its own baseline. Wall time is
-// the minimum of -runs sweeps, which damps scheduler noise on shared
-// runners. Exit status 1 means a regression, 2 a usage/baseline problem.
+// coordination-metering hot path) against its own baseline; adding
+// -coord gates a specific coordination protocol, and when the baseline
+// entry recorded coordination rounds the gate also fails on a >25%
+// (by default; -coord-factor) round-count regression — rounds are
+// simulated and deterministic, so a regression there is a protocol
+// change, not noise. Wall time is the minimum of -runs sweeps, which
+// damps scheduler noise on shared runners. Exit status 1 means a
+// regression, 2 a usage/baseline problem.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/hw"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -36,11 +43,13 @@ func main() {
 	configName := flag.String("config", "quick", "configuration label to measure and match (quick|full)")
 	wallFactor := flag.Float64("wall-factor", 1.25, "fail if wall time exceeds baseline by this factor")
 	allocFactor := flag.Float64("alloc-factor", 1.25, "fail if allocation count exceeds baseline by this factor")
+	coordFactor := flag.Float64("coord-factor", 1.25, "fail if coordination rounds exceed baseline by this factor (entries with recorded rounds only)")
 	runs := flag.Int("runs", 2, "measurement repetitions (best wall time wins)")
 	workers := flag.Int("workers", 1, "per-table fan-out parallelism for the measurement")
 	shards := flag.Int("shards", 1, "scratchpad shards per table for the measurement")
 	topology := flag.String("topology", "single", "shard placement topology for the measurement ("+hw.TopologyNames+")")
 	placement := flag.String("placement", "stripe", "shard placement policy for the measurement (stripe|range|loadaware)")
+	coord := flag.String("coord", "exact", "cross-shard coordination protocol for the measurement ("+shard.CoordModeNames+")")
 	flag.Parse()
 
 	if *shards < 1 {
@@ -55,6 +64,11 @@ func main() {
 	policy, err := hw.ParsePlacementPolicy(*placement)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: -placement %q: want stripe, range, or loadaware\n", *placement)
+		os.Exit(2)
+	}
+	coordMode, err := shard.ParseCoordMode(*coord)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: -coord %q: want %s\n", *coord, shard.CoordModeNames)
 		os.Exit(2)
 	}
 
@@ -72,11 +86,11 @@ func main() {
 	if topo.NumNodes() > 1 {
 		topoName = topo.Name
 	}
-	base := pickBaseline(hist.History, *configName, *workers, *shards, topoName, string(policy))
+	base := pickBaseline(hist.History, *configName, *workers, *shards, topoName, string(policy), string(coordMode))
 	if base == nil {
 		fmt.Fprintf(os.Stderr,
-			"benchgate: no %q entry with workers=%d shards=%d topology=%q placement=%q in %s to gate against; record one with:\n  go run ./cmd/spbench -quick -json %s -workers %d -shards %d -topology %s -placement %s\n",
-			*configName, *workers, *shards, *topology, *placement, *baseline, *baseline, *workers, *shards, *topology, *placement)
+			"benchgate: no %q entry with workers=%d shards=%d topology=%q placement=%q coord=%q in %s to gate against; record one with:\n  go run ./cmd/spbench -quick -json %s -workers %d -shards %d -topology %s -placement %s -coord %s\n",
+			*configName, *workers, *shards, *topology, *placement, *coord, *baseline, *baseline, *workers, *shards, *topology, *placement, *coord)
 		os.Exit(2)
 	}
 
@@ -89,6 +103,7 @@ func main() {
 	if topo.NumNodes() > 1 {
 		cfg.Topology = topo
 		cfg.Placement = policy
+		cfg.Coord = coordMode
 	}
 
 	var best *bench.HotPathResult
@@ -103,10 +118,10 @@ func main() {
 		}
 	}
 
-	fmt.Printf("benchgate: baseline %s (workers=%d shards=%d): %.2fs wall, %d allocs\n",
-		base.Timestamp, base.Workers, base.Shards, base.WallSeconds, base.Allocs)
-	fmt.Printf("benchgate: measured (best of %d):            %.2fs wall, %d allocs\n",
-		*runs, best.WallSeconds, best.Allocs)
+	fmt.Printf("benchgate: baseline %s (workers=%d shards=%d): %.2fs wall, %d allocs, %d coord rounds\n",
+		base.Timestamp, base.Workers, base.Shards, base.WallSeconds, base.Allocs, base.CoordRounds)
+	fmt.Printf("benchgate: measured (best of %d):            %.2fs wall, %d allocs, %d coord rounds\n",
+		*runs, best.WallSeconds, best.Allocs, best.CoordRounds)
 
 	failed := false
 	if limit := base.WallSeconds * *wallFactor; best.WallSeconds > limit {
@@ -119,24 +134,40 @@ func main() {
 			best.Allocs, limit, *allocFactor)
 		failed = true
 	}
+	// Coordination rounds are simulated and deterministic: exceeding the
+	// baseline means the protocol itself regressed (e.g. batching broke
+	// and the coordinator fell back to per-eviction rounds).
+	if base.CoordRounds > 0 {
+		if limit := float64(base.CoordRounds) * *coordFactor; float64(best.CoordRounds) > limit {
+			fmt.Printf("benchgate: FAIL coordination rounds %d exceed %.0f (baseline x %.2f)\n",
+				best.CoordRounds, limit, *coordFactor)
+			failed = true
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: PASS (wall %.2fx, allocs %.2fx of baseline)\n",
-		best.WallSeconds/base.WallSeconds, float64(best.Allocs)/float64(base.Allocs))
+	coordNote := ""
+	if base.CoordRounds > 0 {
+		coordNote = fmt.Sprintf(", coord rounds %.2fx", float64(best.CoordRounds)/float64(base.CoordRounds))
+	}
+	fmt.Printf("benchgate: PASS (wall %.2fx, allocs %.2fx of baseline%s)\n",
+		best.WallSeconds/base.WallSeconds, float64(best.Allocs)/float64(base.Allocs), coordNote)
 }
 
 // pickBaseline returns the most recent entry matching the configuration
-// label AND the measurement's workers/shards/topology/placement shape
-// (shards 0 and 1 both mean unsharded; topology ""/"single" and
-// placement ""/"stripe" are the co-located defaults). A shape mismatch
-// returns nil rather than silently gating against an entry measured
-// under a different fan-out — e.g. the committed S=8 shard-scaling
-// record is ~50% slower and 4x more allocation-heavy than the S=1
-// baseline, and comparing against it would mask real regressions; the
-// placement-family entries additionally pay coordination metering the
-// co-located sweep never executes.
-func pickBaseline(hist []bench.HotPathResult, config string, workers, shards int, topology, placement string) *bench.HotPathResult {
+// label AND the measurement's workers/shards/topology/placement/coord
+// shape (shards 0 and 1 both mean unsharded; topology ""/"single",
+// placement ""/"stripe", and coord ""/"exact" are the defaults). A
+// shape mismatch returns nil rather than silently gating against an
+// entry measured under a different fan-out — e.g. the committed S=8
+// shard-scaling record is ~50% slower and 4x more allocation-heavy than
+// the S=1 baseline, and comparing against it would mask real
+// regressions; the placement-family entries additionally pay
+// coordination metering the co-located sweep never executes, and the
+// batched/hier/approx protocol entries send a fraction of the exact
+// protocol's rounds.
+func pickBaseline(hist []bench.HotPathResult, config string, workers, shards int, topology, placement, coord string) *bench.HotPathResult {
 	norm := func(s int) int {
 		if s <= 1 {
 			return 1
@@ -155,10 +186,21 @@ func pickBaseline(hist []bench.HotPathResult, config string, workers, shards int
 		}
 		return s
 	}
+	normCoord := func(s string) string {
+		if s == "exact" {
+			return ""
+		}
+		return s
+	}
 	var exact *bench.HotPathResult
 	for i := range hist {
 		e := &hist[i]
+		// The protocol must match even co-located (it changes the sweep
+		// machinery's allocation shape, and approx changes behaviour);
+		// placement is meaningless without a topology and is compared
+		// only when one is set.
 		if e.Config == config && e.Workers == workers && norm(e.Shards) == norm(shards) &&
+			normCoord(e.CoordMode) == normCoord(coord) &&
 			normTopo(e.Topology) == normTopo(topology) &&
 			(normTopo(e.Topology) == "" || normPlace(e.Placement) == normPlace(placement)) {
 			exact = e

@@ -6,6 +6,8 @@
 //	dlrmtrain -engine scratchpipe -class High -iters 50 -rows 100000
 //	dlrmtrain -engine hybrid -functional=false -iters 20   # timing only
 //	dlrmtrain -shards 4 -topology cluster2x2 -placement loadaware
+//	dlrmtrain -shards 4 -topology cluster2x2 -coord hier   # batched host-tier coordination
+//	dlrmtrain -shards 4 -topology cluster2x2 -coord approx -coord-quantum 64
 package main
 
 import (
@@ -39,6 +41,8 @@ func main() {
 	shards := flag.Int("shards", 1, "scratchpad shards per table (1 = unsharded; results identical at any count)")
 	topology := flag.String("topology", "single", "shard placement topology (single, numa<N>, pcie<N>, nvlink<N>, cluster<H>x<S>)")
 	placement := flag.String("placement", "stripe", "shard placement policy (stripe|range|loadaware)")
+	coord := flag.String("coord", "exact", "cross-shard coordination protocol (exact|batched|hier|approx)")
+	coordQuantum := flag.Int("coord-quantum", 0, "approx-mode recency quantum in clock ticks (0 = default; 1 = exact order)")
 	functional := flag.Bool("functional", true, "execute real float32 training")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
@@ -64,6 +68,16 @@ func main() {
 	if err != nil {
 		fail("-placement %q: want stripe, range, or loadaware", *placement)
 	}
+	coordMode, err := scratchpipe.ParseCoordMode(*coord)
+	if err != nil {
+		fail("-coord %q: want exact, batched, hier, or approx", *coord)
+	}
+	if *coordQuantum < 0 {
+		fail("-coord-quantum %d: quantum must be >= 0", *coordQuantum)
+	}
+	if *coordQuantum > 0 && coordMode != scratchpipe.CoordApprox {
+		fail("-coord-quantum only applies to -coord approx (got -coord %s)", coordMode)
+	}
 
 	class, err := scratchpipe.ParseClass(*classFlag)
 	if err != nil {
@@ -79,17 +93,19 @@ func main() {
 	model.TopHidden = []int{128, 64}
 
 	cfg := scratchpipe.Config{
-		Engine:     scratchpipe.Kind(*engineFlag),
-		Model:      model,
-		Class:      class,
-		CacheFrac:  *cacheFrac,
-		Policy:     scratchpipe.PolicyKind(*policy),
-		Parallel:   *parallel,
-		Workers:    *workers,
-		Shards:     *shards,
-		Functional: *functional,
-		Seed:       *seed,
-		Placement:  place,
+		Engine:       scratchpipe.Kind(*engineFlag),
+		Model:        model,
+		Class:        class,
+		CacheFrac:    *cacheFrac,
+		Policy:       scratchpipe.PolicyKind(*policy),
+		Parallel:     *parallel,
+		Workers:      *workers,
+		Shards:       *shards,
+		Functional:   *functional,
+		Seed:         *seed,
+		Placement:    place,
+		Coord:        coordMode,
+		CoordQuantum: *coordQuantum,
 	}
 	if topo.NumNodes() > 1 {
 		cfg.Topology = topo
@@ -121,7 +137,15 @@ func main() {
 	fmt.Printf("  breakdown: cpu-emb-fwd %.3f ms, cpu-emb-bwd %.3f ms, gpu %.3f ms\n",
 		rep.CPUEmbFwd*1e3, rep.CPUEmbBwd*1e3, rep.GPUTime*1e3)
 	if rep.CoordTime > 0 {
-		fmt.Printf("  shard coordination:       %.3f ms/iter (%s, %s placement, %d shards)\n",
-			rep.CoordTime*1e3, topo.Name, place, *shards)
+		fmt.Printf("  shard coordination:       %.3f ms/iter (%s, %s placement, %d shards, %s protocol)\n",
+			rep.CoordTime*1e3, topo.Name, place, *shards, rep.CoordMode)
+		fmt.Printf("    rounds: %d total (%d polls, %d confirms, %d slot moves, %d stamp syncs, %d borrows), %.1f KB\n",
+			rep.Coord.Messages, rep.Coord.PollRounds, rep.Coord.ConfirmRounds,
+			rep.Coord.SlotMoveRounds, rep.Coord.StampSyncRounds, rep.Coord.BorrowRounds,
+			rep.Coord.Bytes()/1e3)
+	}
+	if div := rep.CoordDivergence; div.Plans > 0 {
+		fmt.Printf("  approx-LRU divergence:    edit rate %.4f (distance %d over %d exact / %d approx evictions), hit-rate delta %+.4f%%\n",
+			div.EditRate(), div.EditDistance, div.ExactEvictions, div.ApproxEvictions, div.HitRateDelta()*100)
 	}
 }

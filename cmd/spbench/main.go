@@ -5,9 +5,9 @@
 //	spbench [-experiment all|fig3|fig5|fig6|fig6classes|fig12a|fig12b|
 //	         fig13|fig14|fig15a|fig15b|tablei|overhead|sensitivity|ablation]
 //	        [-iters N] [-quick] [-seed S] [-workers N] [-shards S]
-//	        [-topology T] [-placement P]
+//	        [-topology T] [-placement P] [-coord M]
 //	spbench -json BENCH_hotpath.json [-quick] [-workers N] [-shards S]
-//	        [-topology T] [-placement P] [-note TEXT]
+//	        [-topology T] [-placement P] [-coord M] [-note TEXT]
 //
 // With -quick the paper-scale tables (10M rows) shrink 50x, which changes
 // absolute hit rates slightly but preserves every qualitative shape; use it
@@ -21,7 +21,11 @@
 // policy (stripe|range|loadaware): the cross-shard coordinator's traffic
 // is then priced on the links the placement crosses. The default single
 // topology co-locates everything at zero cost, so every table stays
-// bit-identical to the unplaced tree.
+// bit-identical to the unplaced tree. -coord selects the coordination
+// protocol (exact|batched|hier|approx): exact, batched, and hier
+// produce identical tables (batching only cuts coordination rounds);
+// approx trades measured eviction divergence for zero stamp-sync
+// traffic.
 //
 // With -json the command runs the hot-path benchmark (one Figure 13
 // sweep) instead of printing tables, appends the wall-clock and allocator
@@ -36,6 +40,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/hw"
+	"repro/internal/shard"
 )
 
 var experiments = map[string]func(bench.Config) (*bench.Table, error){
@@ -64,6 +69,7 @@ func main() {
 	shards := flag.Int("shards", 1, "scratchpad shards per table (1 = unsharded; results identical at any count; non-LRU policy studies always run unsharded)")
 	topology := flag.String("topology", "single", "shard placement topology ("+hw.TopologyNames+")")
 	placement := flag.String("placement", "stripe", "shard placement policy (stripe|range|loadaware)")
+	coord := flag.String("coord", "exact", "cross-shard coordination protocol ("+shard.CoordModeNames+")")
 	jsonPath := flag.String("json", "", "run the hot-path benchmark and append the measurement to this JSON history file")
 	note := flag.String("note", "", "free-form note recorded with the -json measurement")
 	flag.Parse()
@@ -84,6 +90,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "spbench: -placement %q: want stripe, range, or loadaware\n", *placement)
 		os.Exit(2)
 	}
+	coordMode, err := shard.ParseCoordMode(*coord)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spbench: -coord %q: want %s\n", *coord, shard.CoordModeNames)
+		os.Exit(2)
+	}
 
 	cfg := bench.Default()
 	configName := "full"
@@ -97,6 +108,11 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Workers = *workers
 	cfg.Shards = *shards
+	// The coordination protocol applies even co-located (batched/hier
+	// exercise the candidate-batch machinery at zero modeled cost, which
+	// is how their figures are diff-verified bit-identical to exact;
+	// approx changes eviction order regardless of placement).
+	cfg.Coord = coordMode
 	if topo.NumNodes() > 1 {
 		cfg.Topology = topo
 		cfg.Placement = policy
@@ -115,11 +131,15 @@ func main() {
 		}
 		shape := ""
 		if res.Topology != "" {
-			shape = fmt.Sprintf(", topology=%s, placement=%s", res.Topology, res.Placement)
+			shape = fmt.Sprintf(", topology=%s, placement=%s, coord=%s", res.Topology, res.Placement, coordMode)
 		}
-		fmt.Printf("hotpath (%s, workers=%d, shards=%d%s): %.2fs wall, %d allocs, %.1f MB allocated, sp-vs-static avg %.2fx -> %s\n",
+		coordLine := ""
+		if res.CoordRounds > 0 {
+			coordLine = fmt.Sprintf(", %d coord rounds (%.1f ms modeled)", res.CoordRounds, res.CoordSeconds*1e3)
+		}
+		fmt.Printf("hotpath (%s, workers=%d, shards=%d%s): %.2fs wall, %d allocs, %.1f MB allocated, sp-vs-static avg %.2fx%s -> %s\n",
 			configName, res.Workers, res.Shards, shape, res.WallSeconds, res.Allocs, float64(res.AllocBytes)/1e6,
-			res.ScratchPipeSpeedupAvg, *jsonPath)
+			res.ScratchPipeSpeedupAvg, coordLine, *jsonPath)
 		return
 	}
 

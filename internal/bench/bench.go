@@ -17,6 +17,7 @@ import (
 	"repro/internal/dlrm"
 	"repro/internal/engine"
 	"repro/internal/hw"
+	"repro/internal/shard"
 	"repro/internal/trace"
 )
 
@@ -46,6 +47,11 @@ type Config struct {
 	// figure bit-identical to the unplaced tree.
 	Topology  *hw.Topology
 	Placement hw.PlacementPolicy
+	// Coord selects the cross-shard coordination protocol
+	// (exact|batched|hier|approx; see internal/shard). Exact, batched,
+	// and hier produce identical simulated tables; approx may diverge
+	// and the reports carry the measured divergence.
+	Coord shard.CoordMode
 }
 
 // Default returns the paper's §V methodology configuration. Iters must
@@ -145,6 +151,7 @@ func newEnv(cfg Config, model dlrm.Config, class trace.Class) (*engine.Env, erro
 		Shards:     cfg.Shards,
 		Topology:   cfg.Topology,
 		Placement:  cfg.Placement,
+		Coord:      cfg.Coord,
 	})
 }
 

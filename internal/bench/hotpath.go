@@ -11,6 +11,8 @@ import (
 	"os"
 	"runtime"
 	"time"
+
+	"repro/internal/shard"
 )
 
 // HotPathResult is one measurement of the hot-path benchmark.
@@ -32,6 +34,15 @@ type HotPathResult struct {
 	// baseline, whose coordination cost is zero by construction.
 	Topology  string `json:"topology,omitempty"`
 	Placement string `json:"placement,omitempty"`
+	// CoordMode records the cross-shard coordination protocol of the
+	// sweep (empty = exact, the per-eviction reference protocol).
+	CoordMode string `json:"coord_mode,omitempty"`
+	// CoordRounds/CoordSeconds total the sweep's cross-node
+	// coordination message rounds and modeled link time (simulated
+	// quantities: deterministic for a given configuration, so benchgate
+	// gates protocol regressions on them exactly).
+	CoordRounds  int64   `json:"coord_rounds,omitempty"`
+	CoordSeconds float64 `json:"coord_seconds,omitempty"`
 	// Iters is the measured iterations per data point.
 	Iters int `json:"iters"`
 	// WallSeconds is the real time of one full Figure 13 sweep.
@@ -67,14 +78,25 @@ func HotPath(cfg Config, configName string) (*HotPathResult, error) {
 	wall := time.Since(start)
 	runtime.ReadMemStats(&after)
 
-	var spSum float64
+	var spSum, coordSec float64
+	var coordRounds int64
 	for _, p := range pts {
 		_, _, sp := p.SpeedupVsStatic()
 		spSum += sp
+		coordRounds += p.CoordRounds
+		coordSec += p.CoordSeconds
 	}
 	topoName := ""
 	if cfg.Topology != nil {
 		topoName = cfg.Topology.Name
+	}
+	// The protocol is recorded even for co-located sweeps: batched/hier
+	// exercise the candidate-batch machinery (different allocation
+	// shape) and approx changes eviction order regardless of placement,
+	// so their entries must not masquerade as exact baselines.
+	coordMode := ""
+	if mode, err := shard.ParseCoordMode(string(cfg.Coord)); err == nil && mode != shard.CoordExact {
+		coordMode = string(mode)
 	}
 	return &HotPathResult{
 		Timestamp:             time.Now().UTC().Format(time.RFC3339),
@@ -83,6 +105,9 @@ func HotPath(cfg Config, configName string) (*HotPathResult, error) {
 		Shards:                cfg.Shards,
 		Topology:              topoName,
 		Placement:             string(cfg.Placement),
+		CoordMode:             coordMode,
+		CoordRounds:           coordRounds,
+		CoordSeconds:          coordSec,
 		GoMaxProcs:            runtime.GOMAXPROCS(0),
 		Iters:                 cfg.Iters,
 		WallSeconds:           wall.Seconds(),

@@ -69,6 +69,11 @@ type SpeedupPoint struct {
 	CacheFrac float64
 	// Iteration times (seconds) of the four design points.
 	Hybrid, Static, StrawMan, ScratchPipe float64
+	// CoordRounds/CoordSeconds total the dynamic-cache engines'
+	// cross-node shard-coordination message rounds and modeled link
+	// time at this point (zero under co-located placements).
+	CoordRounds  int64
+	CoordSeconds float64
 }
 
 // SpeedupVsStatic returns each design's speedup normalized to the static
@@ -103,6 +108,8 @@ func CollectFigure13(cfg Config) ([]SpeedupPoint, error) {
 				Class: class, CacheFrac: frac,
 				Hybrid: hybrid.IterTime, Static: static.IterTime,
 				StrawMan: sm.IterTime, ScratchPipe: sp.IterTime,
+				CoordRounds:  sm.Coord.Messages + sp.Coord.Messages,
+				CoordSeconds: sm.Coord.Seconds + sp.Coord.Seconds,
 			})
 		}
 	}

@@ -122,10 +122,12 @@ func newDynamicState(env *Env, cacheFrac float64, policy cache.PolicyKind, past,
 			return nil, err
 		}
 		sp, err := shard.New(shard.Config{
-			Scratchpad: spCfg,
-			Shards:     env.Cfg.Shards,
-			Pool:       shardPool,
-			Placement:  place,
+			Scratchpad:   spCfg,
+			Shards:       env.Cfg.Shards,
+			Pool:         shardPool,
+			Placement:    place,
+			Coord:        env.Cfg.Coord,
+			CoordQuantum: env.Cfg.CoordQuantum,
 		})
 		if err != nil {
 			return nil, err
@@ -559,7 +561,9 @@ func (d *dynamicState) flush() error {
 	return nil
 }
 
-// aggregateCacheStats folds per-table scratchpad statistics into a report.
+// aggregateCacheStats folds per-table scratchpad statistics — cache
+// counters, cross-node coordination traffic, and approx-mode divergence
+// — into a report.
 func (d *dynamicState) aggregateCacheStats(rep *Report) {
 	for _, sp := range d.sps {
 		st := sp.Stats()
@@ -568,6 +572,11 @@ func (d *dynamicState) aggregateCacheStats(rep *Report) {
 		rep.Fills += st.Fills
 		rep.Evictions += st.Evictions
 		rep.ReservePeak += st.ReservePeak
+		rep.Coord.Merge(sp.CoordStats())
+		rep.CoordDivergence.Merge(sp.Divergence())
+	}
+	if len(d.sps) > 0 {
+		rep.CoordMode = string(d.sps[0].CoordMode())
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/opt"
 	"repro/internal/par"
+	"repro/internal/shard"
 	"repro/internal/tensor"
 	"repro/internal/trace"
 )
@@ -73,6 +74,17 @@ type EnvConfig struct {
 	// table's per-shard query mass). Placement changes only the modeled
 	// coordination latency, never plans or statistics.
 	Placement hw.PlacementPolicy
+	// Coord selects the cross-shard coordination protocol (see
+	// internal/shard): exact (default, per-eviction rounds), batched
+	// (one candidate batch per shard per Plan), hier (batched plus a
+	// per-host aggregation tier), or approx (epoch-quantized recency
+	// with zero stamp-sync traffic and a measured divergence). Exact,
+	// batched, and hier produce identical plans and statistics; approx
+	// may diverge and Report.CoordDivergence says by how much.
+	Coord shard.CoordMode
+	// CoordQuantum is approx mode's recency quantum in clock ticks
+	// (0 selects the shard package default; 1 makes approx exact).
+	CoordQuantum int
 }
 
 // Env is the shared substrate an engine trains on: the batch stream and,
@@ -112,6 +124,12 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 	}
 	if _, err := hw.ParsePlacementPolicy(string(cfg.Placement)); err != nil {
 		return nil, err
+	}
+	if _, err := shard.ParseCoordMode(string(cfg.Coord)); err != nil {
+		return nil, err
+	}
+	if cfg.CoordQuantum < 0 {
+		return nil, fmt.Errorf("engine: CoordQuantum %d < 0", cfg.CoordQuantum)
 	}
 	if cfg.Topology != nil {
 		if err := cfg.Topology.Validate(); err != nil {
@@ -200,6 +218,18 @@ type Report struct {
 	// borrowing on the placement's links; included in the Plan stage's
 	// time). Zero unless shards are placed across topology nodes.
 	CoordTime float64
+	// CoordMode names the cross-shard coordination protocol the run
+	// used (empty for engines without a dynamic scratchpad).
+	CoordMode string
+	// Coord totals the coordinator's cross-node traffic over the whole
+	// run, summed across tables: per-pattern message rounds and payload
+	// bytes (lifetime sums, not per-iteration averages — divide by
+	// Iters for a per-Plan rate). Zero under co-located placements.
+	Coord shard.CoordStats
+	// CoordDivergence measures approx-mode eviction divergence against
+	// the shadow exact planner, summed across tables; the zero value in
+	// every exact-order mode.
+	CoordDivergence shard.Divergence
 	// CPUBusy/GPUBusy are average per-iteration device-active times for
 	// the energy model (Figure 14).
 	CPUBusy float64

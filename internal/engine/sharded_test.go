@@ -7,6 +7,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/dlrm"
 	"repro/internal/hw"
+	"repro/internal/shard"
 	"repro/internal/trace"
 )
 
@@ -218,5 +219,111 @@ func TestShardsValidation(t *testing.T) {
 	}
 	if _, err := NewStrawMan(env, 0.05, cache.RandomPolicy); err == nil {
 		t.Fatal("sharded random policy accepted")
+	}
+}
+
+// coordEnv builds a metadata-mode environment with a cluster placement
+// and the given coordination protocol.
+func coordEnv(t *testing.T, model dlrm.Config, shards int, mode shard.CoordMode, quantum int) *Env {
+	t.Helper()
+	env, err := NewEnv(EnvConfig{
+		Model:        model,
+		System:       hw.DefaultSystem(),
+		Class:        trace.Medium,
+		Seed:         42,
+		Workers:      2,
+		Shards:       shards,
+		Topology:     hw.Cluster(2, 2),
+		Placement:    hw.PlaceStripe,
+		Coord:        mode,
+		CoordQuantum: quantum,
+	})
+	if err != nil {
+		t.Fatalf("NewEnv(coord=%s): %v", mode, err)
+	}
+	return env
+}
+
+// TestCoordModeReportEquivalence is the engine half of the coordination
+// tentpole: batched and hierarchical protocols leave every cache
+// statistic identical to exact while strictly reducing both
+// coordination rounds and modeled coordination latency (exact > batched
+// > hier); approx drops traffic further still and reports a measured
+// divergence.
+func TestCoordModeReportEquivalence(t *testing.T) {
+	model := dlrm.DefaultConfig()
+	model.RowsPerTable = 50_000
+	model.BatchSize = 128
+	const shards = 4
+
+	run := func(t *testing.T, env *Env) *Report {
+		t.Helper()
+		eng, err := NewScratchPipe(env, ScratchPipeOptions{CacheFrac: 0.02})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := eng.Run(20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	exact := run(t, coordEnv(t, model, shards, shard.CoordExact, 0))
+	batched := run(t, coordEnv(t, model, shards, shard.CoordBatched, 0))
+	hier := run(t, coordEnv(t, model, shards, shard.CoordHier, 0))
+	approx := run(t, coordEnv(t, model, shards, shard.CoordApprox, 0))
+
+	for name, rep := range map[string]*Report{"batched": batched, "hier": hier} {
+		if rep.Hits != exact.Hits || rep.Misses != exact.Misses ||
+			rep.Fills != exact.Fills || rep.Evictions != exact.Evictions ||
+			rep.ReservePeak != exact.ReservePeak {
+			t.Fatalf("%s changed cache behaviour:\nexact %+v\nmode  %+v", name, exact, rep)
+		}
+		if rep.CoordDivergence != (shard.Divergence{}) {
+			t.Fatalf("%s reports divergence despite exact ordering: %+v", name, rep.CoordDivergence)
+		}
+	}
+	if exact.Coord.Messages < 5*batched.Coord.Messages {
+		t.Fatalf("batched rounds %d not >=5x below exact's %d", batched.Coord.Messages, exact.Coord.Messages)
+	}
+	if exact.Coord.Messages < 5*hier.Coord.Messages {
+		t.Fatalf("hier rounds %d not >=5x below exact's %d", hier.Coord.Messages, exact.Coord.Messages)
+	}
+	if !(exact.CoordTime > batched.CoordTime && batched.CoordTime > hier.CoordTime && hier.CoordTime > 0) {
+		t.Fatalf("coordination latency not strictly decreasing: exact %g, batched %g, hier %g",
+			exact.CoordTime, batched.CoordTime, hier.CoordTime)
+	}
+	if approx.Coord.Bytes() >= hier.Coord.Bytes() {
+		t.Fatalf("approx traffic %g B not strictly below hier's %g B",
+			approx.Coord.Bytes(), hier.Coord.Bytes())
+	}
+	if approx.CoordDivergence.Plans == 0 {
+		t.Fatal("approx mode measured no divergence plans")
+	}
+	if got, want := exact.CoordMode, string(shard.CoordExact); got != want {
+		t.Fatalf("exact run labeled %q, want %q", got, want)
+	}
+	if got, want := hier.CoordMode, string(shard.CoordHier); got != want {
+		t.Fatalf("hier run labeled %q, want %q", got, want)
+	}
+}
+
+// TestCoordValidationEngine: unknown coordination modes and negative
+// quantums are rejected at environment construction.
+func TestCoordValidationEngine(t *testing.T) {
+	if _, err := NewEnv(EnvConfig{
+		Model:  smallModel(),
+		System: hw.DefaultSystem(),
+		Coord:  "gossip",
+	}); err == nil {
+		t.Fatal("unknown coordination mode accepted by NewEnv")
+	}
+	if _, err := NewEnv(EnvConfig{
+		Model:        smallModel(),
+		System:       hw.DefaultSystem(),
+		CoordQuantum: -3,
+	}); err == nil {
+		t.Fatal("negative coordination quantum accepted by NewEnv")
 	}
 }

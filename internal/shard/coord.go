@@ -10,14 +10,22 @@ import "repro/internal/hw"
 //   - touch-stamp sync: each Plan, the coordinator broadcasts the batch's
 //     stamp base and collects every remote shard's touch count, keeping
 //     the global recency timeline consistent (one round trip per remote
-//     shard per Plan).
+//     shard per Plan; aggregated per host in hier mode; eliminated
+//     entirely in approx mode, whose quantized epochs are derived
+//     locally from the batch stream).
 //   - victim merge: the k-way LRU merge polls a shard for its next
-//     evictable candidate whenever its parked candidate is consumed or
-//     invalidated (one round trip per fresh poll), confirms each chosen
-//     victim to its owner, and transfers slot ownership when the victim's
-//     shard is not the missing ID's shard.
+//     evictable candidates (one candidate per round in exact mode, the
+//     Plan's whole miss budget per round in batched/hier/approx),
+//     confirms chosen victims to their owners (per victim in exact
+//     mode, one aggregated round per shard — routed through the host
+//     tier in hier/approx — at Plan end otherwise), and transfers slot
+//     ownership when the victim's shard is not the missing ID's shard
+//     (per event in exact mode, one aggregated round per shard pair at
+//     Plan end otherwise).
 //   - free-slot borrowing: taking a never-used slot from another shard's
-//     stripe is a request/grant round trip between the two shards.
+//     stripe is a request/grant round trip between the two shards in
+//     every mode (the starved shard needs the grant before it can
+//     continue).
 //
 // The meter counts those messages and their payload bytes per link pair
 // within one Plan, then prices the Plan's coordination latency as the
@@ -32,31 +40,57 @@ const (
 	// stampSyncBytes is one touch-stamp round trip: stamp base out,
 	// touch count back.
 	stampSyncBytes = 16
-	// victimPollBytes is one candidate poll: request out, (slot, stamp)
-	// back.
+	// victimPollBytes is one exact-mode candidate poll: request out,
+	// (slot, stamp) back.
 	victimPollBytes = 24
-	// victimConfirmBytes confirms a chosen victim to its owning shard.
+	// victimConfirmBytes confirms a chosen victim to its owning shard
+	// (exact mode).
 	victimConfirmBytes = 16
-	// slotMoveBytes transfers a slot's ownership between shards after a
-	// cross-shard eviction.
+	// slotMoveBytes transfers one slot's ownership between shards after
+	// a cross-shard eviction.
 	slotMoveBytes = 16
 	// borrowBytes is one free-slot borrow: request out, slot grant back.
 	borrowBytes = 16
+
+	// Batched-protocol sizing (CoordBatched/CoordHier/CoordApprox): a
+	// batched message is one header plus per-entry payload — candidate
+	// entries on polls (slot + stamp), victim slots on aggregated
+	// confirms, per-shard touch counts on hier stamp syncs.
+	batchHeaderBytes = 8
+	candEntryBytes   = 12
+	confirmSlotBytes = 8
+	stampCountBytes  = 8
 )
+
+// pollPayload is the wire size of one batched candidate poll carrying
+// got candidates (request header + reply entries).
+func pollPayload(got int) float64 {
+	return batchHeaderBytes + candEntryBytes*float64(got)
+}
 
 // CoordStats aggregates the coordinator's cross-node communication over
 // a Manager's lifetime. All byte counts are control-message payloads
 // that crossed a non-local link; co-located coordination is free and
 // uncounted.
 type CoordStats struct {
-	// VictimMergeBytes is the k-way LRU merge's traffic: candidate
-	// polls, victim confirmations, and cross-shard slot transfers.
+	// VictimMergeBytes is the victim-merge traffic: candidate polls,
+	// victim confirmations, and cross-shard slot transfers.
 	VictimMergeBytes float64
 	// TouchStampBytes is the per-Plan stamp-clock synchronization.
 	TouchStampBytes float64
 	// BorrowBytes is the free-slot borrowing traffic.
 	BorrowBytes float64
-	// Messages counts cross-node message round trips.
+
+	// Per-pattern message-round counts: every cross-node round trip is
+	// tallied in exactly one of these, so mode comparisons can report
+	// rounds saved per pattern (not just bytes). Messages is their sum.
+	PollRounds      int64
+	ConfirmRounds   int64
+	SlotMoveRounds  int64
+	StampSyncRounds int64
+	BorrowRounds    int64
+
+	// Messages counts all cross-node message round trips.
 	Messages int64
 	// Seconds is the total modeled link time charged to Plans.
 	Seconds float64
@@ -67,17 +101,56 @@ func (s CoordStats) Bytes() float64 {
 	return s.VictimMergeBytes + s.TouchStampBytes + s.BorrowBytes
 }
 
+// Merge adds another manager's lifetime traffic into s (the engines sum
+// per-table coordinators into one report).
+func (s *CoordStats) Merge(o CoordStats) {
+	s.VictimMergeBytes += o.VictimMergeBytes
+	s.TouchStampBytes += o.TouchStampBytes
+	s.BorrowBytes += o.BorrowBytes
+	s.PollRounds += o.PollRounds
+	s.ConfirmRounds += o.ConfirmRounds
+	s.SlotMoveRounds += o.SlotMoveRounds
+	s.StampSyncRounds += o.StampSyncRounds
+	s.BorrowRounds += o.BorrowRounds
+	s.Messages += o.Messages
+	s.Seconds += o.Seconds
+}
+
 // coordMeter accumulates one Plan's coordination traffic per link pair
-// and prices it against the placement's topology. nil meter (co-located
-// placement) costs nothing and is never consulted.
+// and prices it against the placement's topology, speaking the protocol
+// selected by its CoordMode. nil meter (co-located placement) costs
+// nothing and is never consulted.
 type coordMeter struct {
 	place  hw.Placement
+	mode   CoordMode
 	nodeOf []int32 // shard -> topology node
 	nnodes int
 
-	// coordShard anchors the serial coordinator: it runs on shard 0's
-	// node, so polls and stamp syncs cross the links from that node.
+	// coordNode anchors the serial coordinator: it runs on shard 0's
+	// node, so exact/batched polls and stamp syncs cross the links from
+	// that node.
 	coordNode int32
+
+	// The hier/approx host tier: hostIdx maps each shard to a dense
+	// host index, aggNode maps a dense host to its aggregator node (the
+	// node of the host's lowest shard — the hop shards on that host pay
+	// intra-host prices to reach), hostShards counts shards per host.
+	hostIdx    []int32
+	aggNode    []int32
+	hostShards []int32
+
+	// Per-sweep / per-Plan batching state: hostPolled marks hosts whose
+	// winner batch already cost a cross-host round this sweep (later
+	// shard refills on the host merge into it, paying bytes only);
+	// planVictims counts victims consumed per shard this Plan (flushed
+	// into aggregated confirm rounds at Plan end); hostVictims is the
+	// per-host scratch of that flush; moveCount/moveDirty accumulate
+	// cross-shard slot transfers per ordered shard pair this Plan.
+	hostPolled  []bool
+	planVictims []int32
+	hostVictims []int32
+	moveCount   []int64
+	moveDirty   []int32
 
 	// bytes/rounds are the current Plan's per-link-pair traffic,
 	// indexed by hw.Topology.PairIndex (the link matrix's own layout);
@@ -100,48 +173,221 @@ type linkUse struct {
 
 // newCoordMeter builds a meter for a distributed placement; returns nil
 // when the placement cannot generate cross-node traffic.
-func newCoordMeter(p hw.Placement, shards int) *coordMeter {
+func newCoordMeter(p hw.Placement, shards int, mode CoordMode) *coordMeter {
 	if !p.Distributed() || shards < 2 {
 		return nil
 	}
 	m := &coordMeter{
-		place:  p,
-		nodeOf: make([]int32, shards),
-		nnodes: p.Topo.NumNodes(),
-		bytes:  make([]float64, p.Topo.NumLinkPairs()),
-		rounds: make([]int64, p.Topo.NumLinkPairs()),
+		place:       p,
+		mode:        mode,
+		nodeOf:      make([]int32, shards),
+		nnodes:      p.Topo.NumNodes(),
+		bytes:       make([]float64, p.Topo.NumLinkPairs()),
+		rounds:      make([]int64, p.Topo.NumLinkPairs()),
+		hostIdx:     make([]int32, shards),
+		planVictims: make([]int32, shards),
+		moveCount:   make([]int64, shards*shards),
 	}
 	for j := range m.nodeOf {
 		m.nodeOf[j] = int32(p.Node[j])
 	}
 	m.coordNode = m.nodeOf[0]
+	// Dense host remap in ascending shard order: the first shard seen
+	// on a host makes its node the host's aggregator.
+	hostOf := make(map[int]int32)
+	for j := range m.nodeOf {
+		h := p.Topo.Nodes[m.nodeOf[j]].Host
+		idx, ok := hostOf[h]
+		if !ok {
+			idx = int32(len(m.aggNode))
+			hostOf[h] = idx
+			m.aggNode = append(m.aggNode, m.nodeOf[j])
+			m.hostShards = append(m.hostShards, 0)
+		}
+		m.hostIdx[j] = idx
+		m.hostShards[idx]++
+	}
+	m.hostPolled = make([]bool, len(m.aggNode))
+	m.hostVictims = make([]int32, len(m.aggNode))
 	return m
 }
 
-// addNodes records one message round of the given payload between two
-// nodes; same-node traffic is free.
-func (c *coordMeter) addNodes(a, b int32, payload float64, bucket *float64) {
+// addRound records one message round of the given payload between two
+// nodes, tallying the payload in bucket and the round in roundCtr;
+// same-node traffic is free.
+func (c *coordMeter) addRound(a, b int32, payload float64, bucket *float64, roundCtr *int64) {
 	if a == b {
 		return
 	}
+	idx := c.dirty(a, b)
+	c.bytes[idx] += payload
+	c.rounds[idx]++
+	c.stats.Messages++
+	*roundCtr++
+	*bucket += payload
+}
+
+// addPayload merges extra payload onto the link between two nodes
+// without a new round (the bytes ride an already-counted batched
+// message); same-node traffic is free.
+func (c *coordMeter) addPayload(a, b int32, payload float64, bucket *float64) {
+	if a == b {
+		return
+	}
+	idx := c.dirty(a, b)
+	c.bytes[idx] += payload
+	*bucket += payload
+}
+
+// dirty returns the flattened pair index for (a, b), registering the
+// pair in the Plan's touched list on first use.
+func (c *coordMeter) dirty(a, b int32) int32 {
 	idx := int32(c.place.Topo.PairIndex(int(a), int(b)))
 	if c.rounds[idx] == 0 && c.bytes[idx] == 0 {
 		c.touched = append(c.touched, linkUse{idx: idx, a: a, b: b})
 	}
-	c.bytes[idx] += payload
-	c.rounds[idx]++
-	c.stats.Messages++
-	*bucket += payload
+	return idx
 }
 
-// addCoord records a message round between the coordinator and shard j.
-func (c *coordMeter) addCoord(j int, payload float64, bucket *float64) {
-	c.addNodes(c.coordNode, c.nodeOf[j], payload, bucket)
+// beginSweep resets the per-sweep host-batch state; the Manager calls it
+// whenever the victim sweep (re-)arms.
+func (c *coordMeter) beginSweep() {
+	for i := range c.hostPolled {
+		c.hostPolled[i] = false
+	}
 }
 
-// addShards records a message round between two shards.
-func (c *coordMeter) addShards(a, b int, payload float64, bucket *float64) {
-	c.addNodes(c.nodeOf[a], c.nodeOf[b], payload, bucket)
+// meterPoll records one candidate-poll refill for shard j that returned
+// got candidates.
+func (c *coordMeter) meterPoll(j, got int) {
+	switch c.mode {
+	case CoordExact:
+		c.addRound(c.coordNode, c.nodeOf[j], victimPollBytes, &c.stats.VictimMergeBytes, &c.stats.PollRounds)
+	case CoordBatched:
+		c.addRound(c.coordNode, c.nodeOf[j], pollPayload(got), &c.stats.VictimMergeBytes, &c.stats.PollRounds)
+	default: // CoordHier, CoordApprox
+		h := c.hostIdx[j]
+		agg := c.aggNode[h]
+		c.addRound(agg, c.nodeOf[j], pollPayload(got), &c.stats.VictimMergeBytes, &c.stats.PollRounds)
+		if agg == c.coordNode {
+			return
+		}
+		if !c.hostPolled[h] {
+			// First refill from this host this sweep: the aggregator
+			// forwards the host-level winner batch in one cross-host
+			// round.
+			c.hostPolled[h] = true
+			c.addRound(c.coordNode, agg, pollPayload(got), &c.stats.VictimMergeBytes, &c.stats.PollRounds)
+		} else {
+			// Later refills merge into the host batch already in
+			// flight: extra candidates cost bytes, not rounds.
+			c.addPayload(c.coordNode, agg, candEntryBytes*float64(got), &c.stats.VictimMergeBytes)
+		}
+	}
+}
+
+// meterConfirm records that the merge consumed a victim owned by shard
+// j: an immediate confirm round in exact mode, a Plan-end aggregated
+// confirm otherwise.
+func (c *coordMeter) meterConfirm(j int) {
+	if c.mode == CoordExact {
+		c.addRound(c.coordNode, c.nodeOf[j], victimConfirmBytes, &c.stats.VictimMergeBytes, &c.stats.ConfirmRounds)
+		return
+	}
+	c.planVictims[j]++
+}
+
+// meterSlotMove records a victim slot changing owners from shard `from`
+// to shard `to`: an immediate transfer round in exact mode, a Plan-end
+// aggregated per-pair transfer otherwise.
+func (c *coordMeter) meterSlotMove(from, to int) {
+	if c.mode == CoordExact {
+		c.addRound(c.nodeOf[from], c.nodeOf[to], slotMoveBytes, &c.stats.VictimMergeBytes, &c.stats.SlotMoveRounds)
+		return
+	}
+	idx := int32(from*len(c.planVictims) + to)
+	if c.moveCount[idx] == 0 {
+		c.moveDirty = append(c.moveDirty, idx)
+	}
+	c.moveCount[idx]++
+}
+
+// meterBorrow records a free-slot borrow round between two shards
+// (identical in every mode: the starved shard blocks on the grant).
+func (c *coordMeter) meterBorrow(from, to int) {
+	c.addRound(c.nodeOf[from], c.nodeOf[to], borrowBytes, &c.stats.BorrowBytes, &c.stats.BorrowRounds)
+}
+
+// meterStampSync records one Plan's touch-stamp synchronization: per
+// remote shard in exact/batched, aggregated through the host tier in
+// hier, and nothing at all in approx (quantized epochs are derived
+// locally from the batch stream every shard already receives).
+func (c *coordMeter) meterStampSync() {
+	switch c.mode {
+	case CoordApprox:
+		return
+	case CoordExact, CoordBatched:
+		for j := range c.nodeOf {
+			c.addRound(c.coordNode, c.nodeOf[j], stampSyncBytes, &c.stats.TouchStampBytes, &c.stats.StampSyncRounds)
+		}
+	default: // CoordHier
+		for j := range c.nodeOf {
+			c.addRound(c.aggNode[c.hostIdx[j]], c.nodeOf[j], stampSyncBytes, &c.stats.TouchStampBytes, &c.stats.StampSyncRounds)
+		}
+		for h := range c.aggNode {
+			c.addRound(c.coordNode, c.aggNode[h],
+				batchHeaderBytes+stampCountBytes*float64(c.hostShards[h]),
+				&c.stats.TouchStampBytes, &c.stats.StampSyncRounds)
+		}
+	}
+}
+
+// flushBatched emits the Plan-end aggregated rounds of the batched
+// protocols: one confirm round per shard that supplied victims (routed
+// coordinator -> host aggregator -> shard in hier/approx) and one slot
+// transfer round per dirty ordered shard pair.
+func (c *coordMeter) flushBatched() {
+	if c.mode == CoordHier || c.mode == CoordApprox {
+		for j, v := range c.planVictims {
+			if v > 0 {
+				c.hostVictims[c.hostIdx[j]] += v
+			}
+		}
+		for h, v := range c.hostVictims {
+			if v > 0 {
+				c.addRound(c.coordNode, c.aggNode[h],
+					batchHeaderBytes+confirmSlotBytes*float64(v),
+					&c.stats.VictimMergeBytes, &c.stats.ConfirmRounds)
+				c.hostVictims[h] = 0
+			}
+		}
+		for j, v := range c.planVictims {
+			if v > 0 {
+				c.addRound(c.aggNode[c.hostIdx[j]], c.nodeOf[j],
+					batchHeaderBytes+confirmSlotBytes*float64(v),
+					&c.stats.VictimMergeBytes, &c.stats.ConfirmRounds)
+				c.planVictims[j] = 0
+			}
+		}
+	} else {
+		for j, v := range c.planVictims {
+			if v > 0 {
+				c.addRound(c.coordNode, c.nodeOf[j],
+					batchHeaderBytes+confirmSlotBytes*float64(v),
+					&c.stats.VictimMergeBytes, &c.stats.ConfirmRounds)
+				c.planVictims[j] = 0
+			}
+		}
+	}
+	n := len(c.planVictims)
+	for _, idx := range c.moveDirty {
+		from, to := int(idx)/n, int(idx)%n
+		c.addRound(c.nodeOf[from], c.nodeOf[to],
+			slotMoveBytes*float64(c.moveCount[idx]),
+			&c.stats.VictimMergeBytes, &c.stats.SlotMoveRounds)
+		c.moveCount[idx] = 0
+	}
+	c.moveDirty = c.moveDirty[:0]
 }
 
 // finishPlan prices the Plan's accumulated traffic, folds it into the
@@ -149,6 +395,9 @@ func (c *coordMeter) addShards(a, b int, payload float64, bucket *float64) {
 // coordination latency in seconds. The coordinator pass is serial, so
 // the per-link times sum.
 func (c *coordMeter) finishPlan() float64 {
+	if c.mode != CoordExact {
+		c.flushBatched()
+	}
 	var t float64
 	for _, u := range c.touched {
 		l := c.place.Topo.Link(int(u.a), int(u.b))

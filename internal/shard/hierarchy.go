@@ -1,0 +1,204 @@
+// Coordination protocols: how the cross-shard eviction-budget
+// coordinator talks once shards live on different topology nodes.
+//
+// PR 3's costed placement model showed the exact per-eviction protocol
+// is unaffordable over PCIe/network tiers: every eviction pays a
+// cross-node candidate-poll round trip, so coordination rounds grow as
+// O(evictions x shards) per Plan — the communication wall Acun et al.
+// ("Understanding Training Efficiency of DLRM at Scale") observe once
+// embedding-access communication dominates scale-out DLRM training.
+// This file applies the source paper's look-forward insight to the
+// coordinator itself: a Plan knows its whole miss budget up front, so
+// coordination for the entire batch can be planned in advance instead
+// of reacting one eviction at a time.
+//
+// Four protocols, selected by [CoordMode]:
+//
+//   - CoordExact: the PR 3 protocol. One poll round per fresh victim
+//     candidate, one confirm round per victim, one transfer round per
+//     cross-shard slot move. Reference semantics and reference meter.
+//   - CoordBatched: one poll round per shard per sweep gathers the
+//     shard's next k evictable candidates (k = the Plan's miss budget,
+//     so one batch always covers the sweep); victim confirmations and
+//     slot transfers are aggregated into one round per shard (or shard
+//     pair) at Plan end. Candidate selection is unchanged — parked
+//     candidates are consumed lazily from the batch and re-polled only
+//     after a sweep re-arm — so the eviction sequence is bit-identical
+//     to exact.
+//   - CoordHier: batched polling plus a per-host coordinator tier.
+//     Shards talk only to their host's aggregator (the node of the
+//     host's lowest shard) at intra-host cost; hosts exchange only
+//     host-level candidate batches, confirmations, and stamp counts
+//     with the global coordinator, cutting cross-host rounds from
+//     O(evictions x shards) to O(rounds x hosts). Also exact.
+//   - CoordApprox: the hierarchical protocol minus touch-stamp sync
+//     entirely. Touch stamps are epoch-quantized (Config.CoordQuantum
+//     clock ticks per epoch): shards order victims by quantized epoch,
+//     which each shard derives locally from the batch stream, so no
+//     per-Plan stamp round trips exist at any tier. Stamps within one
+//     epoch tie and resolve toward the lower shard index, so the
+//     eviction sequence may diverge from exact LRU — the divergence is
+//     measured, not assumed: a shadow exact planner runs alongside and
+//     [Divergence] reports the eviction-sequence edit distance and the
+//     hit-rate delta. With quantum 1 the quantized order equals the
+//     exact order and every divergence metric is zero.
+//
+// The protocol changes only message accounting (and, for approx, the
+// merge key); batched and hierarchical plans, victims, and statistics
+// are identical to exact at every shard count — the equivalence tests
+// in hierarchy_test.go prove it plan by plan.
+
+package shard
+
+import "fmt"
+
+// CoordMode selects the cross-shard coordination protocol.
+type CoordMode string
+
+const (
+	// CoordExact is the reference per-eviction protocol: one candidate
+	// poll round per fresh candidate, one confirm round per victim.
+	CoordExact CoordMode = "exact"
+	// CoordBatched gathers each shard's k next-evictable candidates in
+	// one round per sweep and batches confirms/transfers per Plan;
+	// eviction sequence identical to exact.
+	CoordBatched CoordMode = "batched"
+	// CoordHier adds a per-host coordinator tier on top of batched
+	// polling: hosts exchange only host-level winner batches; eviction
+	// sequence identical to exact.
+	CoordHier CoordMode = "hier"
+	// CoordApprox is CoordHier with epoch-quantized touch stamps and no
+	// stamp-sync traffic at all; eviction order may diverge from exact
+	// LRU and the divergence is measured (see Divergence).
+	CoordApprox CoordMode = "approx"
+)
+
+// CoordModes lists every protocol in escalation order (each mode sends
+// strictly less cross-tier traffic than the one before it).
+var CoordModes = []CoordMode{CoordExact, CoordBatched, CoordHier, CoordApprox}
+
+// CoordModeNames lists the parseable protocol names for usage errors.
+const CoordModeNames = "exact, batched, hier, approx"
+
+// DefaultApproxQuantum is the approx-mode stamp quantum (global clock
+// ticks per recency epoch) when Config.CoordQuantum is unset: coarse
+// enough to measure real divergence, fine enough (well under typical
+// scratchpad populations) to keep it bounded.
+const DefaultApproxQuantum = 64
+
+// ParseCoordMode resolves a coordination protocol name ("" selects
+// exact).
+func ParseCoordMode(s string) (CoordMode, error) {
+	switch CoordMode(s) {
+	case "", CoordExact:
+		return CoordExact, nil
+	case CoordBatched:
+		return CoordBatched, nil
+	case CoordHier:
+		return CoordHier, nil
+	case CoordApprox:
+		return CoordApprox, nil
+	}
+	return "", fmt.Errorf("shard: unknown coordination mode %q (want %s)", s, CoordModeNames)
+}
+
+// Divergence quantifies how far approx-mode eviction behaviour drifted
+// from the exact global LRU, measured against a shadow exact planner
+// that consumes the identical Plan stream. The zero value means "no
+// divergence" — guaranteed when the quantum is 1, reported otherwise.
+type Divergence struct {
+	// Plans counts compared Plans.
+	Plans int64
+	// EditDistance sums the per-Plan Levenshtein distance between the
+	// approx and exact eviction-victim ID sequences.
+	EditDistance int64
+	// ApproxEvictions/ExactEvictions total both planners' evictions
+	// (the edit distance's normalizer).
+	ApproxEvictions int64
+	ExactEvictions  int64
+	// ApproxHits/ApproxQueries and ExactHits/ExactQueries are both
+	// planners' occurrence-level counters (the hit-rate delta's inputs).
+	ApproxHits, ApproxQueries int64
+	ExactHits, ExactQueries   int64
+}
+
+// EditRate normalizes the eviction-sequence edit distance by the larger
+// eviction total: 0 means identical sequences, 1 means entirely
+// rewritten. Levenshtein distance is at most max(len(a), len(b)), so the
+// rate is bounded in [0, 1].
+func (d Divergence) EditRate() float64 {
+	n := d.ExactEvictions
+	if d.ApproxEvictions > n {
+		n = d.ApproxEvictions
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(d.EditDistance) / float64(n)
+}
+
+// HitRateDelta returns approx hit rate minus exact hit rate (negative
+// when quantization costs hits).
+func (d Divergence) HitRateDelta() float64 {
+	var a, e float64
+	if d.ApproxQueries > 0 {
+		a = float64(d.ApproxHits) / float64(d.ApproxQueries)
+	}
+	if d.ExactQueries > 0 {
+		e = float64(d.ExactHits) / float64(d.ExactQueries)
+	}
+	return a - e
+}
+
+// Merge folds another table's divergence into d (counters add; the
+// derived rates recompute from the merged counters).
+func (d *Divergence) Merge(o Divergence) {
+	d.Plans += o.Plans
+	d.EditDistance += o.EditDistance
+	d.ApproxEvictions += o.ApproxEvictions
+	d.ExactEvictions += o.ExactEvictions
+	d.ApproxHits += o.ApproxHits
+	d.ApproxQueries += o.ApproxQueries
+	d.ExactHits += o.ExactHits
+	d.ExactQueries += o.ExactQueries
+}
+
+// editDistance returns the Levenshtein distance between two ID
+// sequences (insertions, deletions, substitutions all cost 1) plus the
+// possibly-regrown scratch buffer, reused across calls to keep the
+// per-Plan comparison allocation-free at steady state.
+func editDistance(a, b []int64, scratch []int32) (int, []int32) {
+	if len(a) == 0 {
+		return len(b), scratch
+	}
+	if len(b) == 0 {
+		return len(a), scratch
+	}
+	w := len(b) + 1
+	if cap(scratch) < 2*w {
+		scratch = make([]int32, 2*w)
+	}
+	prev, cur := scratch[:w], scratch[w:2*w]
+	for j := 0; j <= len(b); j++ {
+		prev[j] = int32(j)
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = int32(i)
+		for j := 1; j <= len(b); j++ {
+			cost := int32(1)
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			best := prev[j-1] + cost        // substitute (or match)
+			if d := prev[j] + 1; d < best { // delete
+				best = d
+			}
+			if d := cur[j-1] + 1; d < best { // insert
+				best = d
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return int(prev[len(b)]), scratch
+}

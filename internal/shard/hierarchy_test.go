@@ -1,0 +1,308 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/par"
+)
+
+// modeManager builds an S-shard manager placed on topo (stripe policy)
+// running the given coordination protocol.
+func modeManager(t *testing.T, cfg core.Config, shards int, topo *hw.Topology, mode CoordMode, quantum int) *Manager {
+	t.Helper()
+	var pl hw.Placement
+	if topo != nil {
+		var err error
+		pl, err = hw.NewPlacement(hw.PlaceStripe, topo, shards, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := New(Config{
+		Scratchpad:   cfg,
+		Shards:       shards,
+		Pool:         par.New(2),
+		Placement:    pl,
+		Coord:        mode,
+		CoordQuantum: quantum,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// driveSlotLockstep runs the same stream through two managers, requiring
+// byte-identical plans *including physical slot numbers* (both managers
+// run the same hash partition, so even slots must agree).
+func driveSlotLockstep(t *testing.T, label string, a, b *Manager, st *stream, iters, futureWin, lookahead int) {
+	t.Helper()
+	const depth = 4
+	var pendA, pendB []*core.PlanResult
+	for seq := 0; seq < iters; seq++ {
+		future, hints := st.window(seq, futureWin, lookahead)
+		ra, err := a.PlanWithHints(seq, st.at(seq), future, hints)
+		if err != nil {
+			t.Fatalf("%s seq %d: a.Plan: %v", label, seq, err)
+		}
+		rb, err := b.PlanWithHints(seq, st.at(seq), future, hints)
+		if err != nil {
+			t.Fatalf("%s seq %d: b.Plan: %v", label, seq, err)
+		}
+		samePlan(t, label, seq, ra, rb)
+		for i := range ra.Slots {
+			if ra.Slots[i] != rb.Slots[i] {
+				t.Fatalf("%s seq %d: slot %d: %d vs %d (coordination mode changed planning)",
+					label, seq, i, ra.Slots[i], rb.Slots[i])
+			}
+		}
+		pendA, pendB = append(pendA, ra), append(pendB, rb)
+		if len(pendA) >= depth {
+			old := seq - depth + 1
+			if err := a.Release(old); err != nil {
+				t.Fatalf("%s: a.Release(%d): %v", label, old, err)
+			}
+			if err := b.Release(old); err != nil {
+				t.Fatalf("%s: b.Release(%d): %v", label, old, err)
+			}
+			a.Recycle(pendA[0])
+			b.Recycle(pendB[0])
+			pendA, pendB = pendA[1:], pendB[1:]
+		}
+	}
+}
+
+// TestCoordModeExactness is the tentpole acceptance property: batched
+// and hierarchical coordination must produce byte-identical plans,
+// victims, slots, and statistics to the exact protocol at every shard
+// count, on both intra-host (numa) and cross-host (cluster) topologies —
+// batching changes only how the merge is *communicated*, never what it
+// decides.
+func TestCoordModeExactness(t *testing.T) {
+	topos := map[string]func(int) *hw.Topology{
+		"numa":    func(s int) *hw.Topology { return hw.MultiSocket(s) },
+		"cluster": func(s int) *hw.Topology { return hw.Cluster(2, (s+1)/2) },
+	}
+	for _, mode := range []CoordMode{CoordBatched, CoordHier} {
+		for topoName, mk := range topos {
+			for _, shards := range []int{2, 3, 4, 7} {
+				label := string(mode) + "-" + topoName + "-S" + string(rune('0'+shards))
+				t.Run(label, func(t *testing.T) {
+					cfg := testConfig(512, 96)
+					exact := modeManager(t, cfg, shards, mk(shards), CoordExact, 0)
+					m := modeManager(t, cfg, shards, mk(shards), mode, 0)
+					st := newStream(int64(shards)*31+int64(len(topoName)), 96, 96, int64(512*4))
+					driveSlotLockstep(t, label, exact, m, st, 150, 2, 6)
+					if exact.Stats() != m.Stats() {
+						t.Fatalf("stats diverged:\nexact %+v\n%s %+v", exact.Stats(), mode, m.Stats())
+					}
+				})
+			}
+		}
+	}
+}
+
+// driveRounds pushes a fixed stream through m and returns its lifetime
+// coordination stats.
+func driveRounds(t *testing.T, m *Manager, seed int64, iters int) CoordStats {
+	t.Helper()
+	st := newStream(seed, 96, 96, int64(512*4))
+	var pend []*core.PlanResult
+	for seq := 0; seq < iters; seq++ {
+		future, _ := st.window(seq, 2, 0)
+		res, err := m.PlanWithHints(seq, st.at(seq), future, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pend = append(pend, res)
+		if len(pend) >= 4 {
+			if err := m.Release(seq - 3); err != nil {
+				t.Fatal(err)
+			}
+			m.Recycle(pend[0])
+			pend = pend[1:]
+		}
+	}
+	return m.CoordStats()
+}
+
+// TestCoordRoundReduction encodes the headline perf claim: on the
+// two-host cluster at S=4, batched and hierarchical coordination cut
+// message rounds per Plan by at least 5x against the exact protocol at
+// identical plans, the hierarchical tier is no chattier (and strictly
+// cheaper in modeled time) than flat batching, and approx sends
+// strictly less traffic than hier.
+func TestCoordRoundReduction(t *testing.T) {
+	cfg := testConfig(512, 96)
+	topo := hw.Cluster(2, 2)
+	const iters = 120
+	stats := map[CoordMode]CoordStats{}
+	for _, mode := range CoordModes {
+		m := modeManager(t, cfg, 4, topo, mode, 0)
+		stats[mode] = driveRounds(t, m, 1234, iters)
+	}
+	exact, batched, hier, approx := stats[CoordExact], stats[CoordBatched], stats[CoordHier], stats[CoordApprox]
+	if exact.Messages == 0 || batched.Messages == 0 || hier.Messages == 0 {
+		t.Fatalf("no coordination metered: exact %d, batched %d, hier %d rounds",
+			exact.Messages, batched.Messages, hier.Messages)
+	}
+	if batched.Messages*5 > exact.Messages {
+		t.Fatalf("batched rounds %d not >=5x below exact's %d", batched.Messages, exact.Messages)
+	}
+	if hier.Messages*5 > exact.Messages {
+		t.Fatalf("hier rounds %d not >=5x below exact's %d", hier.Messages, exact.Messages)
+	}
+	if hier.Seconds >= batched.Seconds {
+		t.Fatalf("hier modeled time %g not below batched %g (host tier should shift rounds to cheap links)",
+			hier.Seconds, batched.Seconds)
+	}
+	if approx.Bytes() >= hier.Bytes() || approx.Messages >= hier.Messages {
+		t.Fatalf("approx traffic (%g B, %d rounds) not strictly below hier (%g B, %d rounds)",
+			approx.Bytes(), approx.Messages, hier.Bytes(), hier.Messages)
+	}
+	if approx.StampSyncRounds != 0 || approx.TouchStampBytes != 0 {
+		t.Fatalf("approx metered stamp-sync traffic: %+v", approx)
+	}
+	// The per-pattern breakdown must account for every round.
+	for mode, s := range stats {
+		if sum := s.PollRounds + s.ConfirmRounds + s.SlotMoveRounds + s.StampSyncRounds + s.BorrowRounds; sum != s.Messages {
+			t.Fatalf("%s: pattern rounds sum %d != total messages %d (%+v)", mode, sum, s.Messages, s)
+		}
+	}
+}
+
+// TestApproxQuantumOneIsExact is the fuzz satellite: with quantum 1 the
+// quantized merge key equals the raw stamp, so approx mode must emit
+// byte-identical plans to exact and every divergence metric must be
+// zero, across randomized configurations and streams.
+func TestApproxQuantumOneIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		slots := 64 + rng.Intn(512)
+		batchLen := 16 + rng.Intn(96)
+		idSpace := int64(slots/2 + rng.Intn(slots*6))
+		shards := []int{2, 3, 4, 7}[trial%4]
+		cfg := core.Config{
+			Slots:        slots,
+			Policy:       cache.LRU,
+			PastWindow:   3,
+			FutureWindow: rng.Intn(3),
+		}
+		cfg.Reserve = core.WorstCaseReserve(cfg, batchLen)
+		exact := modeManager(t, cfg, shards, hw.Cluster(2, (shards+1)/2), CoordExact, 0)
+		approx := modeManager(t, cfg, shards, hw.Cluster(2, (shards+1)/2), CoordApprox, 1)
+		st := newStream(rng.Int63(), 32, batchLen, idSpace)
+		driveSlotLockstep(t, "approx-q1", exact, approx, st, 60, cfg.FutureWindow, 0)
+		if exact.Stats() != approx.Stats() {
+			t.Fatalf("trial %d: stats diverged:\nexact  %+v\napprox %+v", trial, exact.Stats(), approx.Stats())
+		}
+		div := approx.Divergence()
+		if div.EditDistance != 0 || div.EditRate() != 0 || div.HitRateDelta() != 0 {
+			t.Fatalf("trial %d: quantum-1 divergence nonzero: %+v", trial, div)
+		}
+		if div.Plans == 0 {
+			t.Fatalf("trial %d: shadow planner compared no plans", trial)
+		}
+	}
+}
+
+// TestApproxDivergenceMeasured: with a coarse quantum the approximate
+// LRU must actually diverge — and the meter must report it as a nonzero,
+// bounded edit rate rather than silently pretending exactness. Prewarm
+// runs first so the shadow's teed warm-up is exercised too.
+func TestApproxDivergenceMeasured(t *testing.T) {
+	cfg := testConfig(256, 64)
+	m := modeManager(t, cfg, 4, hw.Cluster(2, 2), CoordApprox, 4096)
+	rng := rand.New(rand.NewSource(5))
+	m.Prewarm(func() int64 { return rng.Int63n(1024) }, nil)
+	st := newStream(9, 96, 64, 1024)
+	var pend []*core.PlanResult
+	for seq := 0; seq < 120; seq++ {
+		future, _ := st.window(seq, 2, 0)
+		res, err := m.PlanWithHints(seq, st.at(seq), future, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pend = append(pend, res)
+		if len(pend) >= 4 {
+			if err := m.Release(seq - 3); err != nil {
+				t.Fatal(err)
+			}
+			m.Recycle(pend[0])
+			pend = pend[1:]
+		}
+	}
+	div := m.Divergence()
+	if div.Plans != 120 {
+		t.Fatalf("shadow compared %d plans, want 120", div.Plans)
+	}
+	if div.EditDistance == 0 {
+		t.Fatal("coarse-quantum approx mode produced zero divergence: the meter is not measuring")
+	}
+	if r := div.EditRate(); r <= 0 || r > 1 {
+		t.Fatalf("edit rate %g outside (0, 1]: Levenshtein bound violated", r)
+	}
+	if div.ExactEvictions == 0 || div.ApproxEvictions == 0 {
+		t.Fatalf("divergence missing eviction totals: %+v", div)
+	}
+	if d := div.HitRateDelta(); d < -1 || d > 1 {
+		t.Fatalf("hit-rate delta %g outside [-1, 1]", d)
+	}
+}
+
+// TestCoordModeValidation: unknown protocols and negative quantums are
+// rejected at construction; every named mode constructs.
+func TestCoordModeValidation(t *testing.T) {
+	cfg := testConfig(64, 16)
+	if _, err := New(Config{Scratchpad: cfg, Shards: 2, Coord: "gossip"}); err == nil {
+		t.Fatal("unknown coordination mode accepted")
+	}
+	if _, err := New(Config{Scratchpad: cfg, Shards: 2, CoordQuantum: -1}); err == nil {
+		t.Fatal("negative quantum accepted")
+	}
+	for _, mode := range CoordModes {
+		m, err := New(Config{Scratchpad: cfg, Shards: 2, Coord: mode})
+		if err != nil {
+			t.Fatalf("mode %s rejected: %v", mode, err)
+		}
+		if m.CoordMode() != mode {
+			t.Fatalf("mode %s reports %s", mode, m.CoordMode())
+		}
+	}
+	// The S=1 delegate accepts every mode (no coordination exists).
+	for _, mode := range CoordModes {
+		if _, err := New(Config{Scratchpad: cfg, Shards: 1, Coord: mode}); err != nil {
+			t.Fatalf("S=1 mode %s rejected: %v", mode, err)
+		}
+	}
+}
+
+// TestEditDistance pins the divergence metric's core on hand-checked
+// cases.
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b []int64
+		want int
+	}{
+		{nil, nil, 0},
+		{[]int64{1, 2, 3}, nil, 3},
+		{nil, []int64{7}, 1},
+		{[]int64{1, 2, 3}, []int64{1, 2, 3}, 0},
+		{[]int64{1, 2, 3}, []int64{1, 3}, 1},
+		{[]int64{1, 2, 3}, []int64{2, 1, 3}, 2},
+		{[]int64{1, 2, 3}, []int64{4, 5, 6}, 3},
+		{[]int64{1, 2, 3, 4}, []int64{2, 3, 4, 5}, 2},
+	}
+	var scratch []int32
+	for i, c := range cases {
+		var got int
+		got, scratch = editDistance(c.a, c.b, scratch)
+		if got != c.want {
+			t.Fatalf("case %d: editDistance(%v, %v) = %d, want %d", i, c.a, c.b, got, c.want)
+		}
+	}
+}

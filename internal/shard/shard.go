@@ -35,7 +35,11 @@
 // and free-slot-borrow messages are then metered in bytes and charged to
 // the links the assignment crosses (coord.go), pricing the communication
 // wall a scale-out deployment pays. Placement changes only the modeled
-// coordination latency — never plans, victims, or statistics.
+// coordination latency — never plans, victims, or statistics. How the
+// coordinator talks over those links is selected by Config.Coord
+// (hierarchy.go): exact per-eviction rounds, batched candidate polls,
+// a per-host aggregation tier, or approximate epoch-quantized LRU whose
+// divergence from exact is measured by a shadow planner.
 package shard
 
 import (
@@ -73,6 +77,19 @@ type Config struct {
 	// Placement never changes plans, victims, or statistics — only the
 	// modeled coordination latency reported by LastPlanCoord.
 	Placement hw.Placement
+	// Coord selects the coordination protocol (see hierarchy.go):
+	// exact (default, per-eviction rounds), batched (one candidate
+	// batch per shard per sweep, Plan-end aggregated confirms), hier
+	// (batched plus a per-host aggregation tier), or approx (hier minus
+	// stamp sync, with epoch-quantized recency and a measured
+	// divergence). Exact, batched, and hier produce identical plans,
+	// victims, and statistics; approx may diverge and reports how much.
+	Coord CoordMode
+	// CoordQuantum is approx mode's recency quantum in global clock
+	// ticks (touches per epoch); 0 selects DefaultApproxQuantum. A
+	// quantum of 1 makes approx bit-identical to exact (and its
+	// divergence metrics provably zero). Ignored outside approx mode.
+	CoordQuantum int
 }
 
 // Validate reports a descriptive error for an unusable configuration.
@@ -83,6 +100,12 @@ func (c Config) Validate() error {
 	if c.Shards > 1 && c.Scratchpad.Policy != cache.LRU {
 		return fmt.Errorf("shard: %d shards requires the %q policy (cross-shard eviction coordination merges LRU recency orders), got %q",
 			c.Shards, cache.LRU, c.Scratchpad.Policy)
+	}
+	if _, err := ParseCoordMode(string(c.Coord)); err != nil {
+		return err
+	}
+	if c.CoordQuantum < 0 {
+		return fmt.Errorf("shard: CoordQuantum %d < 0", c.CoordQuantum)
 	}
 	n := c.Shards
 	if n == 0 {
@@ -131,12 +154,16 @@ type shardState struct {
 	// sequence.
 	lruHead, lruTail int32
 
-	// sweepCur/sweepCand are the coordinator's per-shard victim-sweep
-	// cursor: sweepCand >= 0 is a parked evictable candidate awaiting
-	// the cross-shard merge, candNone means exhausted, candAdvance
-	// means "scan forward from sweepCur".
-	sweepCur  int32
-	sweepCand int32
+	// sweepCur is the coordinator's per-shard victim-sweep cursor;
+	// candQ[candHead:] holds the shard's parked evictable candidates
+	// (in recency order) gathered by the latest poll, and candDone
+	// marks the shard's eviction order exhausted for this sweep. Exact
+	// mode polls one candidate at a time; the batched modes gather the
+	// Plan's whole miss budget per poll.
+	sweepCur int32
+	candQ    []int32
+	candHead int
+	candDone bool
 
 	// held is the hold set being assembled for the current Plan;
 	// heldPool recycles retired hold-set buffers.
@@ -151,11 +178,9 @@ type shardState struct {
 	occHits, occMisses int
 }
 
-const (
-	candAdvance = int32(-2) // scan forward from sweepCur
-	candNone    = int32(-1) // shard's eviction order exhausted this sweep
-	nilSlot     = int32(-1) // recency-list terminator
-)
+// nilSlot is the recency-list terminator (and the "no candidate"
+// sentinel of the victim sweep).
+const nilSlot = int32(-1)
 
 // Manager is the sharded per-table scratchpad control plane. It exposes
 // the same Plan/Release/Recycle/Prewarm lifecycle as core.Scratchpad and
@@ -176,6 +201,25 @@ type Manager struct {
 	// prewarming suppresses coordination metering during PrewarmRows
 	// (setup-time slot shuffling is not per-iteration traffic).
 	prewarming bool
+
+	// mode is the coordination protocol; quantum is the approx-mode
+	// recency quantum in clock ticks (1 outside approx mode, so the
+	// victim merge compares raw stamps); pollK is the current Plan's
+	// candidate batch size (1 in exact mode, the miss budget
+	// otherwise).
+	mode    CoordMode
+	quantum uint64
+	pollK   int
+
+	// shadow is approx mode's exact reference planner: it consumes the
+	// identical Plan stream so the divergence the quantized recency
+	// introduces is measured, not assumed. div accumulates the
+	// comparison; edScratch/evSelf/evShadow back it allocation-free.
+	shadow    *core.Scratchpad
+	div       Divergence
+	edScratch []int32
+	evSelf    []int64
+	evShadow  []int64
 
 	// single is the unsharded fast path (Shards == 1): full delegation,
 	// bit-identical to the pre-sharding tree.
@@ -243,12 +287,18 @@ func New(cfg Config) (*Manager, error) {
 	if n == 0 {
 		n = 1
 	}
+	mode, err := ParseCoordMode(string(cfg.Coord))
+	if err != nil {
+		return nil, err
+	}
 	if n == 1 {
+		// The S=1 delegate has no cross-shard coordination; every mode
+		// is trivially exact.
 		sp, err := core.NewScratchpad(cfg.Scratchpad)
 		if err != nil {
 			return nil, err
 		}
-		return &Manager{cfg: cfg.Scratchpad, nshards: 1, pool: cfg.Pool, single: sp}, nil
+		return &Manager{cfg: cfg.Scratchpad, nshards: 1, pool: cfg.Pool, mode: mode, quantum: 1, single: sp}, nil
 	}
 	c := cfg.Scratchpad
 	total := c.Slots + c.Reserve
@@ -257,13 +307,27 @@ func New(cfg Config) (*Manager, error) {
 		nshards: n,
 		pool:    cfg.Pool,
 		place:   cfg.Placement,
-		coord:   newCoordMeter(cfg.Placement, n),
+		coord:   newCoordMeter(cfg.Placement, n, mode),
+		mode:    mode,
+		quantum: 1,
+		pollK:   1,
 		shards:  make([]shardState, n),
 		meta:    make([]slotMeta, total),
 		next:    make([]int32, total),
 		prev:    make([]int32, total),
 		uniqIdx: make([][]int32, n),
 		winIdx:  make([][]int32, n),
+	}
+	if mode == CoordApprox {
+		m.quantum = uint64(cfg.CoordQuantum)
+		if m.quantum == 0 {
+			m.quantum = DefaultApproxQuantum
+		}
+		shadow, err := core.NewScratchpad(c)
+		if err != nil {
+			return nil, err
+		}
+		m.shadow = shadow
 	}
 	m.pinValid = 1
 	if c.FutureWindow > 1 && c.PastWindow >= c.FutureWindow {
@@ -280,7 +344,6 @@ func New(cfg Config) (*Manager, error) {
 		sh := &m.shards[j]
 		sh.hitMap = intmap.New((c.Slots + c.Reserve/2) / n)
 		sh.lruHead, sh.lruTail = nilSlot, nilSlot
-		sh.sweepCand = candAdvance
 		count := (c.Slots - j + n - 1) / n
 		sh.freePrimary = make([]int32, 0, count)
 		for s := c.Slots - 1; s >= 0; s-- {
@@ -316,6 +379,27 @@ func (m *Manager) CoordStats() CoordStats {
 		return CoordStats{}
 	}
 	return m.coord.stats
+}
+
+// CoordMode returns the coordination protocol the manager runs.
+func (m *Manager) CoordMode() CoordMode { return m.mode }
+
+// CoordQuantum returns approx mode's recency quantum in clock ticks
+// (1 in every exact-order mode).
+func (m *Manager) CoordQuantum() int { return int(m.quantum) }
+
+// Divergence reports how far approx mode's eviction behaviour drifted
+// from the exact global LRU, measured against the shadow planner; the
+// zero value outside approx mode (exact-order modes cannot diverge).
+func (m *Manager) Divergence() Divergence {
+	if m.shadow == nil {
+		return Divergence{}
+	}
+	d := m.div
+	st, ss := m.stats, m.shadow.Stats()
+	d.ApproxHits, d.ApproxQueries = st.Hits, st.Queries
+	d.ExactHits, d.ExactQueries = ss.Hits, ss.Queries
+	return d
 }
 
 // Capacity returns the nominal slot count (excluding reserve).
@@ -456,63 +540,101 @@ func (m *Manager) isEvictable(slot int32) bool {
 	return m.hintRelaxed || m.hintStamp[slot] != m.pinEpoch
 }
 
-// armSweep resets every shard's sweep cursor to its least-recent end.
-// Mirrors BeginVictimSweep: within one Plan no slot can *become*
-// evictable, so skipped slots are never revisited until a re-arm.
+// armSweep resets every shard's sweep cursor to its least-recent end
+// and flushes the parked candidate batches (a re-arm changes the
+// evictability predicate, so gathered candidates are stale and the next
+// consultation re-polls). Mirrors BeginVictimSweep: within one Plan no
+// slot can *become* evictable, so skipped slots are never revisited
+// until a re-arm.
 func (m *Manager) armSweep() {
 	for j := range m.shards {
 		sh := &m.shards[j]
 		sh.sweepCur = sh.lruHead
-		sh.sweepCand = candAdvance
-	}
-}
-
-// shardCand returns shard j's parked evictable candidate, advancing its
-// cursor to find one if needed; candNone when the shard's order is
-// exhausted for this sweep.
-func (m *Manager) shardCand(j int) int32 {
-	sh := &m.shards[j]
-	if sh.sweepCand != candAdvance {
-		return sh.sweepCand
+		sh.candQ = sh.candQ[:0]
+		sh.candHead = 0
+		sh.candDone = false
 	}
 	if m.coord != nil {
-		// Fresh candidate: the coordinator polls shard j for its next
-		// evictable (slot, stamp) pair. Parked candidates are cached
-		// coordinator-side and cost nothing to re-compare.
-		m.coord.addCoord(j, victimPollBytes, &m.coord.stats.VictimMergeBytes)
+		m.coord.beginSweep()
 	}
-	for cur := sh.sweepCur; cur != nilSlot; {
-		nxt := m.next[cur]
-		if m.isEvictable(cur) {
-			sh.sweepCur = nxt
-			sh.sweepCand = cur
-			return cur
-		}
-		cur = nxt
-		sh.sweepCur = cur
-	}
-	sh.sweepCand = candNone
-	return candNone
 }
 
-// victim k-way-merges the shard sweep cursors by touch stamp and
+// shardCand returns shard j's next parked evictable candidate, polling
+// the shard to refill its candidate batch when the parked ones are
+// consumed; nilSlot when the shard's eviction order is exhausted for
+// this sweep. One poll round gathers up to pollK candidates in recency
+// order (1 in exact mode — the PR 3 protocol — or the Plan's whole miss
+// budget in the batched modes, so a single round per shard covers the
+// sweep); parked candidates cost nothing to re-compare, and a batch is
+// invalidated only by a sweep re-arm.
+func (m *Manager) shardCand(j int) int32 {
+	sh := &m.shards[j]
+	if sh.candHead < len(sh.candQ) {
+		return sh.candQ[sh.candHead]
+	}
+	if sh.candDone {
+		return nilSlot
+	}
+	sh.candQ = sh.candQ[:0]
+	sh.candHead = 0
+	cur := sh.sweepCur
+	for cur != nilSlot && len(sh.candQ) < m.pollK {
+		nxt := m.next[cur]
+		if m.isEvictable(cur) {
+			sh.candQ = append(sh.candQ, cur)
+		}
+		cur = nxt
+	}
+	sh.sweepCur = cur
+	if m.coord != nil {
+		m.coord.meterPoll(j, len(sh.candQ))
+	}
+	if len(sh.candQ) == 0 {
+		sh.candDone = true
+		return nilSlot
+	}
+	if cur == nilSlot && m.mode != CoordExact {
+		// A short batch's reply already says the shard is exhausted;
+		// no follow-up empty poll is needed. (Exact mode keeps the PR 3
+		// behaviour: exhaustion is discovered by one final empty poll.)
+		sh.candDone = true
+	}
+	return sh.candQ[0]
+}
+
+// olderStamp orders two candidate slots on the recency timeline. The
+// exact-order modes compare raw global stamps, which are unique, so the
+// k-way merge reproduces the serial LRU sequence bit for bit. Approx
+// mode compares epoch-quantized stamps: candidates inside one quantum
+// tie and resolve toward the lower shard index (the merge loop's scan
+// order), which is exactly where its measured divergence comes from.
+func (m *Manager) olderStamp(a, b int32) bool {
+	if m.quantum > 1 {
+		return m.meta[a].stamp/m.quantum < m.meta[b].stamp/m.quantum
+	}
+	return m.meta[a].stamp < m.meta[b].stamp
+}
+
+// victim k-way-merges the shard candidate batches by touch stamp and
 // consumes the globally least-recently-used evictable slot — exactly the
-// slot the unsharded planner's single LRU sweep would pick. Returns the
-// slot and its owning shard, or (-1, -1) when every shard is exhausted.
+// slot the unsharded planner's single LRU sweep would pick (up to
+// quantization in approx mode). Returns the slot and its owning shard,
+// or (-1, -1) when every shard is exhausted.
 func (m *Manager) victim() (int32, int) {
 	best, bestShard := nilSlot, -1
 	for j := 0; j < m.nshards; j++ {
 		c := m.shardCand(j)
-		if c >= 0 && (best < 0 || m.meta[c].stamp < m.meta[best].stamp) {
+		if c >= 0 && (best < 0 || m.olderStamp(c, best)) {
 			best, bestShard = c, j
 		}
 	}
 	if best >= 0 {
-		m.shards[bestShard].sweepCand = candAdvance
+		m.shards[bestShard].candHead++
 		if m.coord != nil {
 			// Confirm the merge winner to its owning shard, which
-			// unlinks the victim and re-arms its cursor.
-			m.coord.addCoord(bestShard, victimConfirmBytes, &m.coord.stats.VictimMergeBytes)
+			// unlinks the victim: an immediate round in exact mode,
+			// aggregated per shard at Plan end otherwise.
+			m.coord.meterConfirm(bestShard)
 		}
 	}
 	return best, bestShard
@@ -542,7 +664,7 @@ func (m *Manager) borrowPrimary(j int) int32 {
 			// starts and is deliberately not metered — otherwise the
 			// warm-up's slot shuffling would be billed to the first
 			// Plan's coordination latency.
-			m.coord.addShards(j, donor, borrowBytes, &m.coord.stats.BorrowBytes)
+			m.coord.meterBorrow(j, donor)
 		}
 		sh = &m.shards[donor]
 	}
@@ -777,11 +899,11 @@ func (m *Manager) PlanUniqueWithHints(seq int, uniq []int64, counts []int32, fut
 	if m.coord != nil {
 		// Touch-stamp sync: the coordinator broadcasts the Plan's stamp
 		// base and collects each remote shard's touch count so the
-		// global recency timeline stays merge-consistent (co-located
-		// shards are free; addCoord drops them).
-		for j := 0; j < m.nshards; j++ {
-			m.coord.addCoord(j, stampSyncBytes, &m.coord.stats.TouchStampBytes)
-		}
+		// global recency timeline stays merge-consistent — per remote
+		// shard in exact/batched, aggregated through the host tier in
+		// hier, and not at all in approx (quantized epochs need no
+		// global clock; co-located endpoints are always free).
+		m.coord.meterStampSync()
 	}
 
 	// Collect the misses in first-appearance order (the order the
@@ -796,6 +918,14 @@ func (m *Manager) PlanUniqueWithHints(seq int, uniq []int64, counts []int32, fut
 		}
 	}
 	m.missIdx = missIdx
+
+	// Size the candidate batches from the Plan's miss budget: at most
+	// len(missIdx) victims can be needed, so one batched poll round per
+	// shard always covers the sweep. Exact mode polls one at a time.
+	m.pollK = 1
+	if m.mode != CoordExact && len(missIdx) > 1 {
+		m.pollK = len(missIdx)
+	}
 
 	if cap(res.Fills) < len(missIdx) {
 		res.Fills = make([]core.Fill, 0, len(missIdx))
@@ -836,8 +966,10 @@ func (m *Manager) PlanUniqueWithHints(seq int, uniq []int64, counts []int32, fut
 				slot = v
 				if m.coord != nil && vsh != j {
 					// The victim's slot changes owners: transfer its
-					// control metadata to the missing ID's shard.
-					m.coord.addShards(vsh, j, slotMoveBytes, &m.coord.stats.VictimMergeBytes)
+					// control metadata to the missing ID's shard
+					// (immediately in exact mode, one aggregated round
+					// per shard pair at Plan end otherwise).
+					m.coord.meterSlotMove(vsh, j)
 				}
 				res.Evictions = append(res.Evictions, core.Eviction{OldID: old, Slot: slot})
 			} else if n := len(m.freeReserve); n > 0 {
@@ -868,6 +1000,33 @@ func (m *Manager) PlanUniqueWithHints(seq int, uniq []int64, counts []int32, fut
 
 	if m.coord != nil {
 		m.lastCoord = m.coord.finishPlan()
+	}
+
+	if m.shadow != nil {
+		// Approx mode: the shadow exact planner consumes the identical
+		// Plan, and the victim sequences are compared so the
+		// quantization's divergence is measured per Plan. The shadow's
+		// result buffers recycle immediately (its hold state lives in
+		// the planner, not the result).
+		sres, err := m.shadow.PlanUniqueWithHints(seq, uniq, counts, future, hints)
+		if err != nil {
+			return nil, fmt.Errorf("shard: plan %d: approx shadow planner: %w", seq, err)
+		}
+		m.evSelf = m.evSelf[:0]
+		for _, e := range res.Evictions {
+			m.evSelf = append(m.evSelf, e.OldID)
+		}
+		m.evShadow = m.evShadow[:0]
+		for _, e := range sres.Evictions {
+			m.evShadow = append(m.evShadow, e.OldID)
+		}
+		var dist int
+		dist, m.edScratch = editDistance(m.evSelf, m.evShadow, m.edScratch)
+		m.div.Plans++
+		m.div.EditDistance += int64(dist)
+		m.div.ApproxEvictions += int64(len(res.Evictions))
+		m.div.ExactEvictions += int64(len(sres.Evictions))
+		m.shadow.Recycle(sres)
 	}
 
 	m.stats.Planned++
@@ -912,6 +1071,11 @@ func (m *Manager) Release(seq int) error {
 	if err != nil {
 		return err
 	}
+	if m.shadow != nil {
+		if err := m.shadow.Release(seq); err != nil {
+			return fmt.Errorf("shard: approx shadow planner: %w", err)
+		}
+	}
 	m.stats.Released++
 	return nil
 }
@@ -935,6 +1099,23 @@ func (m *Manager) PrewarmRows(rows int64, sample func() int64, onFill func(id in
 	}
 	m.prewarming = true
 	defer func() { m.prewarming = false }()
+	if m.shadow != nil {
+		// Tee the draw stream so the shadow exact planner warms to the
+		// identical content (draw sequences and duplicate decisions are
+		// identical by the prewarm-equivalence property, so the shadow
+		// consumes exactly the recorded draws).
+		var draws []int64
+		inner := sample
+		sample = func() int64 {
+			id := inner()
+			draws = append(draws, id)
+			return id
+		}
+		defer func() {
+			i := 0
+			m.shadow.PrewarmRows(rows, func() int64 { id := draws[i]; i++; return id }, nil)
+		}()
+	}
 	var seen []uint64
 	if rows > 0 {
 		seen = make([]uint64, (rows+63)/64)

@@ -28,6 +28,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/hw"
 	"repro/internal/opt"
+	"repro/internal/shard"
 	"repro/internal/trace"
 )
 
@@ -97,6 +98,36 @@ const (
 
 // ParsePlacementPolicy resolves a placement policy name ("" = stripe).
 func ParsePlacementPolicy(s string) (PlacementPolicy, error) { return hw.ParsePlacementPolicy(s) }
+
+// CoordMode selects the cross-shard coordination protocol (see
+// internal/shard): how the eviction-budget coordinator talks once
+// shards are placed on different topology nodes.
+type CoordMode = shard.CoordMode
+
+// Coordination protocols, in traffic-escalation order: exact pays one
+// round per eviction event; batched gathers each shard's candidates in
+// one round per Plan; hier adds a per-host aggregation tier so hosts
+// exchange only host-level winners; approx quantizes recency epochs and
+// sends no stamp-sync traffic at all, reporting its measured divergence
+// from exact in Report.CoordDivergence.
+const (
+	CoordExact   = shard.CoordExact
+	CoordBatched = shard.CoordBatched
+	CoordHier    = shard.CoordHier
+	CoordApprox  = shard.CoordApprox
+)
+
+// ParseCoordMode resolves a coordination protocol name ("" = exact).
+func ParseCoordMode(s string) (CoordMode, error) { return shard.ParseCoordMode(s) }
+
+// CoordStats aggregates cross-node coordination traffic (see
+// shard.CoordStats for field docs); Report.Coord carries the run's
+// totals.
+type CoordStats = shard.CoordStats
+
+// CoordDivergence measures approx-mode eviction divergence against an
+// exact shadow planner (see shard.Divergence).
+type CoordDivergence = shard.Divergence
 
 // PolicyKind selects the scratchpad replacement policy.
 type PolicyKind = cache.PolicyKind
@@ -169,6 +200,16 @@ type Config struct {
 	// range, or loadaware. Placement affects only modeled coordination
 	// latency, never plans, statistics, or training results.
 	Placement PlacementPolicy
+	// Coord selects the cross-shard coordination protocol: exact
+	// (default), batched, hier, or approx. Exact, batched, and hier
+	// produce identical plans, statistics, and training results —
+	// batching and the host tier only cut coordination rounds; approx
+	// may change eviction behaviour and reports the measured divergence
+	// in Report.CoordDivergence.
+	Coord CoordMode
+	// CoordQuantum is approx mode's recency quantum in clock ticks
+	// (0 = the shard package default; 1 makes approx exact).
+	CoordQuantum int
 }
 
 func (c *Config) applyDefaults() {
@@ -200,16 +241,18 @@ type Trainer struct {
 func NewTrainer(cfg Config) (*Trainer, error) {
 	cfg.applyDefaults()
 	env, err := engine.NewEnv(engine.EnvConfig{
-		Model:      cfg.Model,
-		System:     cfg.System,
-		Class:      cfg.Class,
-		Seed:       cfg.Seed,
-		Functional: cfg.Functional,
-		Optimizer:  cfg.Optimizer,
-		Workers:    cfg.Workers,
-		Shards:     cfg.Shards,
-		Topology:   cfg.Topology,
-		Placement:  cfg.Placement,
+		Model:        cfg.Model,
+		System:       cfg.System,
+		Class:        cfg.Class,
+		Seed:         cfg.Seed,
+		Functional:   cfg.Functional,
+		Optimizer:    cfg.Optimizer,
+		Workers:      cfg.Workers,
+		Shards:       cfg.Shards,
+		Topology:     cfg.Topology,
+		Placement:    cfg.Placement,
+		Coord:        cfg.Coord,
+		CoordQuantum: cfg.CoordQuantum,
 	})
 	if err != nil {
 		return nil, err
