@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race examples bench hotpath benchgate fmtcheck
+.PHONY: check vet build test race examples bench hotpath benchgate fmtcheck doccheck
 
-check: vet build test race examples
+check: vet build test race examples doccheck
 
 vet:
 	$(GO) vet ./...
@@ -34,6 +34,13 @@ test:
 race:
 	$(GO) test -race ./internal/par/ ./internal/core/ ./internal/shard/ \
 		./internal/engine/ ./internal/trace/ ./internal/bench/ ./scratchpipe/
+
+# Fails on dangling intra-repo documentation references: any *.md that
+# names a file, directory, or package path that no longer exists (see
+# cmd/doccheck). Keeps DESIGN.md/EXPERIMENTS.md/README.md honest as the
+# tree moves.
+doccheck:
+	$(GO) run ./cmd/doccheck
 
 # Fails if any file is not gofmt-clean (CI runs this before make check).
 fmtcheck:

@@ -9,7 +9,7 @@
 //	benchgate -baseline BENCH_hotpath.json [-wall-factor 1.25]
 //	          [-alloc-factor 1.25] [-coord-factor 1.25] [-runs 2]
 //	          [-workers 1] [-shards 1] [-topology single]
-//	          [-placement stripe] [-coord exact]
+//	          [-placement stripe] [-coord exact] [-reshard SPEC]
 //
 // The gate measures with Workers=1 and Shards=1 by default so allocation
 // counts are deterministic and wall time does not depend on the CI
@@ -22,7 +22,12 @@
 // entry recorded coordination rounds the gate also fails on a >25%
 // (by default; -coord-factor) round-count regression — rounds are
 // simulated and deterministic, so a regression there is a protocol
-// change, not noise. Wall time is the minimum of -runs sweeps, which
+// change, not noise. Passing -reshard gates the elastic-resharding
+// entry family — a mid-sweep shard-count transition with live state
+// migration — against its own baseline (the schedule string must match
+// the recorded entry's); modeled migration seconds gate at the same
+// -coord-factor threshold when the baseline recorded any. Wall time is
+// the minimum of -runs sweeps, which
 // damps scheduler noise on shared runners. Exit status 1 means a
 // regression, 2 a usage/baseline problem.
 package main
@@ -34,6 +39,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/engine"
 	"repro/internal/hw"
 	"repro/internal/shard"
 )
@@ -50,6 +56,7 @@ func main() {
 	topology := flag.String("topology", "single", "shard placement topology for the measurement ("+hw.TopologyNames+")")
 	placement := flag.String("placement", "stripe", "shard placement policy for the measurement (stripe|range|loadaware)")
 	coord := flag.String("coord", "exact", "cross-shard coordination protocol for the measurement ("+shard.CoordModeNames+")")
+	reshard := flag.String("reshard", "", "elastic reshard schedule for the measurement (e.g. 4:4 or load:8; empty = fixed sharding)")
 	flag.Parse()
 
 	if *shards < 1 {
@@ -71,6 +78,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: -coord %q: want %s\n", *coord, shard.CoordModeNames)
 		os.Exit(2)
 	}
+	reshardSpec, err := engine.ParseReshardSpec(*reshard)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: -reshard %q: %v\n", *reshard, err)
+		os.Exit(2)
+	}
 
 	data, err := os.ReadFile(*baseline)
 	if err != nil {
@@ -86,11 +98,15 @@ func main() {
 	if topo.NumNodes() > 1 {
 		topoName = topo.Name
 	}
-	base := pickBaseline(hist.History, *configName, *workers, *shards, topoName, string(policy), string(coordMode))
+	base := pickBaseline(hist.History, *configName, *workers, *shards, topoName, string(policy), string(coordMode), reshardSpec.String())
 	if base == nil {
+		reshardArg := ""
+		if reshardSpec.Active() {
+			reshardArg = " -reshard " + reshardSpec.String()
+		}
 		fmt.Fprintf(os.Stderr,
-			"benchgate: no %q entry with workers=%d shards=%d topology=%q placement=%q coord=%q in %s to gate against; record one with:\n  go run ./cmd/spbench -quick -json %s -workers %d -shards %d -topology %s -placement %s -coord %s\n",
-			*configName, *workers, *shards, *topology, *placement, *coord, *baseline, *baseline, *workers, *shards, *topology, *placement, *coord)
+			"benchgate: no %q entry with workers=%d shards=%d topology=%q placement=%q coord=%q reshard=%q in %s to gate against; record one with:\n  go run ./cmd/spbench -quick -json %s -workers %d -shards %d -topology %s -placement %s -coord %s%s\n",
+			*configName, *workers, *shards, *topology, *placement, *coord, reshardSpec.String(), *baseline, *baseline, *workers, *shards, *topology, *placement, *coord, reshardArg)
 		os.Exit(2)
 	}
 
@@ -100,6 +116,7 @@ func main() {
 	}
 	cfg.Workers = *workers
 	cfg.Shards = *shards
+	cfg.Reshard = reshardSpec
 	if topo.NumNodes() > 1 {
 		cfg.Topology = topo
 		cfg.Placement = policy
@@ -144,6 +161,16 @@ func main() {
 			failed = true
 		}
 	}
+	// Modeled migration seconds are equally deterministic: a growth here
+	// means the reshard path started shipping more state (or pricing
+	// links it used to consider local).
+	if base.MigrationSeconds > 0 {
+		if limit := base.MigrationSeconds * *coordFactor; best.MigrationSeconds > limit {
+			fmt.Printf("benchgate: FAIL migration %.4fs exceeds %.4fs (baseline x %.2f)\n",
+				best.MigrationSeconds, limit, *coordFactor)
+			failed = true
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
@@ -167,7 +194,7 @@ func main() {
 // coordination metering the co-located sweep never executes, and the
 // batched/hier/approx protocol entries send a fraction of the exact
 // protocol's rounds.
-func pickBaseline(hist []bench.HotPathResult, config string, workers, shards int, topology, placement, coord string) *bench.HotPathResult {
+func pickBaseline(hist []bench.HotPathResult, config string, workers, shards int, topology, placement, coord, reshard string) *bench.HotPathResult {
 	norm := func(s int) int {
 		if s <= 1 {
 			return 1
@@ -200,7 +227,7 @@ func pickBaseline(hist []bench.HotPathResult, config string, workers, shards int
 		// placement is meaningless without a topology and is compared
 		// only when one is set.
 		if e.Config == config && e.Workers == workers && norm(e.Shards) == norm(shards) &&
-			normCoord(e.CoordMode) == normCoord(coord) &&
+			normCoord(e.CoordMode) == normCoord(coord) && e.Reshard == reshard &&
 			normTopo(e.Topology) == normTopo(topology) &&
 			(normTopo(e.Topology) == "" || normPlace(e.Placement) == normPlace(placement)) {
 			exact = e

@@ -8,6 +8,8 @@
 //	dlrmtrain -shards 4 -topology cluster2x2 -placement loadaware
 //	dlrmtrain -shards 4 -topology cluster2x2 -coord hier   # batched host-tier coordination
 //	dlrmtrain -shards 4 -topology cluster2x2 -coord approx -coord-quantum 64
+//	dlrmtrain -shards 1 -topology cluster2x2 -reshard 20:4 -coord hier  # elastic scale-out mid-run
+//	dlrmtrain -topology numa4 -reshard load:4 -class High   # load-triggered growth
 package main
 
 import (
@@ -43,6 +45,7 @@ func main() {
 	placement := flag.String("placement", "stripe", "shard placement policy (stripe|range|loadaware)")
 	coord := flag.String("coord", "exact", "cross-shard coordination protocol (exact|batched|hier|approx)")
 	coordQuantum := flag.Int("coord-quantum", 0, "approx-mode recency quantum in clock ticks (0 = default; 1 = exact order)")
+	reshard := flag.String("reshard", "", "elastic reshard schedule: iter:shards steps and/or load:<max>[:<thresh>] (e.g. 200:4,500:8 or load:8; empty = fixed sharding)")
 	functional := flag.Bool("functional", true, "execute real float32 training")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
@@ -78,6 +81,20 @@ func main() {
 	if *coordQuantum > 0 && coordMode != scratchpipe.CoordApprox {
 		fail("-coord-quantum only applies to -coord approx (got -coord %s)", coordMode)
 	}
+	reshardSpec, err := scratchpipe.ParseReshardSpec(*reshard)
+	if err != nil {
+		fail("-reshard %q: %v", *reshard, err)
+	}
+	if reshardSpec.MaxShards() > 1 && scratchpipe.PolicyKind(*policy) != scratchpipe.LRU {
+		fail("-reshard reaching %d shards requires -policy lru", reshardSpec.MaxShards())
+	}
+	if reshardSpec.Active() {
+		switch scratchpipe.Kind(*engineFlag) {
+		case scratchpipe.KindStrawMan, scratchpipe.KindScratchPipe:
+		default:
+			fail("-reshard applies to the dynamic-cache engines (strawman|scratchpipe), got -engine %s", *engineFlag)
+		}
+	}
 
 	class, err := scratchpipe.ParseClass(*classFlag)
 	if err != nil {
@@ -106,6 +123,7 @@ func main() {
 		Placement:    place,
 		Coord:        coordMode,
 		CoordQuantum: *coordQuantum,
+		Reshard:      reshardSpec,
 	}
 	if topo.NumNodes() > 1 {
 		cfg.Topology = topo
@@ -137,12 +155,24 @@ func main() {
 	fmt.Printf("  breakdown: cpu-emb-fwd %.3f ms, cpu-emb-bwd %.3f ms, gpu %.3f ms\n",
 		rep.CPUEmbFwd*1e3, rep.CPUEmbBwd*1e3, rep.GPUTime*1e3)
 	if rep.CoordTime > 0 {
+		finalShards := *shards
+		if rep.FinalShards > 0 {
+			finalShards = rep.FinalShards
+		}
 		fmt.Printf("  shard coordination:       %.3f ms/iter (%s, %s placement, %d shards, %s protocol)\n",
-			rep.CoordTime*1e3, topo.Name, place, *shards, rep.CoordMode)
+			rep.CoordTime*1e3, topo.Name, place, finalShards, rep.CoordMode)
 		fmt.Printf("    rounds: %d total (%d polls, %d confirms, %d slot moves, %d stamp syncs, %d borrows), %.1f KB\n",
 			rep.Coord.Messages, rep.Coord.PollRounds, rep.Coord.ConfirmRounds,
 			rep.Coord.SlotMoveRounds, rep.Coord.StampSyncRounds, rep.Coord.BorrowRounds,
 			rep.Coord.Bytes()/1e3)
+	}
+	if rs := rep.Resharding; rs.Events > 0 {
+		// Resharding counters sum across tables; every boundary
+		// reshards each table's manager once.
+		fmt.Printf("  elastic resharding:       %d boundaries -> %d shards; %d resident / %d free / %d hold entries migrated\n",
+			rs.Events/int64(*tables), rep.FinalShards, rs.ResidentMoved, rs.FreeMoved, rs.HoldsMoved)
+		fmt.Printf("    migration: %.1f KB in %d transfers, %.3f ms modeled stall\n",
+			rs.Bytes/1e3, rs.Rounds, rep.MigrationTime*1e3)
 	}
 	if div := rep.CoordDivergence; div.Plans > 0 {
 		fmt.Printf("  approx-LRU divergence:    edit rate %.4f (distance %d over %d exact / %d approx evictions), hit-rate delta %+.4f%%\n",

@@ -5,9 +5,10 @@
 //	spbench [-experiment all|fig3|fig5|fig6|fig6classes|fig12a|fig12b|
 //	         fig13|fig14|fig15a|fig15b|tablei|overhead|sensitivity|ablation]
 //	        [-iters N] [-quick] [-seed S] [-workers N] [-shards S]
-//	        [-topology T] [-placement P] [-coord M]
+//	        [-topology T] [-placement P] [-coord M] [-reshard SPEC]
 //	spbench -json BENCH_hotpath.json [-quick] [-workers N] [-shards S]
-//	        [-topology T] [-placement P] [-coord M] [-note TEXT]
+//	        [-topology T] [-placement P] [-coord M] [-reshard SPEC]
+//	        [-note TEXT]
 //
 // With -quick the paper-scale tables (10M rows) shrink 50x, which changes
 // absolute hit rates slightly but preserves every qualitative shape; use it
@@ -27,6 +28,16 @@
 // approx trades measured eviction divergence for zero stamp-sync
 // traffic.
 //
+// -reshard schedules elastic shard-count transitions mid-run for the
+// dynamic-cache engines ("200:4,500:8" = step to 4 shards at iteration
+// 200 and 8 at 500; "load:8" grows toward 8 shards on observed
+// query-mass skew): live scratchpad state migrates between Plans with
+// the moved bytes priced on -topology's links. Plans and cache
+// statistics are preserved exactly (a same-S schedule leaves every
+// table bit-identical); timing columns can shift once the new shard
+// count pays cross-node coordination, exactly as a static -shards
+// change would.
+//
 // With -json the command runs the hot-path benchmark (one Figure 13
 // sweep) instead of printing tables, appends the wall-clock and allocator
 // measurements to the given JSON history file, and prints the new entry —
@@ -39,6 +50,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/engine"
 	"repro/internal/hw"
 	"repro/internal/shard"
 )
@@ -70,6 +82,7 @@ func main() {
 	topology := flag.String("topology", "single", "shard placement topology ("+hw.TopologyNames+")")
 	placement := flag.String("placement", "stripe", "shard placement policy (stripe|range|loadaware)")
 	coord := flag.String("coord", "exact", "cross-shard coordination protocol ("+shard.CoordModeNames+")")
+	reshard := flag.String("reshard", "", "elastic reshard schedule (e.g. 200:4,500:8 or load:8; empty = fixed sharding)")
 	jsonPath := flag.String("json", "", "run the hot-path benchmark and append the measurement to this JSON history file")
 	note := flag.String("note", "", "free-form note recorded with the -json measurement")
 	flag.Parse()
@@ -95,6 +108,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "spbench: -coord %q: want %s\n", *coord, shard.CoordModeNames)
 		os.Exit(2)
 	}
+	reshardSpec, err := engine.ParseReshardSpec(*reshard)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spbench: -reshard %q: %v\n", *reshard, err)
+		os.Exit(2)
+	}
 
 	cfg := bench.Default()
 	configName := "full"
@@ -113,6 +131,7 @@ func main() {
 	// is how their figures are diff-verified bit-identical to exact;
 	// approx changes eviction order regardless of placement).
 	cfg.Coord = coordMode
+	cfg.Reshard = reshardSpec
 	if topo.NumNodes() > 1 {
 		cfg.Topology = topo
 		cfg.Placement = policy
@@ -136,6 +155,9 @@ func main() {
 		coordLine := ""
 		if res.CoordRounds > 0 {
 			coordLine = fmt.Sprintf(", %d coord rounds (%.1f ms modeled)", res.CoordRounds, res.CoordSeconds*1e3)
+		}
+		if res.Reshard != "" {
+			coordLine += fmt.Sprintf(", reshard %s (%.1f ms migration)", res.Reshard, res.MigrationSeconds*1e3)
 		}
 		fmt.Printf("hotpath (%s, workers=%d, shards=%d%s): %.2fs wall, %d allocs, %.1f MB allocated, sp-vs-static avg %.2fx%s -> %s\n",
 			configName, res.Workers, res.Shards, shape, res.WallSeconds, res.Allocs, float64(res.AllocBytes)/1e6,

@@ -52,6 +52,15 @@ type Config struct {
 	// and hier produce identical simulated tables; approx may diverge
 	// and the reports carry the measured divergence.
 	Coord shard.CoordMode
+	// Reshard schedules run-time shard-count transitions for the
+	// dynamic-cache engines mid-run (engine.ReshardSpec): every data
+	// point's strawman and ScratchPipe runs then migrate their live
+	// scratchpad state per the schedule, with the migrated bytes priced
+	// on Topology. Plans and cache statistics are preserved exactly (a
+	// same-S schedule leaves every table bit-identical); timing columns
+	// shift only as far as the new shard count's cross-node
+	// coordination does, exactly as a static Shards change would.
+	Reshard engine.ReshardSpec
 }
 
 // Default returns the paper's §V methodology configuration. Iters must
@@ -152,6 +161,7 @@ func newEnv(cfg Config, model dlrm.Config, class trace.Class) (*engine.Env, erro
 		Topology:   cfg.Topology,
 		Placement:  cfg.Placement,
 		Coord:      cfg.Coord,
+		Reshard:    cfg.Reshard,
 	})
 }
 

@@ -43,6 +43,14 @@ type HotPathResult struct {
 	// gates protocol regressions on them exactly).
 	CoordRounds  int64   `json:"coord_rounds,omitempty"`
 	CoordSeconds float64 `json:"coord_seconds,omitempty"`
+	// Reshard records the elastic-resharding schedule of the sweep in
+	// the -reshard grammar (empty = no resharding): reshard entries
+	// gate independently, since mid-sweep migration changes both the
+	// allocation shape and the coordination totals.
+	Reshard string `json:"reshard,omitempty"`
+	// MigrationSeconds totals the sweep's modeled state-migration
+	// latency (simulated, deterministic).
+	MigrationSeconds float64 `json:"migration_seconds,omitempty"`
 	// Iters is the measured iterations per data point.
 	Iters int `json:"iters"`
 	// WallSeconds is the real time of one full Figure 13 sweep.
@@ -78,13 +86,14 @@ func HotPath(cfg Config, configName string) (*HotPathResult, error) {
 	wall := time.Since(start)
 	runtime.ReadMemStats(&after)
 
-	var spSum, coordSec float64
+	var spSum, coordSec, migSec float64
 	var coordRounds int64
 	for _, p := range pts {
 		_, _, sp := p.SpeedupVsStatic()
 		spSum += sp
 		coordRounds += p.CoordRounds
 		coordSec += p.CoordSeconds
+		migSec += p.MigrationSeconds
 	}
 	topoName := ""
 	if cfg.Topology != nil {
@@ -108,6 +117,8 @@ func HotPath(cfg Config, configName string) (*HotPathResult, error) {
 		CoordMode:             coordMode,
 		CoordRounds:           coordRounds,
 		CoordSeconds:          coordSec,
+		Reshard:               cfg.Reshard.String(),
+		MigrationSeconds:      migSec,
 		GoMaxProcs:            runtime.GOMAXPROCS(0),
 		Iters:                 cfg.Iters,
 		WallSeconds:           wall.Seconds(),

@@ -74,6 +74,10 @@ type SpeedupPoint struct {
 	// time at this point (zero under co-located placements).
 	CoordRounds  int64
 	CoordSeconds float64
+	// MigrationSeconds totals the dynamic-cache engines' modeled
+	// elastic-resharding migration latency at this point (zero without
+	// a reshard schedule or under co-located migration).
+	MigrationSeconds float64
 }
 
 // SpeedupVsStatic returns each design's speedup normalized to the static
@@ -83,7 +87,8 @@ func (p SpeedupPoint) SpeedupVsStatic() (hybrid, strawman, scratchpipe float64) 
 }
 
 // CollectFigure13 gathers the raw data behind Figure 13 so both the table
-// renderer and the EXPERIMENTS summary can use it.
+// renderer and the hot-path measurement can use it (EXPERIMENTS.md
+// documents how to reproduce and diff-verify the sweep).
 func CollectFigure13(cfg Config) ([]SpeedupPoint, error) {
 	var pts []SpeedupPoint
 	for _, class := range trace.Classes {
@@ -108,8 +113,9 @@ func CollectFigure13(cfg Config) ([]SpeedupPoint, error) {
 				Class: class, CacheFrac: frac,
 				Hybrid: hybrid.IterTime, Static: static.IterTime,
 				StrawMan: sm.IterTime, ScratchPipe: sp.IterTime,
-				CoordRounds:  sm.Coord.Messages + sp.Coord.Messages,
-				CoordSeconds: sm.Coord.Seconds + sp.Coord.Seconds,
+				CoordRounds:      sm.Coord.Messages + sp.Coord.Messages,
+				CoordSeconds:     sm.Coord.Seconds + sp.Coord.Seconds,
+				MigrationSeconds: sm.MigrationTime + sp.MigrationTime,
 			})
 		}
 	}

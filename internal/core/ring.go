@@ -38,6 +38,12 @@ func (r *BatchRing) Push(hb HeldBatch) {
 // Front returns the oldest batch; callers must check Len() > 0.
 func (r *BatchRing) Front() HeldBatch { return r.buf[r.head] }
 
+// At returns the i-th queued batch in FIFO order (0 = oldest); callers
+// must check 0 <= i < Len(). The sharded manager's reshard path walks
+// every shard's ring with it to re-bucket in-flight hold sets under a
+// new hash partition.
+func (r *BatchRing) At(i int) HeldBatch { return r.buf[(r.head+i)%len(r.buf)] }
+
 // Pop removes and returns the oldest batch.
 func (r *BatchRing) Pop() HeldBatch {
 	hb := r.buf[r.head]

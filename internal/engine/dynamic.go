@@ -48,6 +48,14 @@ type dynamicState struct {
 	// do NOT — the single socket's DRAM is shared, which is exactly why
 	// the paper expects multi-GPU ScratchPipe to underutilize GPUs.
 	gpus int
+
+	// Elastic-resharding state (reshard.go): reshardNext cursors the
+	// static schedule, loadSnap is the load policy's last probe
+	// snapshot, migrationSecs accumulates the modeled migration latency
+	// across all reshard events and tables.
+	reshardNext   int
+	loadSnap      []int64
+	migrationSecs float64
 }
 
 // spJob is the per-mini-batch pipeline state (core.Job).
@@ -102,6 +110,11 @@ func newDynamicState(env *Env, cacheFrac float64, policy cache.PolicyKind, past,
 		slots = 1
 	}
 	d := &dynamicState{env: env, cost: costModel{env: env}, pool: env.Pool, hazard: hazard, gpus: 1}
+	elastic := env.Cfg.Reshard.Active()
+	if elastic && env.Cfg.Reshard.MaxShards() > 1 && policy != cache.LRU {
+		return nil, fmt.Errorf("engine: reshard schedule reaching %d shards requires the %q policy, got %q",
+			env.Cfg.Reshard.MaxShards(), cache.LRU, policy)
+	}
 	maxUnique := cfg.BatchSize * cfg.Lookups
 	// The shard fan-out nests inside the per-table fan-out, so its own
 	// pool gets the per-table share of the Workers budget (total
@@ -128,6 +141,8 @@ func newDynamicState(env *Env, cacheFrac float64, policy cache.PolicyKind, past,
 			Placement:    place,
 			Coord:        env.Cfg.Coord,
 			CoordQuantum: env.Cfg.CoordQuantum,
+			Elastic:      elastic,
+			LoadProbe:    env.Cfg.Reshard.LoadMax > 1,
 		})
 		if err != nil {
 			return nil, err
@@ -574,9 +589,14 @@ func (d *dynamicState) aggregateCacheStats(rep *Report) {
 		rep.ReservePeak += st.ReservePeak
 		rep.Coord.Merge(sp.CoordStats())
 		rep.CoordDivergence.Merge(sp.Divergence())
+		rep.Resharding.Merge(sp.ReshardStats())
 	}
 	if len(d.sps) > 0 {
 		rep.CoordMode = string(d.sps[0].CoordMode())
+	}
+	rep.MigrationTime = d.migrationSecs
+	if d.env.Cfg.Reshard.Active() && len(d.sps) > 0 {
+		rep.FinalShards = d.sps[0].Shards()
 	}
 }
 

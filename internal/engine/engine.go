@@ -14,6 +14,26 @@
 // which lets the paper-scale configuration (8 x 10M-row tables) run in a
 // few hundred MB. Both modes drive the same analytic timing model
 // (internal/hw), because simulated latency depends only on event counts.
+//
+// Architecture orientation (DESIGN.md is the long form):
+//
+//   - [EnvConfig] -> [NewEnv] -> [Env]: one experiment environment — the
+//     model shape, hardware platform, trace class, and the scale-out
+//     knobs (Workers fan-out, Shards per table, Topology + Placement for
+//     costed cross-node coordination, Coord protocol, Reshard schedule
+//     for run-time elasticity). Every engine built over the same Env
+//     sees the same batch stream.
+//   - The two dynamic-cache engines (StrawMan, ScratchPipe) share
+//     dynamicState: per-table shard.Manager control planes, the five
+//     stage implementations with their timing formulas, and the
+//     elastic-resharding hooks. ScratchPipe runs the stages through
+//     core.Pipeline; the straw-man runs them back-to-back.
+//   - [Report] is the output contract: simulated times (Wall, IterTime,
+//     per-stage averages, CoordTime, MigrationTime), cache statistics,
+//     coordination traffic (Coord, CoordDivergence), and resharding
+//     totals (Resharding, FinalShards). The bench package renders the
+//     paper's tables from Reports; EXPERIMENTS.md says how to reproduce
+//     each one.
 package engine
 
 import (
@@ -85,6 +105,16 @@ type EnvConfig struct {
 	// CoordQuantum is approx mode's recency quantum in clock ticks
 	// (0 selects the shard package default; 1 makes approx exact).
 	CoordQuantum int
+	// Reshard schedules run-time shard-count transitions for the
+	// dynamic-cache engines (strawman/ScratchPipe; the static and
+	// hybrid engines have no dynamic scratchpad and ignore it): static
+	// "iter:shards" steps and/or a load-triggered growth policy. The
+	// managers then migrate their live state between Plans — plans and
+	// statistics are preserved exactly — and the migrated bytes are
+	// priced on Topology, surfacing as Report.MigrationTime. The zero
+	// spec disables elasticity. Reaching more than one shard requires
+	// the LRU policy.
+	Reshard ReshardSpec
 }
 
 // Env is the shared substrate an engine trains on: the batch stream and,
@@ -130,6 +160,9 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 	}
 	if cfg.CoordQuantum < 0 {
 		return nil, fmt.Errorf("engine: CoordQuantum %d < 0", cfg.CoordQuantum)
+	}
+	if err := cfg.Reshard.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.Topology != nil {
 		if err := cfg.Topology.Validate(); err != nil {
@@ -230,6 +263,20 @@ type Report struct {
 	// the shadow exact planner, summed across tables; the zero value in
 	// every exact-order mode.
 	CoordDivergence shard.Divergence
+	// MigrationTime is the total modeled elastic-resharding migration
+	// latency of the run (seconds), summed across tables. Unlike
+	// CoordTime it is episodic, not per-iteration: it adds to Wall but
+	// is excluded from IterTime, and is zero without a reshard schedule
+	// or when every migration is co-located.
+	MigrationTime float64
+	// Resharding totals the run's reshard events and migrated state
+	// entries across tables (shard.ReshardStats; zero without a
+	// schedule). Resharding.Seconds == MigrationTime.
+	Resharding shard.ReshardStats
+	// FinalShards is the per-table shard count when the run ended —
+	// reported only under an active reshard schedule (0 otherwise), so
+	// load-policy growth is observable.
+	FinalShards int
 	// CPUBusy/GPUBusy are average per-iteration device-active times for
 	// the energy model (Figure 14).
 	CPUBusy float64

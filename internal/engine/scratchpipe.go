@@ -231,6 +231,12 @@ func (s *ScratchPipe) Run(n int) (*Report, error) {
 	}
 
 	for it := 0; it < n; it++ {
+		// Elastic resharding fires between Plans: in-flight batches'
+		// hold state migrates with everything else, so the pipeline
+		// does not drain and plans stay identical across the boundary.
+		if err := s.dyn.maybeReshard(it); err != nil {
+			return nil, err
+		}
 		if err := runCycle(s.dyn.newJob(s.loader, s.opts.FutureWindow, s.loader.Ahead())); err != nil {
 			return nil, err
 		}
@@ -243,6 +249,9 @@ func (s *ScratchPipe) Run(n int) (*Report, error) {
 
 	s.dyn.aggregateCacheStats(rep)
 	finalizeAverages(rep, n, lossSum)
+	// Migration stalls are episodic: they extend the run's wall time
+	// but are kept out of the steady-state iteration average.
+	rep.Wall += rep.MigrationTime
 	if steadyCycles > 0 {
 		rep.IterTime = steadyTime / float64(steadyCycles)
 		rep.CycleStats = cycleSeries.Summarize()

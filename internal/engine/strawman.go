@@ -48,6 +48,12 @@ func (s *StrawMan) Run(n int) (*Report, error) {
 	rep := &Report{Engine: s.Name(), Iters: n}
 	var lossSum float64
 	for it := 0; it < n; it++ {
+		// Elastic resharding fires between Plans (see scratchpipe.go;
+		// unpipelined, so there is never more than one batch in flight
+		// here).
+		if err := s.dyn.maybeReshard(it); err != nil {
+			return nil, err
+		}
 		job := s.dyn.newJob(s.loader, 0, 0)
 		if err := s.dyn.stagePlan(job); err != nil {
 			return nil, err
@@ -84,6 +90,9 @@ func (s *StrawMan) Run(n int) (*Report, error) {
 	}
 	s.dyn.aggregateCacheStats(rep)
 	finalizeAverages(rep, n, lossSum)
+	// Migration stalls are episodic: they extend wall time but stay out
+	// of the per-iteration average (finalizeAverages already divided).
+	rep.Wall += rep.MigrationTime
 	// Attribute the Figure 5-style buckets: cache management touching
 	// CPU memory counts as CPU embedding time.
 	rep.CPUEmbFwd = rep.StageAvg[core.StagePlan] + rep.StageAvg[core.StageCollect] + rep.StageAvg[core.StageExchange]

@@ -12,8 +12,29 @@
 // functional cache simulation, which is exactly the information the paper's
 // own numbers depend on.
 //
+// Architecture orientation (DESIGN.md §5 and §7 are the long form):
+//
+//   - [Device] and [Link] are the primitives: a memory+compute endpoint
+//     and an interconnect, each reduced to the bandwidth/latency/
+//     overhead constants the timing formulas need.
+//   - [System] is the paper's fixed platform — one CPU socket, NumGPUs
+//     GPUs, PCIe between them, NVLink among the GPUs — and carries the
+//     per-primitive cost methods (StreamTime, RandomTime, MatmulTime,
+//     TransferTime) every engine prices its stages with.
+//   - [Topology] generalizes System into a graph: named nodes (sockets,
+//     GPUs, grouped into hosts) plus a symmetric tiered link matrix
+//     (local/NUMA/PCIe/NVLink/net). System.Topology() renders the
+//     paper's machine as one instance; ParseTopology names scale-out
+//     families (numa<N>, pcie<N>, nvlink<N>, cluster<H>x<S>).
+//   - [Placement] assigns scratchpad shards to topology nodes (stripe,
+//     range, or load-aware). The shard coordinator (internal/shard)
+//     meters its messages — and, on an elastic reshard, its migrated
+//     state — in bytes and charges the links a placement makes them
+//     cross; co-located endpoints are free by construction.
+//
 // Times are float64 seconds. Bandwidths are bytes/second. Calibration
-// constants live in DefaultSystem and are documented in DESIGN.md §7.
+// constants live in DefaultSystem and DefaultLink and are documented in
+// DESIGN.md §7.
 package hw
 
 import (

@@ -1,0 +1,534 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/par"
+)
+
+// elastic builds an elastic manager, failing the test on error.
+func elastic(t *testing.T, cfg core.Config, shards int, opts ...func(*Config)) *Manager {
+	t.Helper()
+	c := Config{Scratchpad: cfg, Shards: shards, Elastic: true}
+	for _, o := range opts {
+		o(&c)
+	}
+	m, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// residency snapshots the manager's full (id -> slot) map.
+func residency(m *Manager) map[int64]int32 {
+	out := make(map[int64]int32, m.Len())
+	m.ForEach(func(id int64, slot int32) { out[id] = slot })
+	return out
+}
+
+// sameResidency asserts two residency snapshots are identical: every
+// cached row reachable, at the same physical slot.
+func sameResidency(t *testing.T, label string, want, got map[int64]int32) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: resident rows %d, want %d (cached rows lost or invented)", label, len(got), len(want))
+	}
+	for id, slot := range want {
+		g, ok := got[id]
+		if !ok {
+			t.Fatalf("%s: cached row %d lost across reshard", label, id)
+		}
+		if g != slot {
+			t.Fatalf("%s: row %d moved from slot %d to %d (slots are global and must not move)", label, id, slot, g)
+		}
+	}
+}
+
+// TestReshardValidation covers the Reshard entry conditions.
+func TestReshardValidation(t *testing.T) {
+	cfg := testConfig(64, 16)
+	plain, err := New(Config{Scratchpad: cfg, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Reshard(2, hw.Placement{}); err == nil {
+		t.Fatal("Reshard on a non-elastic (delegated) manager accepted")
+	}
+	m := elastic(t, cfg, 2)
+	if err := m.Reshard(0, hw.Placement{}); err == nil {
+		t.Fatal("Reshard to 0 shards accepted")
+	}
+	topo := hw.Cluster(2, 2)
+	short, err := hw.NewPlacement(hw.PlaceStripe, topo, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reshard(4, short); err == nil {
+		t.Fatal("Reshard with a placement covering the wrong shard count accepted")
+	}
+	lfu := cfg
+	lfu.Policy = cache.LFU
+	if _, err := New(Config{Scratchpad: lfu, Shards: 1, Elastic: true}); err == nil {
+		t.Fatal("elastic non-LRU manager accepted (migration re-threads LRU recency state)")
+	}
+	// Placements on different topology instances must be rejected: the
+	// migration meter cannot price links between two unrelated graphs.
+	p1, _ := hw.NewPlacement(hw.PlaceStripe, hw.Cluster(2, 2), 2, nil)
+	if err := m.Reshard(2, p1); err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := hw.NewPlacement(hw.PlaceStripe, hw.Cluster(2, 1), 2, nil)
+	if err := m.Reshard(2, p2); err == nil {
+		t.Fatal("Reshard across different topology instances accepted")
+	}
+}
+
+// TestElasticSingleShardBitIdentical proves the elastic S=1 generic
+// path (no core.Scratchpad delegation) is still bit-identical to the
+// unsharded planner, including physical slot numbers — the property
+// that lets engines run elastic from iteration 0 without changing any
+// pre-reshard figure.
+func TestElasticSingleShardBitIdentical(t *testing.T) {
+	cfg := testConfig(256, 64)
+	sp, err := core.NewScratchpad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := elastic(t, cfg, 1)
+	if m.Shards() != 1 || !m.Elastic() {
+		t.Fatalf("elastic S=1 manager misbuilt: shards %d elastic %v", m.Shards(), m.Elastic())
+	}
+	st := newStream(11, 64, 64, int64(256*4))
+	const depth = 4
+	var pendA, pendB []*core.PlanResult
+	for seq := 0; seq < 100; seq++ {
+		future, hints := st.window(seq, 2, 6)
+		ra, err := sp.PlanWithHints(seq, st.at(seq), future, hints)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := m.PlanWithHints(seq, st.at(seq), future, hints)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samePlan(t, "elastic-s1", seq, ra, rb)
+		for i := range ra.Slots {
+			if ra.Slots[i] != rb.Slots[i] {
+				t.Fatalf("seq %d: slot %d: %d vs %d (elastic S=1 must be bit-identical)", seq, i, ra.Slots[i], rb.Slots[i])
+			}
+		}
+		pendA, pendB = append(pendA, ra), append(pendB, rb)
+		if len(pendA) >= depth {
+			old := seq - depth + 1
+			if err := sp.Release(old); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Release(old); err != nil {
+				t.Fatal(err)
+			}
+			sp.Recycle(pendA[0])
+			m.Recycle(pendB[0])
+			pendA, pendB = pendA[1:], pendB[1:]
+		}
+	}
+	if sp.Stats() != m.Stats() {
+		t.Fatalf("stats diverged:\ncore    %+v\nelastic %+v", sp.Stats(), m.Stats())
+	}
+}
+
+// driveResharding runs st through planner a (the reference) and elastic
+// manager b in lockstep, invoking b.Reshard per the schedule map
+// (iteration -> new shard count) between Plans, and asserting residency
+// is preserved bit-for-bit across every boundary.
+func driveResharding(t *testing.T, label string, a planner, b *Manager, st *stream, iters, futureWin int, schedule map[int]int, place func(s int) hw.Placement) {
+	t.Helper()
+	const depth = 4
+	var pendA, pendB []*core.PlanResult
+	for seq := 0; seq < iters; seq++ {
+		if newS, ok := schedule[seq]; ok {
+			before := residency(b)
+			var p hw.Placement
+			if place != nil {
+				p = place(newS)
+			}
+			if err := b.Reshard(newS, p); err != nil {
+				t.Fatalf("%s seq %d: Reshard(%d): %v", label, seq, newS, err)
+			}
+			if got := b.Shards(); got != newS {
+				t.Fatalf("%s seq %d: shards %d after Reshard(%d)", label, seq, got, newS)
+			}
+			sameResidency(t, label, before, residency(b))
+		}
+		future, hints := st.window(seq, futureWin, 0)
+		ra, err := a.PlanWithHints(seq, st.at(seq), future, hints)
+		if err != nil {
+			t.Fatalf("%s seq %d: reference Plan: %v", label, seq, err)
+		}
+		rb, err := b.PlanWithHints(seq, st.at(seq), future, hints)
+		if err != nil {
+			t.Fatalf("%s seq %d: elastic Plan: %v", label, seq, err)
+		}
+		samePlan(t, label, seq, ra, rb)
+		pendA, pendB = append(pendA, ra), append(pendB, rb)
+		if len(pendA) >= depth {
+			old := seq - depth + 1
+			if err := a.Release(old); err != nil {
+				t.Fatalf("%s: reference Release(%d): %v", label, old, err)
+			}
+			if err := b.Release(old); err != nil {
+				t.Fatalf("%s: elastic Release(%d): %v", label, old, err)
+			}
+			a.Recycle(pendA[0])
+			b.Recycle(pendB[0])
+			pendA, pendB = pendA[1:], pendB[1:]
+		}
+	}
+}
+
+// TestReshardEquivalence is the tentpole property: an elastic run that
+// reshards S=1 -> 4 -> 2 mid-stream — with batches in flight at every
+// boundary — must keep emitting exactly the plans, eviction victims,
+// and statistics of the unsharded planner, and every boundary must
+// preserve the full residency map (no silent row loss).
+func TestReshardEquivalence(t *testing.T) {
+	cfg := testConfig(512, 96)
+	sp, err := core.NewScratchpad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := elastic(t, cfg, 1, func(c *Config) { c.Pool = par.New(2) })
+	st := newStream(29, 96, 96, int64(512*4))
+	driveResharding(t, "reshard-1-4-2", sp, m, st, 150, 2, map[int]int{50: 4, 100: 2}, nil)
+	if sp.Stats() != m.Stats() {
+		t.Fatalf("stats diverged:\ncore    %+v\nelastic %+v", sp.Stats(), m.Stats())
+	}
+	rs := m.ReshardStats()
+	if rs.Events != 2 {
+		t.Fatalf("reshard events %d, want 2", rs.Events)
+	}
+	if rs.ResidentMoved == 0 {
+		t.Fatal("no resident entries re-bucketed across S=1 -> 4 -> 2")
+	}
+	if rs.HoldsMoved == 0 {
+		t.Fatal("no in-flight hold entries re-bucketed despite batches in flight at both boundaries")
+	}
+	if rs.Bytes != 0 || rs.Seconds != 0 || rs.Rounds != 0 {
+		t.Fatalf("co-located migration priced: %+v", rs)
+	}
+}
+
+// TestReshardSameSNoOp: a reshard to the current shard count must be a
+// priced no-op — bit-identical plans (physical slots included) after
+// the boundary against a manager that never resharded, zero migration
+// cost under an unchanged placement.
+func TestReshardSameSNoOp(t *testing.T) {
+	cfg := testConfig(256, 64)
+	ref := elastic(t, cfg, 3)
+	m := elastic(t, cfg, 3)
+	st := newStream(13, 64, 64, int64(256*4))
+	const depth = 4
+	var pendA, pendB []*core.PlanResult
+	for seq := 0; seq < 90; seq++ {
+		if seq == 40 {
+			before := residency(m)
+			if err := m.Reshard(3, hw.Placement{}); err != nil {
+				t.Fatal(err)
+			}
+			sameResidency(t, "same-S", before, residency(m))
+		}
+		future, hints := st.window(seq, 2, 0)
+		ra, err := ref.PlanWithHints(seq, st.at(seq), future, hints)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := m.PlanWithHints(seq, st.at(seq), future, hints)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samePlan(t, "same-S", seq, ra, rb)
+		for i := range ra.Slots {
+			if ra.Slots[i] != rb.Slots[i] {
+				t.Fatalf("seq %d: slot %d: %d vs %d (same-S reshard must be bit-identical)", seq, i, ra.Slots[i], rb.Slots[i])
+			}
+		}
+		pendA, pendB = append(pendA, ra), append(pendB, rb)
+		if len(pendA) >= depth {
+			old := seq - depth + 1
+			if err := ref.Release(old); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Release(old); err != nil {
+				t.Fatal(err)
+			}
+			ref.Recycle(pendA[0])
+			m.Recycle(pendB[0])
+			pendA, pendB = pendA[1:], pendB[1:]
+		}
+	}
+	if ref.Stats() != m.Stats() {
+		t.Fatalf("stats diverged:\nref     %+v\nreshard %+v", ref.Stats(), m.Stats())
+	}
+	rs := m.ReshardStats()
+	if rs.Events != 1 || rs.Bytes != 0 || rs.Seconds != 0 {
+		t.Fatalf("same-S reshard not a free priced no-op: %+v", rs)
+	}
+}
+
+// TestReshardFuzz drives random streams through random grow/shrink
+// schedules (always with batches in flight) against a fresh unsharded
+// reference, checking plans and final statistics every trial.
+func TestReshardFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	counts := []int{1, 2, 3, 4, 5, 7, 8}
+	for trial := 0; trial < 10; trial++ {
+		slots := 64 + rng.Intn(512)
+		batchLen := 16 + rng.Intn(96)
+		idSpace := int64(slots/2 + rng.Intn(slots*6))
+		cfg := core.Config{
+			Slots:        slots,
+			Policy:       cache.LRU,
+			PastWindow:   3,
+			FutureWindow: rng.Intn(3),
+		}
+		cfg.Reserve = core.WorstCaseReserve(cfg, batchLen)
+		sp, err := core.NewScratchpad(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := counts[rng.Intn(len(counts))]
+		m := elastic(t, cfg, start, func(c *Config) { c.Pool = par.New(2) })
+		schedule := map[int]int{}
+		for _, at := range []int{10 + rng.Intn(15), 30 + rng.Intn(15)} {
+			schedule[at] = counts[rng.Intn(len(counts))]
+		}
+		st := newStream(rng.Int63(), 32, batchLen, idSpace)
+		driveResharding(t, "fuzz", sp, m, st, 60, cfg.FutureWindow, schedule, nil)
+		if sp.Stats() != m.Stats() {
+			t.Fatalf("trial %d (slots %d, batch %d, start S=%d, schedule %v): stats diverged:\ncore    %+v\nelastic %+v",
+				trial, slots, batchLen, start, schedule, sp.Stats(), m.Stats())
+		}
+	}
+}
+
+// TestReshardMigrationCost pins the pricing model: co-located moves are
+// free; scaling S=1 -> 4 across a two-host cluster pays network/NUMA
+// state transfer; a same-S placement change prices the relocated
+// shards' full control state; returning to the same nodes is free
+// again.
+func TestReshardMigrationCost(t *testing.T) {
+	cfg := testConfig(256, 64)
+	topo := hw.Cluster(2, 2)
+	stripe := func(s int) hw.Placement {
+		p, err := hw.NewPlacement(hw.PlaceStripe, topo, s, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	m := elastic(t, cfg, 1)
+	st := newStream(7, 32, 64, int64(256*4))
+	var pend []*core.PlanResult
+	for seq := 0; seq < 32; seq++ {
+		future, _ := st.window(seq, 2, 0)
+		res, err := m.PlanWithHints(seq, st.at(seq), future, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pend = append(pend, res)
+		if len(pend) >= 4 {
+			if err := m.Release(seq - 3); err != nil {
+				t.Fatal(err)
+			}
+			m.Recycle(pend[0])
+			pend = pend[1:]
+		}
+	}
+
+	// S=1 -> 4 striped across the cluster: shard 0's state stays on
+	// node 0, shards 1-3's control entries cross NUMA and network
+	// links. Migration must be priced > 0.
+	if err := m.Reshard(4, stripe(4)); err != nil {
+		t.Fatal(err)
+	}
+	rs := m.ReshardStats()
+	if rs.Bytes <= 0 || rs.Seconds <= 0 || rs.Rounds <= 0 {
+		t.Fatalf("distributed scale-out not priced: %+v", rs)
+	}
+	if m.LastReshardTime() != rs.Seconds {
+		t.Fatalf("LastReshardTime %g != event seconds %g", m.LastReshardTime(), rs.Seconds)
+	}
+
+	// Same-S, same placement: free no-op.
+	before := m.ReshardStats()
+	if err := m.Reshard(4, stripe(4)); err != nil {
+		t.Fatal(err)
+	}
+	rs = m.ReshardStats()
+	if rs.Events != before.Events+1 {
+		t.Fatalf("same-S reshard not counted: %+v", rs)
+	}
+	if rs.Bytes != before.Bytes || rs.Seconds != before.Seconds {
+		t.Fatalf("same-S same-placement reshard cost bytes: %+v vs %+v", rs, before)
+	}
+	if m.LastReshardTime() != 0 {
+		t.Fatalf("same-placement no-op priced %g", m.LastReshardTime())
+	}
+
+	// Same-S, reversed placement: every shard changes nodes, so each
+	// ships its full control state across a link.
+	reversed := hw.Placement{Topo: topo, Node: []int{3, 2, 1, 0}}
+	if err := m.Reshard(4, reversed); err != nil {
+		t.Fatal(err)
+	}
+	if m.LastReshardTime() <= 0 {
+		t.Fatal("same-S placement relocation not priced")
+	}
+
+	// Shrink back to 1 co-located (zero placement = everything on node
+	// 0): the state pays its way home off nodes 1-3.
+	if err := m.Reshard(1, hw.Placement{}); err != nil {
+		t.Fatal(err)
+	}
+	if m.LastReshardTime() <= 0 {
+		t.Fatal("shrink from distributed nodes back to node 0 not priced")
+	}
+	if m.Shards() != 1 {
+		t.Fatalf("shards %d after shrink to 1", m.Shards())
+	}
+
+	// Fully co-located from here on: growing again without a topology
+	// must cost exactly zero despite re-bucketing entries.
+	before = m.ReshardStats()
+	if err := m.Reshard(4, hw.Placement{}); err != nil {
+		t.Fatal(err)
+	}
+	rs = m.ReshardStats()
+	if rs.ResidentMoved <= before.ResidentMoved {
+		t.Fatal("co-located grow re-bucketed nothing")
+	}
+	if rs.Bytes != before.Bytes || rs.Seconds != before.Seconds || rs.Rounds != before.Rounds {
+		t.Fatalf("co-located move priced: %+v vs %+v", rs, before)
+	}
+
+	// Drain cleanly: holds must have migrated intact through all of it.
+	for i := range pend {
+		if err := m.Release(32 - len(pend) + i); err != nil {
+			t.Fatalf("post-reshard Release: %v", err)
+		}
+		m.Recycle(pend[i])
+	}
+	if m.InFlight() != 0 {
+		t.Fatalf("in-flight %d after drain", m.InFlight())
+	}
+}
+
+// TestReshardCoordStatsCarry: lifetime coordination traffic must
+// survive a reshard (each event retires the placement's meter).
+func TestReshardCoordStatsCarry(t *testing.T) {
+	cfg := testConfig(128, 32)
+	topo := hw.Cluster(2, 2)
+	p4, err := hw.NewPlacement(hw.PlaceStripe, topo, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := elastic(t, cfg, 4, func(c *Config) { c.Placement = p4 })
+	st := newStream(3, 32, 32, 96) // small ID space: evictions guaranteed
+	var pend []*core.PlanResult
+	step := func(seq int) {
+		future, _ := st.window(seq, 2, 0)
+		res, err := m.PlanWithHints(seq, st.at(seq), future, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pend = append(pend, res)
+		if len(pend) >= 4 {
+			if err := m.Release(seq - 3); err != nil {
+				t.Fatal(err)
+			}
+			m.Recycle(pend[0])
+			pend = pend[1:]
+		}
+	}
+	for seq := 0; seq < 24; seq++ {
+		step(seq)
+	}
+	mid := m.CoordStats()
+	if mid.Messages == 0 {
+		t.Fatal("no coordination traffic before reshard (test premise broken)")
+	}
+	if err := m.Reshard(2, hw.Placement{}); err != nil {
+		t.Fatal(err)
+	}
+	after := m.CoordStats()
+	if after != mid {
+		t.Fatalf("reshard changed lifetime coordination totals: %+v vs %+v", after, mid)
+	}
+	for seq := 24; seq < 32; seq++ {
+		step(seq)
+	}
+	if got := m.CoordStats(); got != after {
+		// Co-located now: no new traffic, totals must still be the
+		// carried ones.
+		t.Fatalf("co-located post-reshard run changed coordination totals: %+v vs %+v", got, after)
+	}
+}
+
+// TestLoadProbe: elastic managers histogram query mass at the fixed
+// probe granularity; a heavily skewed stream must show probe skew well
+// above a uniform one.
+func TestLoadProbe(t *testing.T) {
+	skewOf := func(ids []int64) float64 {
+		cfg := testConfig(256, len(ids))
+		m := elastic(t, cfg, 1, func(c *Config) { c.LoadProbe = true })
+		if _, err := m.Plan(0, ids, nil); err != nil {
+			t.Fatal(err)
+		}
+		probe := m.LoadProbe()
+		if len(probe) != LoadProbeBuckets {
+			t.Fatalf("probe has %d buckets, want %d", len(probe), LoadProbeBuckets)
+		}
+		var total, max int64
+		for _, v := range probe {
+			total += v
+			if v > max {
+				max = v
+			}
+		}
+		if total != int64(len(ids)) {
+			t.Fatalf("probe total %d, want %d occurrences", total, len(ids))
+		}
+		return float64(LoadProbeBuckets) * float64(max) / float64(total)
+	}
+	// Enough draws that uniform noise stays well under the default
+	// skew threshold at the probe's granularity (~32 per bucket).
+	uniform := make([]int64, 32768)
+	rng := rand.New(rand.NewSource(1))
+	for i := range uniform {
+		uniform[i] = rng.Int63n(1 << 30)
+	}
+	hot := make([]int64, 32768)
+	for i := range hot {
+		hot[i] = int64(rng.Intn(3)) // 3 hot IDs carry all the mass
+	}
+	u, h := skewOf(uniform), skewOf(hot)
+	if u > 2 {
+		t.Fatalf("uniform stream probe skew %g > 2", u)
+	}
+	if h < 8 {
+		t.Fatalf("hot stream probe skew %g < 8", h)
+	}
+	// The probe is opt-in: elastic managers without it keep the Plan
+	// hot path untouched, and it cannot exist without elasticity.
+	noProbe := elastic(t, testConfig(64, 16), 2)
+	if noProbe.LoadProbe() != nil {
+		t.Fatal("probe grew without LoadProbe opt-in")
+	}
+	if _, err := New(Config{Scratchpad: testConfig(64, 16), Shards: 2, LoadProbe: true}); err == nil {
+		t.Fatal("LoadProbe without Elastic accepted")
+	}
+}

@@ -40,6 +40,13 @@
 // (hierarchy.go): exact per-eviction rounds, batched candidate polls,
 // a per-host aggregation tier, or approximate epoch-quantized LRU whose
 // divergence from exact is measured by a shadow planner.
+//
+// Nothing above requires the partitioning to be static: an elastic
+// manager (Config.Elastic) can change its shard count between Plans via
+// [Manager.Reshard] — growing or shrinking a live run, migrating every
+// Hit-Map entry, free list, hold ring, and recency list to the new hash
+// partitioning without losing a cached row, and pricing the migrated
+// control bytes on the same topology links (reshard.go; DESIGN.md §9).
 package shard
 
 import (
@@ -90,6 +97,21 @@ type Config struct {
 	// quantum of 1 makes approx bit-identical to exact (and its
 	// divergence metrics provably zero). Ignored outside approx mode.
 	CoordQuantum int
+	// Elastic builds a manager whose shard count can change at run time
+	// via [Manager.Reshard] (see reshard.go). It requires the LRU policy
+	// (resharding re-threads LRU recency state) and makes Shards == 1
+	// run the generic sharded machinery instead of delegating to a
+	// single core.Scratchpad — plans, victims, and statistics stay
+	// identical (TestElasticSingleShardBitIdentical proves slot-level
+	// identity), but the S=1 fast path's zero-allocation guarantee is
+	// traded for the ability to migrate.
+	Elastic bool
+	// LoadProbe additionally maintains the fixed-granularity query-mass
+	// histogram behind [Manager.LoadProbe] that load-triggered reshard
+	// policies read. It costs one extra hash + write per unique ID per
+	// Plan, so it is opt-in: schedules without a load policy (static
+	// steps only) leave the Plan hot path untouched. Requires Elastic.
+	LoadProbe bool
 }
 
 // Validate reports a descriptive error for an unusable configuration.
@@ -100,6 +122,13 @@ func (c Config) Validate() error {
 	if c.Shards > 1 && c.Scratchpad.Policy != cache.LRU {
 		return fmt.Errorf("shard: %d shards requires the %q policy (cross-shard eviction coordination merges LRU recency orders), got %q",
 			c.Shards, cache.LRU, c.Scratchpad.Policy)
+	}
+	if c.Elastic && c.Scratchpad.Policy != cache.LRU {
+		return fmt.Errorf("shard: elastic resharding requires the %q policy (migration re-threads LRU recency state), got %q",
+			cache.LRU, c.Scratchpad.Policy)
+	}
+	if c.LoadProbe && !c.Elastic {
+		return fmt.Errorf("shard: LoadProbe without Elastic (the probe only feeds reshard policies)")
 	}
 	if _, err := ParseCoordMode(string(c.Coord)); err != nil {
 		return err
@@ -198,6 +227,9 @@ type Manager struct {
 	place     hw.Placement
 	coord     *coordMeter
 	lastCoord float64
+	// coordBase carries lifetime coordination traffic across reshard
+	// events (each event retires its meter; see installPlacement).
+	coordBase CoordStats
 	// prewarming suppresses coordination metering during PrewarmRows
 	// (setup-time slot shuffling is not per-iteration traffic).
 	prewarming bool
@@ -224,6 +256,18 @@ type Manager struct {
 	// single is the unsharded fast path (Shards == 1): full delegation,
 	// bit-identical to the pre-sharding tree.
 	single *core.Scratchpad
+
+	// elastic marks the manager reshardable (see reshard.go): its shard
+	// count may change between Plans via Reshard. loadProbe is the
+	// fixed-granularity query-mass histogram load-triggered reshard
+	// policies read (occurrences bucketed by ShardOf(id,
+	// LoadProbeBuckets); nil unless Config.LoadProbe opted in);
+	// resharding tracks the lifetime migration totals and lastReshard
+	// the most recent event's modeled latency.
+	elastic     bool
+	loadProbe   []int64
+	resharding  ReshardStats
+	lastReshard float64
 
 	shards []shardState
 	// meta/next/prev are global per-slot arrays. A slot belongs to
@@ -291,9 +335,10 @@ func New(cfg Config) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
-	if n == 1 {
+	if n == 1 && !cfg.Elastic {
 		// The S=1 delegate has no cross-shard coordination; every mode
-		// is trivially exact.
+		// is trivially exact. (Elastic managers skip the delegation so
+		// their state lives in the migratable generic representation.)
 		sp, err := core.NewScratchpad(cfg.Scratchpad)
 		if err != nil {
 			return nil, err
@@ -317,6 +362,12 @@ func New(cfg Config) (*Manager, error) {
 		prev:    make([]int32, total),
 		uniqIdx: make([][]int32, n),
 		winIdx:  make([][]int32, n),
+	}
+	if cfg.Elastic {
+		m.elastic = true
+	}
+	if cfg.LoadProbe {
+		m.loadProbe = make([]int64, LoadProbeBuckets)
 	}
 	if mode == CoordApprox {
 		m.quantum = uint64(cfg.CoordQuantum)
@@ -373,12 +424,14 @@ func (m *Manager) Placement() hw.Placement { return m.place }
 func (m *Manager) LastPlanCoord() float64 { return m.lastCoord }
 
 // CoordStats returns the lifetime cross-node coordination traffic (the
-// zero value when the placement is co-located).
+// zero value when the placement is co-located), summed across any
+// reshard events (each event retires the previous placement's meter).
 func (m *Manager) CoordStats() CoordStats {
-	if m.coord == nil {
-		return CoordStats{}
+	s := m.coordBase
+	if m.coord != nil {
+		s.Merge(m.coord.stats)
 	}
-	return m.coord.stats
+	return s
 }
 
 // CoordMode returns the coordination protocol the manager runs.
@@ -825,6 +878,16 @@ func (m *Manager) PlanUniqueWithHints(seq int, uniq []int64, counts []int32, fut
 		j := m.shardFor(id)
 		shardOf[i] = uint16(j)
 		m.uniqIdx[j] = append(m.uniqIdx[j], int32(i))
+		if m.loadProbe != nil {
+			// Elastic managers histogram the query mass at a fixed
+			// S-independent granularity so load-triggered reshard
+			// policies can observe ID-space skew even at S=1.
+			c := int64(1)
+			if counts != nil {
+				c = int64(counts[i])
+			}
+			m.loadProbe[ShardOf(id, LoadProbeBuckets)] += c
+		}
 	}
 	fut := future[futStart:]
 	winIDs := m.winIDs[:0]

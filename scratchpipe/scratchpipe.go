@@ -129,6 +129,25 @@ type CoordStats = shard.CoordStats
 // exact shadow planner (see shard.Divergence).
 type CoordDivergence = shard.Divergence
 
+// ReshardSpec schedules run-time shard-count transitions (elastic
+// resharding with live state migration; see engine.ReshardSpec and
+// DESIGN.md §9): static "iter:shards" steps and/or a load-triggered
+// growth policy reacting to observed query-mass skew.
+type ReshardSpec = engine.ReshardSpec
+
+// ReshardStep is one static reshard schedule entry.
+type ReshardStep = engine.ReshardStep
+
+// ReshardStats totals a run's reshard events, migrated state entries,
+// and modeled migration cost (see shard.ReshardStats); Report.Resharding
+// carries the run's totals and Report.MigrationTime their latency.
+type ReshardStats = shard.ReshardStats
+
+// ParseReshardSpec parses the -reshard flag grammar: "" (none),
+// "200:4,500:8" (static steps), "load:8" / "load:8:2.5" (load-triggered
+// growth), or a combination ("200:4,load:8").
+func ParseReshardSpec(s string) (ReshardSpec, error) { return engine.ParseReshardSpec(s) }
+
 // PolicyKind selects the scratchpad replacement policy.
 type PolicyKind = cache.PolicyKind
 
@@ -210,6 +229,14 @@ type Config struct {
 	// CoordQuantum is approx mode's recency quantum in clock ticks
 	// (0 = the shard package default; 1 makes approx exact).
 	CoordQuantum int
+	// Reshard schedules run-time shard-count transitions for the
+	// dynamic-cache engines (strawman/scratchpipe): the live scratchpad
+	// state migrates between Plans — plans, statistics, and functional
+	// training results are preserved exactly — and the migrated bytes
+	// are priced on Topology, surfacing as Report.MigrationTime. The
+	// zero spec disables elasticity; schedules reaching more than one
+	// shard require the LRU policy.
+	Reshard ReshardSpec
 }
 
 func (c *Config) applyDefaults() {
@@ -253,6 +280,7 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 		Placement:    cfg.Placement,
 		Coord:        cfg.Coord,
 		CoordQuantum: cfg.CoordQuantum,
+		Reshard:      cfg.Reshard,
 	})
 	if err != nil {
 		return nil, err

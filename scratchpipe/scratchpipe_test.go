@@ -176,3 +176,49 @@ func TestTopologyPlacementViaFacade(t *testing.T) {
 		t.Fatal("unknown placement policy accepted by the facade")
 	}
 }
+
+// TestReshardViaFacade: an elastic schedule threaded through the public
+// Config must reshard mid-run, price the migration on the topology, and
+// leave training results and cache statistics untouched.
+func TestReshardViaFacade(t *testing.T) {
+	spec, err := ParseReshardSpec("6:4,12:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := ParseTopology("cluster2x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := NewTrainer(Config{Model: smallModel(), Class: Medium, Seed: 3, Functional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elastic, err := NewTrainer(Config{Model: smallModel(), Class: Medium, Seed: 3, Functional: true,
+		Topology: topo, Reshard: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repBase, err := base.Train(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := elastic.Train(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FinalShards != 2 || rep.Resharding.Events == 0 {
+		t.Fatalf("schedule did not execute: final shards %d, %+v", rep.FinalShards, rep.Resharding)
+	}
+	if rep.MigrationTime <= 0 {
+		t.Fatal("cross-node migration not priced via the facade")
+	}
+	if rep.Hits != repBase.Hits || rep.Misses != repBase.Misses || rep.Evictions != repBase.Evictions {
+		t.Fatalf("resharding changed cache behaviour: %+v vs %+v", repBase, rep)
+	}
+	if rep.AvgLoss != repBase.AvgLoss {
+		t.Fatalf("resharding changed training: loss %v vs %v", repBase.AvgLoss, rep.AvgLoss)
+	}
+	if _, err := ParseReshardSpec("bogus"); err == nil {
+		t.Fatal("bogus reshard spec accepted")
+	}
+}
