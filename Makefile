@@ -29,11 +29,16 @@ test:
 # scratchpad control plane and pipeline (core), the sharded planner with
 # its shard-parallel Plan pass (shard), the engines' per-table fan-outs
 # (engine), the trace loader (trace), the harness that drives them all
-# (bench), and the public facade (scratchpipe). Any hold-discipline,
-# shard-partition, or fan-out bug must surface as a race here.
+# (bench), and the public facade (scratchpipe). The failure-path tests
+# ride along too: hw (fault plans mutating live topologies) and
+# checkpoint (restore staging), plus the shard evacuation and engine
+# fault-orchestration tests already inside the shard/engine runs. Any
+# hold-discipline, shard-partition, or fan-out bug must surface as a
+# race here.
 race:
 	$(GO) test -race ./internal/par/ ./internal/core/ ./internal/shard/ \
-		./internal/engine/ ./internal/trace/ ./internal/bench/ ./scratchpipe/
+		./internal/engine/ ./internal/trace/ ./internal/bench/ \
+		./internal/hw/ ./internal/checkpoint/ ./scratchpipe/
 
 # Fails on dangling intra-repo documentation references: any *.md that
 # names a file, directory, or package path that no longer exists (see

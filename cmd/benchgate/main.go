@@ -10,6 +10,7 @@
 //	          [-alloc-factor 1.25] [-coord-factor 1.25] [-runs 2]
 //	          [-workers 1] [-shards 1] [-topology single]
 //	          [-placement stripe] [-coord exact] [-reshard SPEC]
+//	          [-fail PLAN] [-ckpt-interval N]
 //
 // The gate measures with Workers=1 and Shards=1 by default so allocation
 // counts are deterministic and wall time does not depend on the CI
@@ -26,7 +27,13 @@
 // entry family — a mid-sweep shard-count transition with live state
 // migration — against its own baseline (the schedule string must match
 // the recorded entry's); modeled migration seconds gate at the same
-// -coord-factor threshold when the baseline recorded any. Wall time is
+// -coord-factor threshold when the baseline recorded any. Passing
+// -fail (with a matching -ckpt-interval) gates the fault-family
+// entries — a deterministic mid-sweep failure schedule with shard
+// evacuation, degraded-mode coordination, and priced recovery — and
+// additionally fails on a modeled recovery-seconds regression at the
+// -coord-factor threshold, since the recovery bill is deterministic
+// for a given schedule. Wall time is
 // the minimum of -runs sweeps, which
 // damps scheduler noise on shared runners. Exit status 1 means a
 // regression, 2 a usage/baseline problem.
@@ -57,6 +64,8 @@ func main() {
 	placement := flag.String("placement", "stripe", "shard placement policy for the measurement (stripe|range|loadaware)")
 	coord := flag.String("coord", "exact", "cross-shard coordination protocol for the measurement ("+shard.CoordModeNames+")")
 	reshard := flag.String("reshard", "", "elastic reshard schedule for the measurement (e.g. 4:4 or load:8; empty = fixed sharding)")
+	failPlan := flag.String("fail", "", "fault schedule for the measurement ("+hw.FaultGrammar+"; empty = fault-free)")
+	ckptInterval := flag.Int("ckpt-interval", 0, "checkpoint-flush interval for the measurement (0 = disabled)")
 	flag.Parse()
 
 	if *shards < 1 {
@@ -83,6 +92,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: -reshard %q: %v\n", *reshard, err)
 		os.Exit(2)
 	}
+	faults, err := hw.ParseFaultPlan(*failPlan)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: -fail %q: %v\n", *failPlan, err)
+		os.Exit(2)
+	}
+	if *ckptInterval < 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: -ckpt-interval %d: interval must be >= 0\n", *ckptInterval)
+		os.Exit(2)
+	}
+	if faults.Active() {
+		if topo.NumNodes() <= 1 {
+			fmt.Fprintf(os.Stderr, "benchgate: -fail needs a multi-host -topology (cluster<H>x<S>), got %q\n", *topology)
+			os.Exit(2)
+		}
+		if err := faults.Validate(topo); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: -fail %q: %v\n", *failPlan, err)
+			os.Exit(2)
+		}
+	}
 
 	data, err := os.ReadFile(*baseline)
 	if err != nil {
@@ -98,15 +126,21 @@ func main() {
 	if topo.NumNodes() > 1 {
 		topoName = topo.Name
 	}
-	base := pickBaseline(hist.History, *configName, *workers, *shards, topoName, string(policy), string(coordMode), reshardSpec.String())
+	base := pickBaseline(hist.History, *configName, *workers, *shards, topoName, string(policy), string(coordMode), reshardSpec.String(), faults.String(), *ckptInterval)
 	if base == nil {
-		reshardArg := ""
+		extraArgs := ""
 		if reshardSpec.Active() {
-			reshardArg = " -reshard " + reshardSpec.String()
+			extraArgs += " -reshard " + reshardSpec.String()
+		}
+		if faults.Active() {
+			extraArgs += " -fail " + faults.String()
+		}
+		if *ckptInterval > 0 {
+			extraArgs += fmt.Sprintf(" -ckpt-interval %d", *ckptInterval)
 		}
 		fmt.Fprintf(os.Stderr,
-			"benchgate: no %q entry with workers=%d shards=%d topology=%q placement=%q coord=%q reshard=%q in %s to gate against; record one with:\n  go run ./cmd/spbench -quick -json %s -workers %d -shards %d -topology %s -placement %s -coord %s%s\n",
-			*configName, *workers, *shards, *topology, *placement, *coord, reshardSpec.String(), *baseline, *baseline, *workers, *shards, *topology, *placement, *coord, reshardArg)
+			"benchgate: no %q entry with workers=%d shards=%d topology=%q placement=%q coord=%q reshard=%q fail=%q ckpt=%d in %s to gate against; record one with:\n  go run ./cmd/spbench -quick -json %s -workers %d -shards %d -topology %s -placement %s -coord %s%s\n",
+			*configName, *workers, *shards, *topology, *placement, *coord, reshardSpec.String(), faults.String(), *ckptInterval, *baseline, *baseline, *workers, *shards, *topology, *placement, *coord, extraArgs)
 		os.Exit(2)
 	}
 
@@ -117,6 +151,8 @@ func main() {
 	cfg.Workers = *workers
 	cfg.Shards = *shards
 	cfg.Reshard = reshardSpec
+	cfg.Faults = faults
+	cfg.CkptInterval = *ckptInterval
 	if topo.NumNodes() > 1 {
 		cfg.Topology = topo
 		cfg.Placement = policy
@@ -171,6 +207,17 @@ func main() {
 			failed = true
 		}
 	}
+	// Modeled recovery seconds gate the fault path: evacuation bytes,
+	// re-election rounds, and checkpoint-replay billing are all
+	// deterministic for a given schedule, so growth means the recovery
+	// machinery itself got more expensive.
+	if base.RecoverySeconds > 0 {
+		if limit := base.RecoverySeconds * *coordFactor; best.RecoverySeconds > limit {
+			fmt.Printf("benchgate: FAIL recovery %.4fs exceeds %.4fs (baseline x %.2f)\n",
+				best.RecoverySeconds, limit, *coordFactor)
+			failed = true
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
@@ -194,7 +241,7 @@ func main() {
 // coordination metering the co-located sweep never executes, and the
 // batched/hier/approx protocol entries send a fraction of the exact
 // protocol's rounds.
-func pickBaseline(hist []bench.HotPathResult, config string, workers, shards int, topology, placement, coord, reshard string) *bench.HotPathResult {
+func pickBaseline(hist []bench.HotPathResult, config string, workers, shards int, topology, placement, coord, reshard, faults string, ckptInterval int) *bench.HotPathResult {
 	norm := func(s int) int {
 		if s <= 1 {
 			return 1
@@ -228,6 +275,7 @@ func pickBaseline(hist []bench.HotPathResult, config string, workers, shards int
 		// only when one is set.
 		if e.Config == config && e.Workers == workers && norm(e.Shards) == norm(shards) &&
 			normCoord(e.CoordMode) == normCoord(coord) && e.Reshard == reshard &&
+			e.Faults == faults && e.CkptInterval == ckptInterval &&
 			normTopo(e.Topology) == normTopo(topology) &&
 			(normTopo(e.Topology) == "" || normPlace(e.Placement) == normPlace(placement)) {
 			exact = e

@@ -46,6 +46,8 @@ func main() {
 	coord := flag.String("coord", "exact", "cross-shard coordination protocol (exact|batched|hier|approx)")
 	coordQuantum := flag.Int("coord-quantum", 0, "approx-mode recency quantum in clock ticks (0 = default; 1 = exact order)")
 	reshard := flag.String("reshard", "", "elastic reshard schedule: iter:shards steps and/or load:<max>[:<thresh>] (e.g. 200:4,500:8 or load:8; empty = fixed sharding)")
+	failPlan := flag.String("fail", "", "fault schedule: host<H>@<I>, agg<H>@<I>, link:host<A>-host<B>@<I>[-<J>], degrade:host<A>-host<B>@<I>[-<J>][x<F>] (e.g. host1@20,link:host0-host1@10-15; empty = no faults)")
+	ckptInterval := flag.Int("ckpt-interval", 0, "priced scratchpad checkpoint flush every N iterations (0 = disabled; with -fail, host deaths restore residency from the last flush)")
 	functional := flag.Bool("functional", true, "execute real float32 training")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
@@ -95,6 +97,26 @@ func main() {
 			fail("-reshard applies to the dynamic-cache engines (strawman|scratchpipe), got -engine %s", *engineFlag)
 		}
 	}
+	faults, err := scratchpipe.ParseFaultPlan(*failPlan)
+	if err != nil {
+		fail("-fail %q: %v", *failPlan, err)
+	}
+	if *ckptInterval < 0 {
+		fail("-ckpt-interval %d: interval must be >= 0", *ckptInterval)
+	}
+	if faults.Active() {
+		if topo.NumNodes() <= 1 {
+			fail("-fail needs a multi-host -topology (cluster<H>x<S>), got %q", *topology)
+		}
+		if err := faults.Validate(topo); err != nil {
+			fail("-fail %q: %v", *failPlan, err)
+		}
+		switch scratchpipe.Kind(*engineFlag) {
+		case scratchpipe.KindStrawMan, scratchpipe.KindScratchPipe:
+		default:
+			fail("-fail applies to the dynamic-cache engines (strawman|scratchpipe), got -engine %s", *engineFlag)
+		}
+	}
 
 	class, err := scratchpipe.ParseClass(*classFlag)
 	if err != nil {
@@ -124,6 +146,8 @@ func main() {
 		Coord:        coordMode,
 		CoordQuantum: *coordQuantum,
 		Reshard:      reshardSpec,
+		Faults:       faults,
+		CkptInterval: *ckptInterval,
 	}
 	if topo.NumNodes() > 1 {
 		cfg.Topology = topo
@@ -177,5 +201,20 @@ func main() {
 	if div := rep.CoordDivergence; div.Plans > 0 {
 		fmt.Printf("  approx-LRU divergence:    edit rate %.4f (distance %d over %d exact / %d approx evictions), hit-rate delta %+.4f%%\n",
 			div.EditRate(), div.EditDistance, div.ExactEvictions, div.ApproxEvictions, div.HitRateDelta()*100)
+	}
+	// Fault-tolerance section: keyed off the flags, not the report, so
+	// fault-free runs print byte-identically to the pre-fault tree.
+	if faults.Active() || *ckptInterval > 0 {
+		fmt.Printf("  fault tolerance:          downtime %.1f ms, recovery %.3f ms, availability %.4f%%\n",
+			rep.Downtime*1e3, rep.RecoveryTime*1e3, rep.Availability*100)
+		if ev := rep.Evac; ev.Events > 0 {
+			fmt.Printf("    evacuation: %d events, %d shards re-homed; %d resident lost, %d restored, %d held kept; %.1f KB in %d transfers\n",
+				ev.Events, ev.ShardsEvacuated, ev.LostResident, ev.RestoredResident, ev.HeldKept,
+				ev.Bytes/1e3, ev.Rounds)
+		}
+		if *ckptInterval > 0 {
+			fmt.Printf("    checkpoints: every %d iters, %.3f ms flush total\n",
+				*ckptInterval, rep.CheckpointTime*1e3)
+		}
 	}
 }

@@ -6,9 +6,10 @@
 //	         fig13|fig14|fig15a|fig15b|tablei|overhead|sensitivity|ablation]
 //	        [-iters N] [-quick] [-seed S] [-workers N] [-shards S]
 //	        [-topology T] [-placement P] [-coord M] [-reshard SPEC]
+//	        [-fail PLAN] [-ckpt-interval N]
 //	spbench -json BENCH_hotpath.json [-quick] [-workers N] [-shards S]
 //	        [-topology T] [-placement P] [-coord M] [-reshard SPEC]
-//	        [-note TEXT]
+//	        [-fail PLAN] [-ckpt-interval N] [-note TEXT]
 //
 // With -quick the paper-scale tables (10M rows) shrink 50x, which changes
 // absolute hit rates slightly but preserves every qualitative shape; use it
@@ -37,6 +38,16 @@
 // table bit-identical); timing columns can shift once the new shard
 // count pays cross-node coordination, exactly as a static -shards
 // change would.
+//
+// -fail injects a deterministic fault schedule into every data point's
+// dynamic-cache runs ("host1@5" kills host 1 before iteration 5;
+// link/degrade/agg events follow the same grammar): dead hosts'
+// shards evacuate to survivors, partitions degrade coordination to
+// approx until heal, and the reports price the outage into
+// Downtime/RecoveryTime/Availability. -ckpt-interval prices a periodic
+// scratchpad checkpoint flush every N iterations; with -fail, host
+// deaths then restore at-risk residency from the last flush instead of
+// repricing it as cold misses. The empty plan changes nothing.
 //
 // With -json the command runs the hot-path benchmark (one Figure 13
 // sweep) instead of printing tables, appends the wall-clock and allocator
@@ -83,6 +94,8 @@ func main() {
 	placement := flag.String("placement", "stripe", "shard placement policy (stripe|range|loadaware)")
 	coord := flag.String("coord", "exact", "cross-shard coordination protocol ("+shard.CoordModeNames+")")
 	reshard := flag.String("reshard", "", "elastic reshard schedule (e.g. 200:4,500:8 or load:8; empty = fixed sharding)")
+	failPlan := flag.String("fail", "", "fault schedule for the dynamic-cache engines ("+hw.FaultGrammar+"; empty = no faults)")
+	ckptInterval := flag.Int("ckpt-interval", 0, "priced scratchpad checkpoint flush every N iterations (0 = disabled)")
 	jsonPath := flag.String("json", "", "run the hot-path benchmark and append the measurement to this JSON history file")
 	note := flag.String("note", "", "free-form note recorded with the -json measurement")
 	flag.Parse()
@@ -113,6 +126,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "spbench: -reshard %q: %v\n", *reshard, err)
 		os.Exit(2)
 	}
+	faults, err := hw.ParseFaultPlan(*failPlan)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spbench: -fail %q: %v\n", *failPlan, err)
+		os.Exit(2)
+	}
+	if *ckptInterval < 0 {
+		fmt.Fprintf(os.Stderr, "spbench: -ckpt-interval %d: interval must be >= 0\n", *ckptInterval)
+		os.Exit(2)
+	}
+	if faults.Active() {
+		if topo.NumNodes() <= 1 {
+			fmt.Fprintf(os.Stderr, "spbench: -fail needs a multi-host -topology (cluster<H>x<S>), got %q\n", *topology)
+			os.Exit(2)
+		}
+		if err := faults.Validate(topo); err != nil {
+			fmt.Fprintf(os.Stderr, "spbench: -fail %q: %v\n", *failPlan, err)
+			os.Exit(2)
+		}
+	}
 
 	cfg := bench.Default()
 	configName := "full"
@@ -132,6 +164,8 @@ func main() {
 	// approx changes eviction order regardless of placement).
 	cfg.Coord = coordMode
 	cfg.Reshard = reshardSpec
+	cfg.Faults = faults
+	cfg.CkptInterval = *ckptInterval
 	if topo.NumNodes() > 1 {
 		cfg.Topology = topo
 		cfg.Placement = policy
@@ -158,6 +192,9 @@ func main() {
 		}
 		if res.Reshard != "" {
 			coordLine += fmt.Sprintf(", reshard %s (%.1f ms migration)", res.Reshard, res.MigrationSeconds*1e3)
+		}
+		if res.Faults != "" {
+			coordLine += fmt.Sprintf(", faults %s (%.1f ms down, %.1f ms recovery)", res.Faults, res.DowntimeSeconds*1e3, res.RecoverySeconds*1e3)
 		}
 		fmt.Printf("hotpath (%s, workers=%d, shards=%d%s): %.2fs wall, %d allocs, %.1f MB allocated, sp-vs-static avg %.2fx%s -> %s\n",
 			configName, res.Workers, res.Shards, shape, res.WallSeconds, res.Allocs, float64(res.AllocBytes)/1e6,

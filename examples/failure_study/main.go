@@ -1,0 +1,160 @@
+// Failure study: sweep checkpoint interval x coordination protocol x
+// fault rate on the two-host cluster and chart the availability vs
+// $/1M-iteration frontier.
+//
+// Every configuration trains the same ScratchPipe engine (metadata
+// mode, 4 shards striped across cluster2x2) under a deterministic fault
+// schedule: host deaths evacuate shards to the survivor, link
+// partitions degrade coordination to approx until heal, aggregator
+// losses re-elect — all priced into the report's Downtime,
+// RecoveryTime, and Availability. Checkpointing is the recovery-point
+// knob: a shorter interval pays more flush time every run but restores
+// residency after a host death instead of repricing it as cold misses.
+//
+// The cost column is what the paper's Table I arithmetic says the run
+// actually costs: the whole fleet (cost.ClusterFor) is rented for the
+// full wall clock, outages included, so availability losses surface as
+// dollars. Rows marked * are on the Pareto frontier — no other
+// configuration is both cheaper and more available.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/cost"
+	"repro/scratchpipe"
+)
+
+func main() {
+	classFlag := flag.String("class", "Medium", "locality class: Random|Low|Medium|High")
+	cacheFrac := flag.Float64("cache", 0.05, "GPU cache fraction")
+	iters := flag.Int("iters", 120, "training iterations per configuration")
+	rows := flag.Int64("rows", 200_000, "rows per embedding table (paper scale is 10M; the default keeps the 18-configuration sweep fast)")
+	batch := flag.Int("batch", 256, "mini-batch size (paper scale is 2048)")
+	flag.Parse()
+
+	class, err := scratchpipe.ParseClass(*classFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo, err := scratchpipe.ParseTopology("cluster2x2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fleet := cost.ClusterFor(topo, cost.P32xlarge)
+	model := scratchpipe.DefaultModel()
+	model.RowsPerTable = *rows
+	model.BatchSize = *batch
+
+	// Fault rate axis: none, a transient partition, and a compound
+	// schedule that loses an aggregator, partitions the hosts, and then
+	// kills one of the two hosts outright.
+	faultPlans := []struct{ name, plan string }{
+		{"none", ""},
+		{"light", "link:host0-host1@40-55"},
+		{"heavy", "agg0@20,link:host0-host1@30-45,host1@80"},
+	}
+	ckptIntervals := []int{0, 10, 40}
+	coords := []scratchpipe.CoordMode{scratchpipe.CoordHier, scratchpipe.CoordApprox}
+
+	type point struct {
+		faults   string
+		coord    scratchpipe.CoordMode
+		ckpt     int
+		avail    float64
+		cost     float64
+		rep      *scratchpipe.Report
+		frontier bool
+	}
+	var pts []point
+
+	for _, fp := range faultPlans {
+		plan, err := scratchpipe.ParseFaultPlan(fp.plan)
+		if err != nil {
+			log.Fatalf("%s: %v", fp.name, err)
+		}
+		for _, coord := range coords {
+			for _, ckpt := range ckptIntervals {
+				tr, err := scratchpipe.NewTrainer(scratchpipe.Config{
+					Engine:       scratchpipe.KindScratchPipe,
+					Model:        model,
+					Class:        class,
+					CacheFrac:    *cacheFrac,
+					Functional:   false,
+					Seed:         7,
+					Shards:       4,
+					Topology:     topo,
+					Coord:        coord,
+					Faults:       plan,
+					CkptInterval: ckpt,
+				})
+				if err != nil {
+					log.Fatalf("%s/%s/ckpt=%d: %v", fp.name, coord, ckpt, err)
+				}
+				rep, err := tr.Train(*iters)
+				if err != nil {
+					log.Fatalf("%s/%s/ckpt=%d: %v", fp.name, coord, ckpt, err)
+				}
+				// The fleet is rented for the whole wall clock —
+				// checkpoint flushes, outages, and recovery included —
+				// so the effective per-iteration price is Wall/Iters.
+				pts = append(pts, point{
+					faults: fp.name, coord: coord, ckpt: ckpt,
+					avail: rep.Availability,
+					cost:  fleet.MillionIterCost(rep.Wall / float64(rep.Iters)),
+					rep:   rep,
+				})
+			}
+		}
+	}
+
+	// Pareto frontier, per fault environment (availability under "none"
+	// and under "heavy" are different worlds): a point survives if no
+	// point under the same schedule is at least as available AND cheaper
+	// (with at least one strict).
+	for i := range pts {
+		dominated := false
+		for j := range pts {
+			if j == i || pts[j].faults != pts[i].faults {
+				continue
+			}
+			betterAvail := pts[j].avail >= pts[i].avail
+			betterCost := pts[j].cost <= pts[i].cost
+			strictly := pts[j].avail > pts[i].avail || pts[j].cost < pts[i].cost
+			if betterAvail && betterCost && strictly {
+				dominated = true
+				break
+			}
+		}
+		pts[i].frontier = !dominated
+	}
+
+	fmt.Printf("Failure study — ScratchPipe on %s (%s), class %s, %d iters\n\n",
+		topo.Name, fleet.Name(), class, *iters)
+	fmt.Printf("%-7s %-7s %5s %13s %13s %13s %13s %13s\n",
+		"faults", "coord", "ckpt", "avail", "$ / 1M iters", "down (ms)", "recov (ms)", "lost rows")
+	for _, p := range pts {
+		mark := " "
+		if p.frontier {
+			mark = "*"
+		}
+		fmt.Printf("%-7s %-7s %5d %12.2f%% %13s %13.1f %13.3f %13d %s\n",
+			p.faults, p.coord, p.ckpt,
+			p.avail*100, cost.FormatUSD(p.cost),
+			p.rep.Downtime*1e3, p.rep.RecoveryTime*1e3, p.rep.LostResidency, mark)
+	}
+
+	fmt.Println()
+	fmt.Println("Reading the frontier: with no faults, checkpointing is pure cost —")
+	fmt.Println("the ckpt=0 rows dominate. Under the heavy schedule the knob becomes")
+	fmt.Println("a real trade: uncheckpointed fleets lose the dead host's scratchpad")
+	fmt.Println("residency (nonzero lost rows, repriced as cold misses after")
+	fmt.Println("recovery), while checkpointed fleets keep every row but pay the")
+	fmt.Println("periodic flush plus a replay bill back to the last recovery point —")
+	fmt.Println("a shorter interval shrinks the replay, a longer one the flush tax.")
+	fmt.Println("Which side of the trade wins depends on how expensive cold misses")
+	fmt.Println("are at your scale; rerun with -rows 10000000 -batch 2048 to price")
+	fmt.Println("it at paper scale.")
+}

@@ -61,6 +61,17 @@ type Config struct {
 	// shift only as far as the new shard count's cross-node
 	// coordination does, exactly as a static Shards change would.
 	Reshard engine.ReshardSpec
+	// Faults schedules deterministic fault injection for every data
+	// point's dynamic-cache runs (hw.FaultPlan, the -fail grammar):
+	// host deaths evacuate shards mid-sweep, link faults degrade
+	// coordination, aggregator losses re-elect — all priced into the
+	// reports' Downtime/RecoveryTime/Availability. The zero plan
+	// changes nothing.
+	Faults hw.FaultPlan
+	// CkptInterval prices a periodic scratchpad checkpoint flush every
+	// this many iterations (0 disables); with faults it buys
+	// checkpoint-restored residency at the flush cost.
+	CkptInterval int
 }
 
 // Default returns the paper's §V methodology configuration. Iters must
@@ -151,17 +162,19 @@ func x2(x float64) string { return fmt.Sprintf("%.2fx", x) }
 // the same batch stream.
 func newEnv(cfg Config, model dlrm.Config, class trace.Class) (*engine.Env, error) {
 	return engine.NewEnv(engine.EnvConfig{
-		Model:      model,
-		System:     cfg.System,
-		Class:      class,
-		Seed:       cfg.Seed,
-		Functional: false,
-		Workers:    cfg.Workers,
-		Shards:     cfg.Shards,
-		Topology:   cfg.Topology,
-		Placement:  cfg.Placement,
-		Coord:      cfg.Coord,
-		Reshard:    cfg.Reshard,
+		Model:        model,
+		System:       cfg.System,
+		Class:        class,
+		Seed:         cfg.Seed,
+		Functional:   false,
+		Workers:      cfg.Workers,
+		Shards:       cfg.Shards,
+		Topology:     cfg.Topology,
+		Placement:    cfg.Placement,
+		Coord:        cfg.Coord,
+		Reshard:      cfg.Reshard,
+		Faults:       cfg.Faults,
+		CkptInterval: cfg.CkptInterval,
 	})
 }
 

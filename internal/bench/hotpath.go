@@ -51,6 +51,19 @@ type HotPathResult struct {
 	// MigrationSeconds totals the sweep's modeled state-migration
 	// latency (simulated, deterministic).
 	MigrationSeconds float64 `json:"migration_seconds,omitempty"`
+	// Faults records the fault schedule of the sweep in the -fail
+	// grammar (empty = fault-free): fault entries gate independently,
+	// since mid-sweep evacuation and degraded-mode coordination change
+	// both the recovery bill and the coordination totals.
+	Faults string `json:"faults,omitempty"`
+	// CkptInterval records the checkpoint-flush interval of the sweep
+	// (0 = checkpointing disabled).
+	CkptInterval int `json:"ckpt_interval,omitempty"`
+	// DowntimeSeconds/RecoverySeconds total the sweep's modeled outage
+	// and repair time (simulated: deterministic for a given fault
+	// schedule, so benchgate gates recovery-path regressions exactly).
+	DowntimeSeconds float64 `json:"downtime_seconds,omitempty"`
+	RecoverySeconds float64 `json:"recovery_seconds,omitempty"`
 	// Iters is the measured iterations per data point.
 	Iters int `json:"iters"`
 	// WallSeconds is the real time of one full Figure 13 sweep.
@@ -86,7 +99,7 @@ func HotPath(cfg Config, configName string) (*HotPathResult, error) {
 	wall := time.Since(start)
 	runtime.ReadMemStats(&after)
 
-	var spSum, coordSec, migSec float64
+	var spSum, coordSec, migSec, downSec, recovSec float64
 	var coordRounds int64
 	for _, p := range pts {
 		_, _, sp := p.SpeedupVsStatic()
@@ -94,6 +107,8 @@ func HotPath(cfg Config, configName string) (*HotPathResult, error) {
 		coordRounds += p.CoordRounds
 		coordSec += p.CoordSeconds
 		migSec += p.MigrationSeconds
+		downSec += p.DowntimeSeconds
+		recovSec += p.RecoverySeconds
 	}
 	topoName := ""
 	if cfg.Topology != nil {
@@ -119,6 +134,10 @@ func HotPath(cfg Config, configName string) (*HotPathResult, error) {
 		CoordSeconds:          coordSec,
 		Reshard:               cfg.Reshard.String(),
 		MigrationSeconds:      migSec,
+		Faults:                cfg.Faults.String(),
+		CkptInterval:          cfg.CkptInterval,
+		DowntimeSeconds:       downSec,
+		RecoverySeconds:       recovSec,
 		GoMaxProcs:            runtime.GOMAXPROCS(0),
 		Iters:                 cfg.Iters,
 		WallSeconds:           wall.Seconds(),

@@ -78,6 +78,11 @@ type SpeedupPoint struct {
 	// elastic-resharding migration latency at this point (zero without
 	// a reshard schedule or under co-located migration).
 	MigrationSeconds float64
+	// DowntimeSeconds/RecoverySeconds total the dynamic-cache engines'
+	// modeled fault outage and repair time at this point (zero without
+	// a fault plan; see engine.Report.Downtime/RecoveryTime).
+	DowntimeSeconds float64
+	RecoverySeconds float64
 }
 
 // SpeedupVsStatic returns each design's speedup normalized to the static
@@ -116,6 +121,8 @@ func CollectFigure13(cfg Config) ([]SpeedupPoint, error) {
 				CoordRounds:      sm.Coord.Messages + sp.Coord.Messages,
 				CoordSeconds:     sm.Coord.Seconds + sp.Coord.Seconds,
 				MigrationSeconds: sm.MigrationTime + sp.MigrationTime,
+				DowntimeSeconds:  sm.Downtime + sp.Downtime,
+				RecoverySeconds:  sm.RecoveryTime + sp.RecoveryTime,
 			})
 		}
 	}

@@ -77,6 +77,12 @@ func Save(w io.Writer, env *engine.Env) error {
 
 // Load restores a checkpoint written by Save into env, which must have
 // been constructed with the same model configuration and optimizer.
+// Every header field is validated against the environment — and the
+// dense parameter section is staged and length-checked in full — before
+// any environment state is overwritten, so a mismatched or corrupt
+// checkpoint reports a descriptive error and leaves env untouched up to
+// the embedding-table section (whose own reads fail before the first
+// row of a short file is applied).
 func Load(r io.Reader, env *engine.Env) error {
 	if !env.Cfg.Functional {
 		return fmt.Errorf("checkpoint: cannot load into a metadata-mode environment")
@@ -93,6 +99,10 @@ func Load(r io.Reader, env *engine.Env) error {
 	if err := binary.Read(br, binary.LittleEndian, &h); err != nil {
 		return err
 	}
+	if h.NumTables < 0 || h.RowsPerTable < 0 || h.EmbeddingDim < 0 || h.StateDim < 0 || h.NumParams < 0 {
+		return fmt.Errorf("checkpoint: corrupt header (tables %d, rows %d, dim %d, state dim %d, params %d)",
+			h.NumTables, h.RowsPerTable, h.EmbeddingDim, h.StateDim, h.NumParams)
+	}
 	params := env.Model.Params()
 	switch {
 	case int(h.NumTables) != env.Cfg.Model.NumTables:
@@ -106,17 +116,24 @@ func Load(r io.Reader, env *engine.Env) error {
 	case int(h.NumParams) != len(params):
 		return fmt.Errorf("checkpoint: %d dense params, environment has %d", h.NumParams, len(params))
 	}
+	// Stage the dense parameters so a length mismatch or truncation in a
+	// later blob cannot leave the model half-overwritten.
+	staged := make([][]float32, len(params))
 	for i, p := range params {
 		var n int64
 		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
-			return err
+			return fmt.Errorf("checkpoint: param %d: %w", i, err)
 		}
 		if n != int64(len(p.Weights())) {
 			return fmt.Errorf("checkpoint: param %d has %d weights, environment has %d", i, n, len(p.Weights()))
 		}
-		if err := binary.Read(br, binary.LittleEndian, p.Weights()); err != nil {
-			return err
+		staged[i] = make([]float32, n)
+		if err := binary.Read(br, binary.LittleEndian, staged[i]); err != nil {
+			return fmt.Errorf("checkpoint: param %d: %w", i, err)
 		}
+	}
+	for i, p := range params {
+		copy(p.Weights(), staged[i])
 	}
 	for t := 0; t < env.Cfg.Model.NumTables; t++ {
 		tbl := env.Tables[t]

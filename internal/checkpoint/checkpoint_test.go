@@ -179,3 +179,97 @@ func TestLoadRejectsCorruptStream(t *testing.T) {
 		t.Fatal("empty stream accepted")
 	}
 }
+
+// snapshotParams copies every dense parameter tensor.
+func snapshotParams(env *engine.Env) [][]float32 {
+	var out [][]float32
+	for _, p := range env.Model.Params() {
+		out = append(out, append([]float32(nil), p.Weights()...))
+	}
+	return out
+}
+
+// sameParams asserts the dense model is bitwise unchanged.
+func sameParams(t *testing.T, label string, env *engine.Env, want [][]float32) {
+	t.Helper()
+	for i, p := range env.Model.Params() {
+		for j, w := range p.Weights() {
+			if w != want[i][j] {
+				t.Fatalf("%s: param %d weight %d changed (%g -> %g)", label, i, j, want[i][j], w)
+			}
+		}
+	}
+}
+
+// TestLoadRejectsCorruptHeader: negative header fields (a corrupt or
+// hostile stream) are rejected before any allocation or comparison.
+func TestLoadRejectsCorruptHeader(t *testing.T) {
+	env := newEnvKind(t, "sgd", 13)
+	var good bytes.Buffer
+	if err := Save(&good, env); err != nil {
+		t.Fatal(err)
+	}
+	// The header starts right after the 8-byte magic; NumTables is its
+	// first int32. Flip it negative.
+	data := append([]byte(nil), good.Bytes()...)
+	data[8] = 0xff
+	data[9] = 0xff
+	data[10] = 0xff
+	data[11] = 0xff
+	if err := Load(bytes.NewReader(data), env); err == nil {
+		t.Fatal("negative table count accepted")
+	}
+}
+
+// TestLoadFailureLeavesParamsIntact: a stream that passes the header
+// check but dies inside the dense-parameter section (truncation, bad
+// per-param length) must report an error WITHOUT touching the target
+// environment's parameters — the staged read's whole point.
+func TestLoadFailureLeavesParamsIntact(t *testing.T) {
+	src := newEnvKind(t, "sgd", 11)
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := newEnvKind(t, "sgd", 29) // different seed: different weights
+	before := snapshotParams(dst)
+
+	// Truncate mid-way through the parameter section: the header and
+	// the first param lengths parse, then the stream dies.
+	data := buf.Bytes()
+	const headerEnd = 8 + 4 + 8 + 4 + 4 + 4 // magic + header fields
+	trunc := data[:headerEnd+12]
+	if err := Load(bytes.NewReader(trunc), dst); err == nil {
+		t.Fatal("truncated parameter section accepted")
+	}
+	sameParams(t, "truncated-params", dst, before)
+
+	// Corrupt the first per-param length so it mismatches the target.
+	bad := append([]byte(nil), data...)
+	bad[headerEnd] ^= 0x01
+	if err := Load(bytes.NewReader(bad), dst); err == nil {
+		t.Fatal("mismatched parameter length accepted")
+	}
+	sameParams(t, "bad-param-length", dst, before)
+
+	// And a full mismatch error (different dim) still leaves dst alone.
+	other, err := engine.NewEnv(engine.EnvConfig{
+		Model: func() dlrm.Config {
+			m := tinyModel()
+			m.EmbeddingDim = 16
+			return m
+		}(),
+		System:     hw.DefaultSystem(),
+		Class:      trace.Medium,
+		Seed:       29,
+		Functional: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherBefore := snapshotParams(other)
+	if err := Load(bytes.NewReader(data), other); err == nil {
+		t.Fatal("mismatched checkpoint accepted")
+	}
+	sameParams(t, "shape-mismatch", other, otherBefore)
+}

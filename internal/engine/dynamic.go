@@ -6,6 +6,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/embed"
+	"repro/internal/hw"
 	"repro/internal/par"
 	"repro/internal/shard"
 	"repro/internal/tensor"
@@ -56,6 +57,24 @@ type dynamicState struct {
 	reshardNext   int
 	loadSnap      []int64
 	migrationSecs float64
+
+	// Fault-injection state (fault.go): pristineTopo is the restore
+	// source for link heals, faultNext cursors the sorted schedule,
+	// heals holds struck link events awaiting their heal iteration,
+	// deadHosts accumulates host deaths, and partitions counts active
+	// link partitions (the managers run degraded while > 0).
+	// downtimeSecs/recoverySecs/ckptSecs feed Report.Downtime/
+	// RecoveryTime/CheckpointTime; lastCkpt is the iteration of the
+	// most recent priced checkpoint flush (-1 before the first).
+	pristineTopo *hw.Topology
+	faultNext    int
+	heals        []hw.FaultEvent
+	deadHosts    map[int]bool
+	partitions   int
+	downtimeSecs float64
+	recoverySecs float64
+	ckptSecs     float64
+	lastCkpt     int
 }
 
 // spJob is the per-mini-batch pipeline state (core.Job).
@@ -109,8 +128,15 @@ func newDynamicState(env *Env, cacheFrac float64, policy cache.PolicyKind, past,
 	if slots < 1 {
 		slots = 1
 	}
-	d := &dynamicState{env: env, cost: costModel{env: env}, pool: env.Pool, hazard: hazard, gpus: 1}
-	elastic := env.Cfg.Reshard.Active()
+	d := &dynamicState{env: env, cost: costModel{env: env}, pool: env.Pool, hazard: hazard, gpus: 1, lastCkpt: -1}
+	if env.Cfg.Faults.Active() {
+		d.pristineTopo = env.Cfg.Topology.Clone()
+		d.deadHosts = make(map[int]bool)
+	}
+	// Fault injection rides on the reshard machinery (evacuation is the
+	// same-S corner of it), so an active fault plan also builds the
+	// managers elastic.
+	elastic := env.Cfg.Reshard.Active() || env.Cfg.Faults.Active()
 	if elastic && env.Cfg.Reshard.MaxShards() > 1 && policy != cache.LRU {
 		return nil, fmt.Errorf("engine: reshard schedule reaching %d shards requires the %q policy, got %q",
 			env.Cfg.Reshard.MaxShards(), cache.LRU, policy)
@@ -590,6 +616,7 @@ func (d *dynamicState) aggregateCacheStats(rep *Report) {
 		rep.Coord.Merge(sp.CoordStats())
 		rep.CoordDivergence.Merge(sp.Divergence())
 		rep.Resharding.Merge(sp.ReshardStats())
+		rep.Evac.Merge(sp.EvacStats())
 	}
 	if len(d.sps) > 0 {
 		rep.CoordMode = string(d.sps[0].CoordMode())
@@ -598,6 +625,10 @@ func (d *dynamicState) aggregateCacheStats(rep *Report) {
 	if d.env.Cfg.Reshard.Active() && len(d.sps) > 0 {
 		rep.FinalShards = d.sps[0].Shards()
 	}
+	rep.Downtime = d.downtimeSecs
+	rep.RecoveryTime = d.recoverySecs
+	rep.CheckpointTime = d.ckptSecs
+	rep.LostResidency = rep.Evac.LostResident
 }
 
 func maxf(a, b float64) float64 {

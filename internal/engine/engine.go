@@ -115,6 +115,23 @@ type EnvConfig struct {
 	// spec disables elasticity. Reaching more than one shard requires
 	// the LRU policy.
 	Reshard ReshardSpec
+	// Faults is the deterministic fault-injection schedule for the
+	// dynamic-cache engines (hw.ParseFaultPlan's -fail grammar): host
+	// deaths evacuate their shards to the survivors, link partitions
+	// degrade coordination to the approx protocol until heal, and
+	// aggregator losses trigger priced re-elections — all between
+	// Plans, with the pipeline never draining. An active plan requires
+	// a multi-host Topology; the zero plan is guaranteed not to perturb
+	// a run in any way (bit-identical to the fault-free tree). The
+	// recovery bill surfaces as Report.Downtime / RecoveryTime /
+	// LostResidency / Availability.
+	Faults hw.FaultPlan
+	// CkptInterval prices a periodic scratchpad checkpoint flush every
+	// this many iterations (0 disables): resident rows stream to stable
+	// storage (Report.CheckpointTime), and a host death then restores
+	// residency from the last flush instead of dropping it cold — the
+	// knob trades per-interval flush cost against recovery point.
+	CkptInterval int
 }
 
 // Env is the shared substrate an engine trains on: the batch stream and,
@@ -168,6 +185,17 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		if err := cfg.Topology.Validate(); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.CkptInterval < 0 {
+		return nil, fmt.Errorf("engine: CkptInterval %d < 0", cfg.CkptInterval)
+	}
+	if cfg.Faults.Active() {
+		if err := cfg.Faults.Validate(cfg.Topology); err != nil {
+			return nil, err
+		}
+		// The engines mutate the topology while applying fault events;
+		// a private clone keeps the caller's graph pristine.
+		cfg.Topology = cfg.Topology.Clone()
 	}
 	gen, err := trace.NewGenerator(trace.GeneratorConfig{
 		NumTables:    cfg.Model.NumTables,
@@ -277,6 +305,33 @@ type Report struct {
 	// reported only under an active reshard schedule (0 otherwise), so
 	// load-policy growth is observable.
 	FinalShards int
+	// Downtime totals the modeled service-outage time of the run's
+	// fault schedule: the failure-detection window charged per
+	// service-affecting strike. Episodic like MigrationTime — added to
+	// Wall, excluded from IterTime; zero without faults.
+	Downtime float64
+	// RecoveryTime totals the modeled repair bill: evacuation
+	// transfers, stamp re-syncs on partition heal, aggregator
+	// re-elections, and (with checkpointing) recovery-point replay.
+	// Episodic; zero without faults.
+	RecoveryTime float64
+	// CheckpointTime totals the periodic scratchpad checkpoint flushes
+	// (CkptInterval's per-interval price; zero when disabled).
+	// Episodic; counts as available time — the fleet keeps serving
+	// while it flushes.
+	CheckpointTime float64
+	// LostResidency counts scratchpad entries dropped with their dead
+	// hosts (Evac.LostResident): no wire cost at the fault, repriced as
+	// the cold misses that later refill them.
+	LostResidency int64
+	// Evac totals the run's host-evacuation activity across tables
+	// (shard.EvacStats; the zero value without host deaths).
+	// Evac.Seconds is included in RecoveryTime.
+	Evac shard.EvacStats
+	// Availability is the fraction of total wall time the fleet was
+	// serving: 1 - (Downtime+RecoveryTime)/Wall. Exactly 1 for
+	// fault-free runs.
+	Availability float64
 	// CPUBusy/GPUBusy are average per-iteration device-active times for
 	// the energy model (Figure 14).
 	CPUBusy float64

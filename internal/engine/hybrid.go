@@ -106,4 +106,7 @@ func finalizeAverages(rep *Report, n int, lossSum float64) {
 		rep.StageAvg[s] /= fn
 	}
 	rep.AvgLoss = lossSum / fn
+	// Fault-free engines are fully available; the dynamic-cache engines
+	// recompute this after adding their episodic outage time to Wall.
+	rep.Availability = 1
 }

@@ -237,6 +237,11 @@ func (s *ScratchPipe) Run(n int) (*Report, error) {
 		if err := s.dyn.maybeReshard(it); err != nil {
 			return nil, err
 		}
+		// Fault events fire at the same boundary: detection, evacuation
+		// and recovery happen with batches still in flight.
+		if err := s.dyn.maybeFault(it, rep.Wall); err != nil {
+			return nil, err
+		}
 		if err := runCycle(s.dyn.newJob(s.loader, s.opts.FutureWindow, s.loader.Ahead())); err != nil {
 			return nil, err
 		}
@@ -249,9 +254,13 @@ func (s *ScratchPipe) Run(n int) (*Report, error) {
 
 	s.dyn.aggregateCacheStats(rep)
 	finalizeAverages(rep, n, lossSum)
-	// Migration stalls are episodic: they extend the run's wall time
-	// but are kept out of the steady-state iteration average.
-	rep.Wall += rep.MigrationTime
+	// Migration, fault and checkpoint stalls are episodic: they extend
+	// the run's wall time but are kept out of the steady-state
+	// iteration average.
+	rep.Wall += rep.MigrationTime + rep.Downtime + rep.RecoveryTime + rep.CheckpointTime
+	if rep.Wall > 0 {
+		rep.Availability = 1 - (rep.Downtime+rep.RecoveryTime)/rep.Wall
+	}
 	if steadyCycles > 0 {
 		rep.IterTime = steadyTime / float64(steadyCycles)
 		rep.CycleStats = cycleSeries.Summarize()

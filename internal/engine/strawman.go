@@ -54,6 +54,9 @@ func (s *StrawMan) Run(n int) (*Report, error) {
 		if err := s.dyn.maybeReshard(it); err != nil {
 			return nil, err
 		}
+		if err := s.dyn.maybeFault(it, rep.Wall); err != nil {
+			return nil, err
+		}
 		job := s.dyn.newJob(s.loader, 0, 0)
 		if err := s.dyn.stagePlan(job); err != nil {
 			return nil, err
@@ -90,9 +93,13 @@ func (s *StrawMan) Run(n int) (*Report, error) {
 	}
 	s.dyn.aggregateCacheStats(rep)
 	finalizeAverages(rep, n, lossSum)
-	// Migration stalls are episodic: they extend wall time but stay out
-	// of the per-iteration average (finalizeAverages already divided).
-	rep.Wall += rep.MigrationTime
+	// Migration, fault and checkpoint stalls are episodic: they extend
+	// wall time but stay out of the per-iteration average
+	// (finalizeAverages already divided).
+	rep.Wall += rep.MigrationTime + rep.Downtime + rep.RecoveryTime + rep.CheckpointTime
+	if rep.Wall > 0 {
+		rep.Availability = 1 - (rep.Downtime+rep.RecoveryTime)/rep.Wall
+	}
 	// Attribute the Figure 5-style buckets: cache management touching
 	// CPU memory counts as CPU embedding time.
 	rep.CPUEmbFwd = rep.StageAvg[core.StagePlan] + rep.StageAvg[core.StageCollect] + rep.StageAvg[core.StageExchange]

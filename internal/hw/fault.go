@@ -1,0 +1,400 @@
+// FaultPlan is the deterministic failure schedule: which hosts die,
+// which links partition or degrade, and which per-host aggregators are
+// lost, each pinned to an iteration index. At the fleet sizes the Acun
+// et al. scaling study operates ("Understanding Training Efficiency of
+// DLRM at Scale"), hardware faults are a daily operating condition, not
+// an exception — so the failure model is scheduled and replayable, the
+// same way the trace generator seeds query streams: the identical plan
+// against the identical run produces the identical recovery bill.
+//
+// The plan is pure data; it never mutates anything by itself. The
+// engine owns a live clone of the run's Topology (Clone), walks the
+// event list between Plans, and applies each event through the
+// mutators below (SetHostLinksDown, DegradeHostLinks,
+// RestoreHostLinks). Host deaths re-home shards via
+// EvacuatePlacement, which the shard manager's migration machinery
+// then prices like any other reshard.
+
+package hw
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FaultKind classifies a scheduled fault event.
+type FaultKind uint8
+
+const (
+	// FaultHostDown kills every node on one host permanently: its
+	// shards must evacuate and their scratchpad residency is lost.
+	FaultHostDown FaultKind = iota
+	// FaultLinkDown partitions every link between two hosts (optionally
+	// healing later): coordination across the cut degrades until heal.
+	FaultLinkDown
+	// FaultLinkDegraded multiplies the latency and divides the
+	// bandwidth of every link between two hosts by Factor (optionally
+	// healing later): the links stay up but everything crossing them
+	// pays more.
+	FaultLinkDegraded
+	// FaultAggLoss kills one host's coordination aggregator process
+	// while the host itself survives: the hierarchical protocols must
+	// re-elect before the next sweep.
+	FaultAggLoss
+)
+
+// String returns the kind's short name.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultHostDown:
+		return "host-down"
+	case FaultLinkDown:
+		return "link-down"
+	case FaultLinkDegraded:
+		return "link-degraded"
+	case FaultAggLoss:
+		return "agg-loss"
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// DefaultDegradeFactor is the link-degradation multiplier when a
+// degrade event omits the x<F> suffix: latency x4, bandwidth /4 —
+// roughly one oversubscribed switch hop's worth of damage.
+const DefaultDegradeFactor = 4
+
+// FaultEvent is one scheduled fault. Events fire at the iteration
+// boundary before Iter's Plan (the same between-Plans instant the
+// elastic reshard schedule uses), so the pipeline never observes a
+// half-applied fault.
+type FaultEvent struct {
+	// Iter is the 1-based iteration before which the fault strikes.
+	Iter int64
+	// Kind classifies the event.
+	Kind FaultKind
+	// Host is the stricken host (FaultHostDown, FaultAggLoss) or the
+	// lower endpoint of the stricken host pair (link events).
+	Host int
+	// HostB is the higher endpoint of the host pair for link events.
+	HostB int
+	// Heal, when nonzero, is the iteration before which a link event
+	// un-applies (partition heals, degradation lifts). Zero means the
+	// fault persists to the end of the run. Host deaths never heal.
+	Heal int64
+	// Factor is the FaultLinkDegraded multiplier (>1).
+	Factor float64
+}
+
+// String renders the event in the -fail grammar.
+func (e FaultEvent) String() string {
+	switch e.Kind {
+	case FaultHostDown:
+		return fmt.Sprintf("host%d@%d", e.Host, e.Iter)
+	case FaultAggLoss:
+		return fmt.Sprintf("agg%d@%d", e.Host, e.Iter)
+	case FaultLinkDown:
+		s := fmt.Sprintf("link:host%d-host%d@%d", e.Host, e.HostB, e.Iter)
+		if e.Heal > 0 {
+			s += fmt.Sprintf("-%d", e.Heal)
+		}
+		return s
+	case FaultLinkDegraded:
+		s := fmt.Sprintf("degrade:host%d-host%d@%d", e.Host, e.HostB, e.Iter)
+		if e.Heal > 0 {
+			s += fmt.Sprintf("-%d", e.Heal)
+		}
+		return s + fmt.Sprintf("x%g", e.Factor)
+	}
+	return e.Kind.String()
+}
+
+// FaultPlan is a deterministic, replayable fault schedule: the events,
+// sorted by iteration. The zero value is the no-fault plan and is
+// guaranteed not to perturb a run in any way.
+type FaultPlan struct {
+	// Events holds the schedule in ascending Iter order.
+	Events []FaultEvent
+}
+
+// Active reports whether the plan schedules any fault.
+func (p FaultPlan) Active() bool { return len(p.Events) > 0 }
+
+// String renders the plan in canonical -fail grammar (events in
+// schedule order), "" for the empty plan. The canonical form is what
+// benchmark baselines record and match on.
+func (p FaultPlan) String() string {
+	if !p.Active() {
+		return ""
+	}
+	parts := make([]string, len(p.Events))
+	for i, e := range p.Events {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// FaultGrammar documents the -fail event forms for usage errors.
+const FaultGrammar = "host<H>@<I>, agg<H>@<I>, link:host<A>-host<B>@<I>[-<J>], degrade:host<A>-host<B>@<I>[-<J>][x<F>]"
+
+// ParseFaultPlan parses a comma-separated fault schedule, e.g.
+//
+//	host1@300,link:host0-host1@500
+//
+// Event forms (H, A, B are host indices; I the strike iteration):
+//
+//	host<H>@<I>                          host H dies permanently
+//	agg<H>@<I>                           host H's aggregator is lost
+//	link:host<A>-host<B>@<I>[-<J>]       A-B links partition, heal at J
+//	degrade:host<A>-host<B>@<I>[-<J>][x<F>]  A-B links degrade by F
+//
+// Events are sorted by iteration; "" parses as the empty (no-fault)
+// plan. Host existence is checked later against the run's topology by
+// Validate, so a plan can be parsed before the topology is chosen.
+func ParseFaultPlan(s string) (FaultPlan, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return FaultPlan{}, nil
+	}
+	var plan FaultPlan
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			return FaultPlan{}, fmt.Errorf("hw: empty fault event in %q", s)
+		}
+		e, err := parseFaultEvent(tok)
+		if err != nil {
+			return FaultPlan{}, err
+		}
+		plan.Events = append(plan.Events, e)
+	}
+	sort.SliceStable(plan.Events, func(i, j int) bool {
+		return plan.Events[i].Iter < plan.Events[j].Iter
+	})
+	return plan, nil
+}
+
+// parseFaultEvent parses one event token of the -fail grammar.
+func parseFaultEvent(tok string) (FaultEvent, error) {
+	bad := func() (FaultEvent, error) {
+		return FaultEvent{}, fmt.Errorf("hw: bad fault event %q (want %s)", tok, FaultGrammar)
+	}
+	switch {
+	case strings.HasPrefix(tok, "link:"), strings.HasPrefix(tok, "degrade:"):
+		kind, body := FaultLinkDown, strings.TrimPrefix(tok, "link:")
+		if strings.HasPrefix(tok, "degrade:") {
+			kind, body = FaultLinkDegraded, strings.TrimPrefix(tok, "degrade:")
+		}
+		pair, when, ok := strings.Cut(body, "@")
+		if !ok {
+			return bad()
+		}
+		var a, b int
+		if _, err := fmt.Sscanf(pair, "host%d-host%d", &a, &b); err != nil ||
+			pair != fmt.Sprintf("host%d-host%d", a, b) {
+			return bad()
+		}
+		if a == b {
+			return FaultEvent{}, fmt.Errorf("hw: fault event %q: link endpoints must differ", tok)
+		}
+		if a > b {
+			a, b = b, a
+		}
+		e := FaultEvent{Kind: kind, Host: a, HostB: b}
+		if kind == FaultLinkDegraded {
+			e.Factor = DefaultDegradeFactor
+			if body, factor, ok := strings.Cut(when, "x"); ok {
+				when = body
+				if _, err := fmt.Sscanf(factor, "%g", &e.Factor); err != nil ||
+					factor != fmt.Sprintf("%g", e.Factor) {
+					return bad()
+				}
+				if e.Factor <= 1 {
+					return FaultEvent{}, fmt.Errorf("hw: fault event %q: degrade factor must exceed 1", tok)
+				}
+			}
+		}
+		strike, heal, hasHeal := strings.Cut(when, "-")
+		if _, err := fmt.Sscanf(strike, "%d", &e.Iter); err != nil ||
+			strike != fmt.Sprintf("%d", e.Iter) || e.Iter < 1 {
+			return bad()
+		}
+		if hasHeal {
+			if _, err := fmt.Sscanf(heal, "%d", &e.Heal); err != nil ||
+				heal != fmt.Sprintf("%d", e.Heal) {
+				return bad()
+			}
+			if e.Heal <= e.Iter {
+				return FaultEvent{}, fmt.Errorf("hw: fault event %q: heal iteration must follow the strike", tok)
+			}
+		}
+		return e, nil
+	case strings.HasPrefix(tok, "host"), strings.HasPrefix(tok, "agg"):
+		kind, format := FaultHostDown, "host%d@%d"
+		if strings.HasPrefix(tok, "agg") {
+			kind, format = FaultAggLoss, "agg%d@%d"
+		}
+		var h int
+		var it int64
+		if _, err := fmt.Sscanf(tok, format, &h, &it); err != nil ||
+			tok != fmt.Sprintf(format, h, it) {
+			return bad()
+		}
+		if it < 1 {
+			return bad()
+		}
+		return FaultEvent{Kind: kind, Host: h, Iter: it}, nil
+	}
+	return bad()
+}
+
+// Validate reports a descriptive error when the plan cannot run on
+// topo: an event addressed to a host the topology does not have, a
+// duplicate kill of the same host, or a schedule that leaves no host
+// alive. A nil topology only accepts the empty plan (faults need a
+// multi-host fleet to strike).
+func (p FaultPlan) Validate(topo *Topology) error {
+	if !p.Active() {
+		return nil
+	}
+	if topo == nil {
+		return fmt.Errorf("hw: fault plan %q needs a multi-host topology", p.String())
+	}
+	hosts := make(map[int]struct{}, len(topo.Nodes))
+	for _, n := range topo.Nodes {
+		hosts[n.Host] = struct{}{}
+	}
+	has := func(h int) bool { _, ok := hosts[h]; return ok }
+	dead := make(map[int]struct{})
+	for _, e := range p.Events {
+		if !has(e.Host) {
+			return fmt.Errorf("hw: fault event %s: topology %q has no host %d",
+				e.String(), topo.Name, e.Host)
+		}
+		switch e.Kind {
+		case FaultHostDown:
+			if _, gone := dead[e.Host]; gone {
+				return fmt.Errorf("hw: fault event %s: host %d is already dead", e.String(), e.Host)
+			}
+			dead[e.Host] = struct{}{}
+		case FaultLinkDown, FaultLinkDegraded:
+			if !has(e.HostB) {
+				return fmt.Errorf("hw: fault event %s: topology %q has no host %d",
+					e.String(), topo.Name, e.HostB)
+			}
+		}
+	}
+	if len(dead) >= len(hosts) {
+		return fmt.Errorf("hw: fault plan %q kills all %d hosts; at least one must survive",
+			p.String(), len(hosts))
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the topology: the engine mutates the
+// clone when applying fault events so the caller's pristine graph
+// stays intact (and serves as the restore source on heal).
+func (t *Topology) Clone() *Topology {
+	c := &Topology{
+		Name:  t.Name,
+		Nodes: append([]Node(nil), t.Nodes...),
+		links: append([]Link(nil), t.links...),
+	}
+	return c
+}
+
+// hostPairs calls fn for every unordered node pair spanning hosts a
+// and b (in either orientation).
+func (t *Topology) hostPairs(a, b int, fn func(i, j int)) {
+	for i := 0; i < len(t.Nodes); i++ {
+		for j := i + 1; j < len(t.Nodes); j++ {
+			hi, hj := t.Nodes[i].Host, t.Nodes[j].Host
+			if (hi == a && hj == b) || (hi == b && hj == a) {
+				fn(i, j)
+			}
+		}
+	}
+}
+
+// SetHostLinksDown marks every link between hosts a and b as down (or
+// back up). A down link's calibration is preserved; consumers that
+// price traffic skip it the way they skip TierLocal, because no
+// message crosses a partition.
+func (t *Topology) SetHostLinksDown(a, b int, down bool) {
+	t.hostPairs(a, b, func(i, j int) {
+		l := t.Link(i, j)
+		l.Down = down
+		t.SetLink(i, j, l)
+	})
+}
+
+// DegradeHostLinks multiplies the latency and divides the bandwidth of
+// every link between hosts a and b by factor, so everything crossing
+// the pair — coordination rounds, migration bytes — pays the damage
+// through the ordinary pricing paths.
+func (t *Topology) DegradeHostLinks(a, b int, factor float64) {
+	t.hostPairs(a, b, func(i, j int) {
+		l := t.Link(i, j)
+		if l.Tier == TierLocal {
+			return
+		}
+		l.Latency *= factor
+		l.Bandwidth /= factor
+		t.SetLink(i, j, l)
+	})
+}
+
+// RestoreHostLinks copies every link between hosts a and b from src
+// (the pristine pre-fault clone), healing a partition or lifting a
+// degradation.
+func (t *Topology) RestoreHostLinks(src *Topology, a, b int) {
+	t.hostPairs(a, b, func(i, j int) {
+		t.SetLink(i, j, src.Link(i, j))
+	})
+}
+
+// EvacuatePlacement re-homes every shard assigned to a dead host onto
+// the surviving nodes: survivors keep their assignment untouched (no
+// gratuitous migration), evacuees go greedily to the least-loaded
+// surviving node, ties toward the lower node index — deterministic,
+// like every placement decision. It errors when no node survives.
+func EvacuatePlacement(p Placement, hostDead func(host int) bool) (Placement, error) {
+	if p.Topo == nil || len(p.Node) == 0 {
+		return p, nil
+	}
+	deadNode := func(n int) bool { return hostDead(p.Topo.Nodes[n].Host) }
+	load := make([]int, p.Topo.NumNodes())
+	moved := false
+	for _, n := range p.Node {
+		if !deadNode(n) {
+			load[n]++
+		} else {
+			moved = true
+		}
+	}
+	if !moved {
+		return p, nil
+	}
+	node := append([]int(nil), p.Node...)
+	for j, n := range node {
+		if !deadNode(n) {
+			continue
+		}
+		best := -1
+		for k := 0; k < len(load); k++ {
+			if deadNode(k) {
+				continue
+			}
+			if best < 0 || load[k] < load[best] {
+				best = k
+			}
+		}
+		if best < 0 {
+			return Placement{}, fmt.Errorf("hw: evacuation of shard %d: no surviving node in topology %q",
+				j, p.Topo.Name)
+		}
+		node[j] = best
+		load[best]++
+	}
+	return Placement{Topo: p.Topo, Node: node, Policy: p.Policy}, nil
+}

@@ -1,0 +1,195 @@
+package hw
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParseFaultPlan pins the -fail grammar, its canonical String
+// rendering, and its rejections.
+func TestParseFaultPlan(t *testing.T) {
+	good := []struct {
+		in, canon string
+		plan      FaultPlan
+	}{
+		{"", "", FaultPlan{}},
+		{"host1@300", "host1@300", FaultPlan{Events: []FaultEvent{
+			{Kind: FaultHostDown, Host: 1, Iter: 300}}}},
+		{"agg0@25", "agg0@25", FaultPlan{Events: []FaultEvent{
+			{Kind: FaultAggLoss, Host: 0, Iter: 25}}}},
+		{"link:host0-host1@500", "link:host0-host1@500", FaultPlan{Events: []FaultEvent{
+			{Kind: FaultLinkDown, Host: 0, HostB: 1, Iter: 500}}}},
+		{"link:host1-host0@10-20", "link:host0-host1@10-20", FaultPlan{Events: []FaultEvent{
+			{Kind: FaultLinkDown, Host: 0, HostB: 1, Iter: 10, Heal: 20}}}},
+		{"degrade:host0-host1@5", "degrade:host0-host1@5x4", FaultPlan{Events: []FaultEvent{
+			{Kind: FaultLinkDegraded, Host: 0, HostB: 1, Iter: 5, Factor: DefaultDegradeFactor}}}},
+		{"degrade:host0-host1@5-9x2.5", "degrade:host0-host1@5-9x2.5", FaultPlan{Events: []FaultEvent{
+			{Kind: FaultLinkDegraded, Host: 0, HostB: 1, Iter: 5, Heal: 9, Factor: 2.5}}}},
+		// The ISSUE example, plus sorting by iteration.
+		{"host1@300,link:host0-host1@500", "host1@300,link:host0-host1@500", FaultPlan{Events: []FaultEvent{
+			{Kind: FaultHostDown, Host: 1, Iter: 300},
+			{Kind: FaultLinkDown, Host: 0, HostB: 1, Iter: 500}}}},
+		{"link:host0-host1@500, host1@300", "host1@300,link:host0-host1@500", FaultPlan{Events: []FaultEvent{
+			{Kind: FaultHostDown, Host: 1, Iter: 300},
+			{Kind: FaultLinkDown, Host: 0, HostB: 1, Iter: 500}}}},
+	}
+	for _, tc := range good {
+		plan, err := ParseFaultPlan(tc.in)
+		if err != nil {
+			t.Fatalf("ParseFaultPlan(%q): %v", tc.in, err)
+		}
+		if !reflect.DeepEqual(plan, tc.plan) {
+			t.Fatalf("ParseFaultPlan(%q) = %+v, want %+v", tc.in, plan, tc.plan)
+		}
+		if got := plan.String(); got != tc.canon {
+			t.Fatalf("ParseFaultPlan(%q).String() = %q, want %q", tc.in, got, tc.canon)
+		}
+		if reparsed, err := ParseFaultPlan(plan.String()); err != nil || !reflect.DeepEqual(reparsed, plan) {
+			t.Fatalf("String round-trip of %q failed: %+v, %v", tc.in, reparsed, err)
+		}
+	}
+	bad := []string{
+		"abc", "host1", "host1@", "host1@0", "host1@-3", "hostx@5",
+		"agg@5", "agg1@0", "host1@300,,host0@400",
+		"link:host0@5", "link:host0-host0@5", "link:host0-host1@0",
+		"link:host0-host1@10-10", "link:host0-host1@10-5",
+		"degrade:host0-host1@5x1", "degrade:host0-host1@5x0.5",
+		"degrade:host0-host1@5xab",
+	}
+	for _, in := range bad {
+		if _, err := ParseFaultPlan(in); err == nil {
+			t.Fatalf("ParseFaultPlan(%q) accepted", in)
+		}
+	}
+	if (FaultPlan{}).Active() {
+		t.Fatal("zero plan active")
+	}
+}
+
+// TestFaultPlanValidate: events addressed to absent hosts, duplicate
+// kills, and fleet-annihilating schedules are rejected against the
+// concrete topology; the empty plan passes everywhere, including nil.
+func TestFaultPlanValidate(t *testing.T) {
+	topo := Cluster(2, 2) // hosts 0 and 1
+	mustParse := func(s string) FaultPlan {
+		t.Helper()
+		p, err := ParseFaultPlan(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if err := (FaultPlan{}).Validate(nil); err != nil {
+		t.Fatalf("empty plan rejected on nil topology: %v", err)
+	}
+	if err := mustParse("host1@5").Validate(nil); err == nil {
+		t.Fatal("active plan accepted on nil topology")
+	}
+	if err := mustParse("host1@5,link:host0-host1@2-4").Validate(topo); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	for _, s := range []string{
+		"host7@5",            // no such host
+		"agg7@5",             // no such aggregator host
+		"link:host0-host7@5", // link endpoint absent
+		"host1@5,host1@9",    // duplicate kill
+		"host0@5,host1@9",    // nobody left alive
+	} {
+		if err := mustParse(s).Validate(topo); err == nil {
+			t.Fatalf("Validate(%q) accepted on %s", s, topo.Name)
+		}
+	}
+}
+
+// TestTopologyClone: the clone is deep — mutating its links must not
+// touch the original.
+func TestTopologyClone(t *testing.T) {
+	topo := Cluster(2, 2)
+	clone := topo.Clone()
+	clone.SetHostLinksDown(0, 1, true)
+	for i := 0; i < topo.NumNodes(); i++ {
+		for j := i + 1; j < topo.NumNodes(); j++ {
+			if topo.Link(i, j).Down {
+				t.Fatalf("clone mutation leaked into original link %d-%d", i, j)
+			}
+		}
+	}
+	if !clone.Link(0, 2).Down {
+		t.Fatal("clone's cross-host link not marked down")
+	}
+}
+
+// TestHostLinkMutators: partition marks exactly the cross-host pairs
+// down, degrade reprices them, and restore heals both back to the
+// pristine calibration.
+func TestHostLinkMutators(t *testing.T) {
+	pristine := Cluster(2, 2)
+	topo := pristine.Clone()
+
+	topo.SetHostLinksDown(0, 1, true)
+	for i := 0; i < topo.NumNodes(); i++ {
+		for j := i + 1; j < topo.NumNodes(); j++ {
+			cross := topo.Nodes[i].Host != topo.Nodes[j].Host
+			if got := topo.Link(i, j).Down; got != cross {
+				t.Fatalf("link %d-%d down=%v, want %v", i, j, got, cross)
+			}
+		}
+	}
+	topo.RestoreHostLinks(pristine, 0, 1)
+	if !reflect.DeepEqual(topo, pristine) {
+		t.Fatal("restore after partition did not recover the pristine topology")
+	}
+
+	topo.DegradeHostLinks(0, 1, 4)
+	base, slow := pristine.Link(0, 2), topo.Link(0, 2)
+	if slow.Latency != base.Latency*4 || slow.Bandwidth != base.Bandwidth/4 {
+		t.Fatalf("degrade x4: latency %g->%g bandwidth %g->%g", base.Latency, slow.Latency, base.Bandwidth, slow.Bandwidth)
+	}
+	if intra := topo.Link(0, 1); intra != pristine.Link(0, 1) {
+		t.Fatalf("degrade touched an intra-host link: %+v", intra)
+	}
+	topo.RestoreHostLinks(pristine, 0, 1)
+	if !reflect.DeepEqual(topo, pristine) {
+		t.Fatal("restore after degrade did not recover the pristine topology")
+	}
+}
+
+// TestEvacuatePlacement: survivors keep their nodes, evacuees land on
+// the least-loaded surviving node deterministically, and a fleet with
+// no survivor errors.
+func TestEvacuatePlacement(t *testing.T) {
+	topo := Cluster(2, 2) // nodes 0,1 on host 0; nodes 2,3 on host 1
+	place := Placement{Topo: topo, Node: []int{0, 1, 2, 3}}
+	dead := func(h int) bool { return h == 1 }
+
+	out, err := EvacuatePlacement(place, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Node, []int{0, 1, 0, 1}) {
+		t.Fatalf("evacuated placement %v, want [0 1 0 1]", out.Node)
+	}
+	if !reflect.DeepEqual(place.Node, []int{0, 1, 2, 3}) {
+		t.Fatal("evacuation mutated the input placement")
+	}
+
+	// Nothing on the dead host: the placement comes back unchanged (no
+	// gratuitous migration), same backing slice and all.
+	idle := Placement{Topo: topo, Node: []int{0, 1, 0, 1}}
+	out, err = EvacuatePlacement(idle, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, idle) {
+		t.Fatalf("idle-host evacuation changed the placement: %v", out.Node)
+	}
+
+	// Zero placements (co-located runs) pass through untouched.
+	if out, err := EvacuatePlacement(Placement{}, dead); err != nil || out.Topo != nil {
+		t.Fatalf("zero placement: %+v, %v", out, err)
+	}
+
+	if _, err := EvacuatePlacement(place, func(int) bool { return true }); err == nil {
+		t.Fatal("evacuation with no surviving host accepted")
+	}
+}

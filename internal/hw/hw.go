@@ -86,6 +86,10 @@ type Link struct {
 	// FullDuplex reports whether simultaneous transfers in opposite
 	// directions proceed at full bandwidth each (PCIe and NVLink do).
 	FullDuplex bool
+	// Down marks a partitioned link (see FaultPlan): the calibration is
+	// preserved for the heal, but no traffic crosses and consumers skip
+	// it when pricing.
+	Down bool
 }
 
 // System is the full platform: one CPU socket, NumGPUs GPUs, a CPU-GPU PCIe

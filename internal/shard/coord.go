@@ -80,6 +80,9 @@ type CoordStats struct {
 	TouchStampBytes float64
 	// BorrowBytes is the free-slot borrowing traffic.
 	BorrowBytes float64
+	// ReelectBytes is the aggregator re-election traffic after a fault
+	// (see failure.go): votes plus the result announcement.
+	ReelectBytes float64
 
 	// Per-pattern message-round counts: every cross-node round trip is
 	// tallied in exactly one of these, so mode comparisons can report
@@ -89,6 +92,7 @@ type CoordStats struct {
 	SlotMoveRounds  int64
 	StampSyncRounds int64
 	BorrowRounds    int64
+	ReelectRounds   int64
 
 	// Messages counts all cross-node message round trips.
 	Messages int64
@@ -98,7 +102,7 @@ type CoordStats struct {
 
 // Bytes returns the total coordination payload.
 func (s CoordStats) Bytes() float64 {
-	return s.VictimMergeBytes + s.TouchStampBytes + s.BorrowBytes
+	return s.VictimMergeBytes + s.TouchStampBytes + s.BorrowBytes + s.ReelectBytes
 }
 
 // Merge adds another manager's lifetime traffic into s (the engines sum
@@ -107,11 +111,13 @@ func (s *CoordStats) Merge(o CoordStats) {
 	s.VictimMergeBytes += o.VictimMergeBytes
 	s.TouchStampBytes += o.TouchStampBytes
 	s.BorrowBytes += o.BorrowBytes
+	s.ReelectBytes += o.ReelectBytes
 	s.PollRounds += o.PollRounds
 	s.ConfirmRounds += o.ConfirmRounds
 	s.SlotMoveRounds += o.SlotMoveRounds
 	s.StampSyncRounds += o.StampSyncRounds
 	s.BorrowRounds += o.BorrowRounds
+	s.ReelectRounds += o.ReelectRounds
 	s.Messages += o.Messages
 	s.Seconds += o.Seconds
 }
@@ -401,7 +407,11 @@ func (c *coordMeter) finishPlan() float64 {
 	var t float64
 	for _, u := range c.touched {
 		l := c.place.Topo.Link(int(u.a), int(u.b))
-		if l.Tier != hw.TierLocal {
+		// A down link prices at zero like a local one: no message
+		// crosses a partition — the rounds stay counted (the protocol
+		// sent them; they queue), and the stale state they failed to
+		// deliver is what degraded-mode divergence measures.
+		if l.Tier != hw.TierLocal && !l.Down {
 			t += float64(c.rounds[u.idx])*l.Latency + c.bytes[u.idx]/l.Bandwidth
 		}
 		c.bytes[u.idx] = 0

@@ -196,7 +196,9 @@ func (a *migAccum) move(from, to int32, changedShard bool, n int64, unit float64
 func (a *migAccum) price() (secs float64, rounds int64, bytes float64) {
 	for _, u := range a.touched {
 		l := a.topo.Link(int(u.a), int(u.b))
-		if l.Tier == hw.TierLocal {
+		if l.Tier == hw.TierLocal || l.Down {
+			// Local transfers are free; a partitioned link carries no
+			// migration (evacuation routes over the survivors).
 			continue
 		}
 		payload := a.bytes[u.idx] + migHeaderBytes

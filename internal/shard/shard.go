@@ -269,6 +269,16 @@ type Manager struct {
 	resharding  ReshardStats
 	lastReshard float64
 
+	// Failure state (see failure.go): degraded marks partition-mode
+	// approx coordination (preMode/preQuantum restore on Heal); evac
+	// totals host-evacuation activity and lastEvac the most recent
+	// event's modeled recovery-transfer latency.
+	degraded   bool
+	preMode    CoordMode
+	preQuantum uint64
+	evac       EvacStats
+	lastEvac   float64
+
 	shards []shardState
 	// meta/next/prev are global per-slot arrays. A slot belongs to
 	// exactly one shard at a time (the one whose ID occupies it), so
@@ -441,12 +451,14 @@ func (m *Manager) CoordMode() CoordMode { return m.mode }
 // (1 in every exact-order mode).
 func (m *Manager) CoordQuantum() int { return int(m.quantum) }
 
-// Divergence reports how far approx mode's eviction behaviour drifted
-// from the exact global LRU, measured against the shadow planner; the
-// zero value outside approx mode (exact-order modes cannot diverge).
+// Divergence reports how far approximate eviction behaviour drifted
+// from the exact global LRU: measured against the shadow planner in
+// native approx mode, and inline (quantized victim pick vs raw-stamp
+// pick) while a partition has the manager degraded (see failure.go).
+// The zero value outside both (exact-order modes cannot diverge).
 func (m *Manager) Divergence() Divergence {
 	if m.shadow == nil {
-		return Divergence{}
+		return m.div
 	}
 	d := m.div
 	st, ss := m.stats, m.shadow.Stats()
@@ -675,11 +687,24 @@ func (m *Manager) olderStamp(a, b int32) bool {
 // or (-1, -1) when every shard is exhausted.
 func (m *Manager) victim() (int32, int) {
 	best, bestShard := nilSlot, -1
+	rawBest := nilSlot
 	for j := 0; j < m.nshards; j++ {
 		c := m.shardCand(j)
-		if c >= 0 && (best < 0 || m.olderStamp(c, best)) {
+		if c < 0 {
+			continue
+		}
+		if best < 0 || m.olderStamp(c, best) {
 			best, bestShard = c, j
 		}
+		if m.degraded && (rawBest < 0 || m.meta[c].stamp < m.meta[rawBest].stamp) {
+			rawBest = c
+		}
+	}
+	if m.degraded && best >= 0 && best != rawBest {
+		// Inline divergence metering for partition-mode approx: the
+		// quantized merge picked a different victim than the raw-stamp
+		// merge would have — one substitution in the eviction sequence.
+		m.div.EditDistance++
 	}
 	if best >= 0 {
 		m.shards[bestShard].candHead++
@@ -1090,6 +1115,15 @@ func (m *Manager) PlanUniqueWithHints(seq int, uniq []int64, counts []int32, fut
 		m.div.ApproxEvictions += int64(len(res.Evictions))
 		m.div.ExactEvictions += int64(len(sres.Evictions))
 		m.shadow.Recycle(sres)
+	}
+
+	if m.degraded {
+		// Partition-mode divergence accounting (both planners see the
+		// same Plan, so the eviction counts agree; the edit distance
+		// accumulated per differing victim pick in the merge).
+		m.div.Plans++
+		m.div.ApproxEvictions += int64(len(res.Evictions))
+		m.div.ExactEvictions += int64(len(res.Evictions))
 	}
 
 	m.stats.Planned++

@@ -148,6 +148,26 @@ type ReshardStats = shard.ReshardStats
 // growth), or a combination ("200:4,load:8").
 func ParseReshardSpec(s string) (ReshardSpec, error) { return engine.ParseReshardSpec(s) }
 
+// FaultPlan is a deterministic fault-injection schedule (see
+// hw.FaultPlan): host deaths, link partitions/degradations, and
+// aggregator losses pinned to iteration indices. The zero plan is
+// guaranteed not to perturb a run.
+type FaultPlan = hw.FaultPlan
+
+// FaultEvent is one scheduled fault (see hw.FaultEvent).
+type FaultEvent = hw.FaultEvent
+
+// EvacStats totals a run's host-evacuation activity (see
+// shard.EvacStats); Report.Evac carries the run's totals.
+type EvacStats = shard.EvacStats
+
+// ParseFaultPlan parses the -fail flag grammar: "" (no faults), or a
+// comma-separated schedule like "host1@300,link:host0-host1@500-600",
+// with event forms host<H>@<I>, agg<H>@<I>,
+// link:host<A>-host<B>@<I>[-<J>], and
+// degrade:host<A>-host<B>@<I>[-<J>][x<F>].
+func ParseFaultPlan(s string) (FaultPlan, error) { return hw.ParseFaultPlan(s) }
+
 // PolicyKind selects the scratchpad replacement policy.
 type PolicyKind = cache.PolicyKind
 
@@ -237,6 +257,20 @@ type Config struct {
 	// zero spec disables elasticity; schedules reaching more than one
 	// shard require the LRU policy.
 	Reshard ReshardSpec
+	// Faults schedules deterministic fault injection for the
+	// dynamic-cache engines (ParseFaultPlan's -fail grammar): host
+	// deaths evacuate their shards to surviving hosts, link partitions
+	// degrade coordination to the approx protocol until heal, and
+	// aggregator losses trigger priced re-elections. The recovery bill
+	// surfaces as Report.Downtime / RecoveryTime / LostResidency /
+	// Availability. An active plan requires a multi-host Topology; the
+	// zero plan changes nothing.
+	Faults FaultPlan
+	// CkptInterval prices a periodic scratchpad checkpoint flush every
+	// this many iterations (0 disables): a host death then restores
+	// residency from the last flush (Report.CheckpointTime carries the
+	// flush cost) instead of dropping it cold.
+	CkptInterval int
 }
 
 func (c *Config) applyDefaults() {
@@ -281,6 +315,8 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 		Coord:        cfg.Coord,
 		CoordQuantum: cfg.CoordQuantum,
 		Reshard:      cfg.Reshard,
+		Faults:       cfg.Faults,
+		CkptInterval: cfg.CkptInterval,
 	})
 	if err != nil {
 		return nil, err
