@@ -32,13 +32,14 @@ test:
 # (bench), and the public facade (scratchpipe). The failure-path tests
 # ride along too: hw (fault plans mutating live topologies) and
 # checkpoint (restore staging), plus the shard evacuation and engine
-# fault-orchestration tests already inside the shard/engine runs. Any
-# hold-discipline, shard-partition, or fan-out bug must surface as a
-# race here.
+# fault-orchestration tests already inside the shard/engine runs. The
+# serving fleet (serve) drives the sharded planner per replica and
+# inherits its fan-out machinery. Any hold-discipline, shard-partition,
+# or fan-out bug must surface as a race here.
 race:
 	$(GO) test -race ./internal/par/ ./internal/core/ ./internal/shard/ \
 		./internal/engine/ ./internal/trace/ ./internal/bench/ \
-		./internal/hw/ ./internal/checkpoint/ ./scratchpipe/
+		./internal/hw/ ./internal/checkpoint/ ./internal/serve/ ./scratchpipe/
 
 # Fails on dangling intra-repo documentation references: any *.md that
 # names a file, directory, or package path that no longer exists (see

@@ -33,10 +33,13 @@
 // evacuation, degraded-mode coordination, and priced recovery — and
 // additionally fails on a modeled recovery-seconds regression at the
 // -coord-factor threshold, since the recovery bill is deterministic
-// for a given schedule. Wall time is
-// the minimum of -runs sweeps, which
-// damps scheduler noise on shared runners. Exit status 1 means a
-// regression, 2 a usage/baseline problem.
+// for a given schedule. Passing -serve (with -router/-replicas/-arrival)
+// gates the serving-family entries — the online serving simulation —
+// on their deterministic throughput, hit rate, and p99, where *falling
+// below* the baseline by the -coord-factor is the regression. Wall time
+// is the minimum of -runs sweeps, which damps scheduler noise on shared
+// runners. Exit status 1 means a regression, 2 a usage/baseline
+// problem.
 package main
 
 import (
@@ -48,6 +51,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/engine"
 	"repro/internal/hw"
+	"repro/internal/serve"
 	"repro/internal/shard"
 )
 
@@ -66,6 +70,10 @@ func main() {
 	reshard := flag.String("reshard", "", "elastic reshard schedule for the measurement (e.g. 4:4 or load:8; empty = fixed sharding)")
 	failPlan := flag.String("fail", "", "fault schedule for the measurement ("+hw.FaultGrammar+"; empty = fault-free)")
 	ckptInterval := flag.Int("ckpt-interval", 0, "checkpoint-flush interval for the measurement (0 = disabled)")
+	serveMode := flag.Bool("serve", false, "gate the serving family (the online serving simulation) instead of the training sweep")
+	replicas := flag.Int("replicas", 4, "serving replica workers (with -serve)")
+	router := flag.String("router", "hitaware", "serving router policy: "+serve.PolicyNames+" (with -serve)")
+	arrival := flag.String("arrival", "", "serving arrival process: "+serve.ArrivalGrammar+" (with -serve; empty = poisson default)")
 	flag.Parse()
 
 	if *shards < 1 {
@@ -112,6 +120,21 @@ func main() {
 		}
 	}
 
+	routerPolicy, err := serve.ParsePolicy(*router)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: -router %q: want %s\n", *router, serve.PolicyNames)
+		os.Exit(2)
+	}
+	arrivalSpec, err := serve.ParseArrival(*arrival)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: -arrival %q: want %s\n", *arrival, serve.ArrivalGrammar)
+		os.Exit(2)
+	}
+	if *serveMode && *replicas < 1 {
+		fmt.Fprintf(os.Stderr, "benchgate: -replicas %d: serving needs at least one replica\n", *replicas)
+		os.Exit(2)
+	}
+
 	data, err := os.ReadFile(*baseline)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
@@ -126,7 +149,20 @@ func main() {
 	if topo.NumNodes() > 1 {
 		topoName = topo.Name
 	}
-	base := pickBaseline(hist.History, *configName, *workers, *shards, topoName, string(policy), string(coordMode), reshardSpec.String(), faults.String(), *ckptInterval)
+	// The serving-family shape the measurement will record (empty router
+	// = not a serving entry).
+	serveOpts := serve.Options{}
+	if *serveMode {
+		serveOpts = serve.Options{Replicas: *replicas, Router: routerPolicy, Arrival: arrivalSpec}
+	}
+	serveRouter, serveArrival, serveReplicas := "", "", 0
+	if *serveMode {
+		resolved := serveOpts.WithDefaults()
+		serveRouter = string(resolved.Router)
+		serveArrival = resolved.Arrival.String()
+		serveReplicas = resolved.Replicas
+	}
+	base := pickBaseline(hist.History, *configName, *workers, *shards, topoName, string(policy), string(coordMode), reshardSpec.String(), faults.String(), *ckptInterval, serveRouter, serveArrival, serveReplicas)
 	if base == nil {
 		extraArgs := ""
 		if reshardSpec.Active() {
@@ -137,6 +173,12 @@ func main() {
 		}
 		if *ckptInterval > 0 {
 			extraArgs += fmt.Sprintf(" -ckpt-interval %d", *ckptInterval)
+		}
+		if *serveMode {
+			extraArgs += fmt.Sprintf(" -serve -router %s -replicas %d", serveRouter, serveReplicas)
+			if *arrival != "" {
+				extraArgs += " -arrival " + *arrival
+			}
 		}
 		fmt.Fprintf(os.Stderr,
 			"benchgate: no %q entry with workers=%d shards=%d topology=%q placement=%q coord=%q reshard=%q fail=%q ckpt=%d in %s to gate against; record one with:\n  go run ./cmd/spbench -quick -json %s -workers %d -shards %d -topology %s -placement %s -coord %s%s\n",
@@ -153,6 +195,7 @@ func main() {
 	cfg.Reshard = reshardSpec
 	cfg.Faults = faults
 	cfg.CkptInterval = *ckptInterval
+	cfg.Serve = serveOpts
 	if topo.NumNodes() > 1 {
 		cfg.Topology = topo
 		cfg.Placement = policy
@@ -218,6 +261,27 @@ func main() {
 			failed = true
 		}
 	}
+	// Serving entries gate on the simulated throughput/hit-rate/p99,
+	// which are deterministic in the seed: falling below the baseline
+	// (note the inverted direction — lower is the regression) means the
+	// router or the serving cache path itself changed behaviour.
+	if base.Serve != "" {
+		if floor := base.ServeThroughput / *coordFactor; best.ServeThroughput < floor {
+			fmt.Printf("benchgate: FAIL serving throughput %.0f q/s below %.0f (baseline / %.2f)\n",
+				best.ServeThroughput, floor, *coordFactor)
+			failed = true
+		}
+		if floor := base.ServeHitRate / *coordFactor; best.ServeHitRate < floor {
+			fmt.Printf("benchgate: FAIL serving hit rate %.3f below %.3f (baseline / %.2f)\n",
+				best.ServeHitRate, floor, *coordFactor)
+			failed = true
+		}
+		if limit := base.ServeP99Ms * *coordFactor; best.ServeP99Ms > limit {
+			fmt.Printf("benchgate: FAIL serving p99 %.3f ms exceeds %.3f ms (baseline x %.2f)\n",
+				best.ServeP99Ms, limit, *coordFactor)
+			failed = true
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
@@ -241,7 +305,7 @@ func main() {
 // coordination metering the co-located sweep never executes, and the
 // batched/hier/approx protocol entries send a fraction of the exact
 // protocol's rounds.
-func pickBaseline(hist []bench.HotPathResult, config string, workers, shards int, topology, placement, coord, reshard, faults string, ckptInterval int) *bench.HotPathResult {
+func pickBaseline(hist []bench.HotPathResult, config string, workers, shards int, topology, placement, coord, reshard, faults string, ckptInterval int, serveRouter, serveArrival string, serveReplicas int) *bench.HotPathResult {
 	norm := func(s int) int {
 		if s <= 1 {
 			return 1
@@ -276,6 +340,8 @@ func pickBaseline(hist []bench.HotPathResult, config string, workers, shards int
 		if e.Config == config && e.Workers == workers && norm(e.Shards) == norm(shards) &&
 			normCoord(e.CoordMode) == normCoord(coord) && e.Reshard == reshard &&
 			e.Faults == faults && e.CkptInterval == ckptInterval &&
+			e.Serve == serveRouter && e.ServeArrival == serveArrival &&
+			e.ServeReplicas == serveReplicas &&
 			normTopo(e.Topology) == normTopo(topology) &&
 			(normTopo(e.Topology) == "" || normPlace(e.Placement) == normPlace(placement)) {
 			exact = e

@@ -10,6 +10,13 @@
 //	dlrmtrain -shards 4 -topology cluster2x2 -coord approx -coord-quantum 64
 //	dlrmtrain -shards 1 -topology cluster2x2 -reshard 20:4 -coord hier  # elastic scale-out mid-run
 //	dlrmtrain -topology numa4 -reshard load:4 -class High   # load-triggered growth
+//	dlrmtrain -serve -replicas 4 -router hitaware -arrival poisson:2000 -class High
+//	dlrmtrain -serve -replicas 8 -router leastloaded -arrival flash:2000:8 -topology cluster2x2
+//
+// With -serve the command runs the online serving simulation instead of
+// training: -replicas scratchpad-holding workers answer an open-loop
+// query stream (-arrival) behind the -router policy, and the run prints
+// throughput, hit rate, and latency percentiles.
 package main
 
 import (
@@ -25,6 +32,39 @@ import (
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "dlrmtrain: "+format+"\n", args...)
 	os.Exit(2)
+}
+
+// runServe plays the online serving simulation and prints the report.
+func runServe(cfg scratchpipe.Config, class scratchpipe.Class) {
+	tr, err := scratchpipe.NewTrainer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := tr.Serve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving on %s locality: %d replicas behind %s router, arrival %s\n",
+		class, rep.Replicas, rep.Router, cfg.Serve.Arrival.String())
+	fmt.Printf("\n%d queries offered over %.2f s (%.0f q/s realized)\n",
+		rep.Offered, rep.Duration, rep.OfferedRate)
+	fmt.Printf("  throughput:      %.0f q/s (%d served, %d dropped)\n",
+		rep.Throughput, rep.Served, rep.Drops)
+	fmt.Printf("  cache hit rate:  %.1f%% (%d fills, %d evictions)\n",
+		rep.HitRate()*100, rep.Fills, rep.Evictions)
+	fmt.Printf("  latency:         p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, max %.3f ms\n",
+		rep.Latency.P50*1e3, rep.Latency.P95*1e3, rep.Latency.P99*1e3, rep.Latency.Max*1e3)
+	if rep.CrossNode > 0 {
+		fmt.Printf("  routing links:   %d cross-node queries (%d cross-host), %.3f ms link time\n",
+			rep.CrossNode, rep.CrossHost, rep.LinkTime*1e3)
+	}
+	if rep.CoordTime > 0 {
+		fmt.Printf("  shard coordination: %.3f ms total across queries\n", rep.CoordTime*1e3)
+	}
+	for i, w := range rep.Workers {
+		fmt.Printf("  worker %d (node %d): %d served, %d dropped, hit rate %.1f%%, peak queue %d\n",
+			i, w.Node, w.Served, w.Drops, w.HitRate()*100, w.PeakDepth)
+	}
 }
 
 func main() {
@@ -49,6 +89,10 @@ func main() {
 	failPlan := flag.String("fail", "", "fault schedule: host<H>@<I>, agg<H>@<I>, link:host<A>-host<B>@<I>[-<J>], degrade:host<A>-host<B>@<I>[-<J>][x<F>] (e.g. host1@20,link:host0-host1@10-15; empty = no faults)")
 	ckptInterval := flag.Int("ckpt-interval", 0, "priced scratchpad checkpoint flush every N iterations (0 = disabled; with -fail, host deaths restore residency from the last flush)")
 	functional := flag.Bool("functional", true, "execute real float32 training")
+	serveMode := flag.Bool("serve", false, "run the online serving simulation instead of training")
+	replicas := flag.Int("replicas", 4, "serving replica workers (with -serve)")
+	router := flag.String("router", "hitaware", "serving router policy: random|roundrobin|leastloaded|hitaware (with -serve)")
+	arrival := flag.String("arrival", "poisson:2000", "serving arrival process: poisson:<qps>, diurnal:<qps>[:<amp>], or flash:<qps>[:<mult>[:<at>:<dur>]] (with -serve)")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -118,6 +162,29 @@ func main() {
 		}
 	}
 
+	// Serving flags: -router/-replicas/-arrival only mean something under
+	// -serve, and each gets the same early one-line rejection treatment.
+	routerPolicy, err := scratchpipe.ParseRouterPolicy(*router)
+	if err != nil {
+		fail("-router %q: want random, roundrobin, leastloaded, or hitaware", *router)
+	}
+	arrivalSpec, err := scratchpipe.ParseArrival(*arrival)
+	if err != nil {
+		fail("-arrival %q: want poisson:<qps>, diurnal:<qps>[:<amp>], or flash:<qps>[:<mult>[:<at>:<dur>]]", *arrival)
+	}
+	if *serveMode {
+		if *replicas < 1 {
+			fail("-replicas %d: serving needs at least one replica", *replicas)
+		}
+	} else {
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "replicas", "router", "arrival":
+				fail("-%s only applies with -serve", f.Name)
+			}
+		})
+	}
+
 	class, err := scratchpipe.ParseClass(*classFlag)
 	if err != nil {
 		log.Fatal(err)
@@ -151,6 +218,20 @@ func main() {
 	}
 	if topo.NumNodes() > 1 {
 		cfg.Topology = topo
+	}
+	if *serveMode {
+		cfg.Serve = scratchpipe.ServeOptions{
+			Replicas:  *replicas,
+			Router:    routerPolicy,
+			Arrival:   arrivalSpec,
+			CacheFrac: *cacheFrac,
+		}
+		// Serving is a pure simulation over ID metadata — real float32
+		// tables would only add allocation time (and at paper scale,
+		// tens of GB).
+		cfg.Functional = false
+		runServe(cfg, class)
+		return
 	}
 	tr, err := scratchpipe.NewTrainer(cfg)
 	if err != nil {

@@ -23,6 +23,15 @@
 // Anything that resolves to neither an existing file nor an existing
 // directory is reported, and the exit status is 1. Exit status 0 means
 // every reference resolves.
+//
+// It additionally cross-checks documented CLI flags: any Markdown table
+// row whose first cell is a backtick span beginning with a dash
+// (| `-workers N` | ... — the README's flag-reference style) claims a
+// flag of that name, and the claim must match a flag definition
+// somewhere under cmd/ (flag.String("workers", ...) et al.). A
+// documented flag no command defines is the same class of rot as a
+// dangling path: the reference table outliving a renamed or deleted
+// flag.
 package main
 
 import (
@@ -49,6 +58,14 @@ var lineSuffixRe = regexp.MustCompile(`:[0-9]+$`)
 
 // pathTokenRe is the charset of a plausible repo path token.
 var pathTokenRe = regexp.MustCompile(`^\.?/?[A-Za-z0-9_][A-Za-z0-9_.\-/]*$`)
+
+// flagRowRe captures the flag name of a Markdown table row whose first
+// cell is a backtick span starting with a dash — the flag-reference
+// table style (| `-workers N` | meaning |).
+var flagRowRe = regexp.MustCompile("^\\|\\s*`-([A-Za-z0-9][A-Za-z0-9_-]*)")
+
+// flagDefRe captures flag definitions in Go sources under cmd/.
+var flagDefRe = regexp.MustCompile(`flag\.(?:Bool|Duration|Float64|Int|Int64|String|Uint|Uint64|Var)\(\s*"([^"]+)"`)
 
 // checkedExts are the file extensions worth verifying when a token has
 // no directory component ("DESIGN.md", "go.mod"). Dotted Go symbol
@@ -91,6 +108,12 @@ func main() {
 	}
 	sort.Strings(mdFiles)
 
+	cmdFlags, err := collectCmdFlags(filepath.Join(*root, "cmd"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+
 	broken := 0
 	for _, md := range mdFiles {
 		data, err := os.ReadFile(md)
@@ -128,6 +151,12 @@ func main() {
 				if !exists(filepath.Join(*root, ref)) && !exists(filepath.Join(filepath.Dir(md), ref)) {
 					report(tok, "path")
 				}
+			}
+		}
+
+		for _, line := range strings.Split(text, "\n") {
+			if m := flagRowRe.FindStringSubmatch(line); m != nil && !cmdFlags[m[1]] {
+				report("-"+m[1], "flag")
 			}
 		}
 	}
@@ -176,6 +205,34 @@ func pathClaim(tok string) (string, bool) {
 		return clean, true
 	}
 	return "", false
+}
+
+// collectCmdFlags gathers every flag name defined by a Go source file
+// under cmdDir. A missing cmd directory yields an empty set (the flag
+// check then reports every documented flag, which is the honest answer
+// for a tree without commands).
+func collectCmdFlags(cmdDir string) (map[string]bool, error) {
+	flags := map[string]bool{}
+	err := filepath.WalkDir(cmdDir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range flagDefRe.FindAllStringSubmatch(string(data), -1) {
+			flags[m[1]] = true
+		}
+		return nil
+	})
+	if os.IsNotExist(err) {
+		return flags, nil
+	}
+	return flags, err
 }
 
 func exists(path string) bool {

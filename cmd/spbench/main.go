@@ -3,13 +3,16 @@
 // Usage:
 //
 //	spbench [-experiment all|fig3|fig5|fig6|fig6classes|fig12a|fig12b|
-//	         fig13|fig14|fig15a|fig15b|tablei|overhead|sensitivity|ablation]
+//	         fig13|fig14|fig15a|fig15b|tablei|overhead|sensitivity|ablation|
+//	         serving]
 //	        [-iters N] [-quick] [-seed S] [-workers N] [-shards S]
 //	        [-topology T] [-placement P] [-coord M] [-reshard SPEC]
 //	        [-fail PLAN] [-ckpt-interval N]
+//	        [-serve] [-replicas R] [-router P] [-arrival SPEC]
 //	spbench -json BENCH_hotpath.json [-quick] [-workers N] [-shards S]
 //	        [-topology T] [-placement P] [-coord M] [-reshard SPEC]
 //	        [-fail PLAN] [-ckpt-interval N] [-note TEXT]
+//	        [-serve] [-replicas R] [-router P] [-arrival SPEC]
 //
 // With -quick the paper-scale tables (10M rows) shrink 50x, which changes
 // absolute hit rates slightly but preserves every qualitative shape; use it
@@ -49,6 +52,13 @@
 // deaths then restore at-risk residency from the last flush instead of
 // repricing it as cold misses. The empty plan changes nothing.
 //
+// -serve configures the online serving simulation (internal/serve):
+// -replicas scratchpad-holding workers answer an open-loop query stream
+// (-arrival) behind the -router policy. The serving experiment sweeps
+// the full routing frontier; with -json the measurement records the
+// serving family's deterministic throughput/hit-rate/p99 instead of the
+// training sweep.
+//
 // With -json the command runs the hot-path benchmark (one Figure 13
 // sweep) instead of printing tables, appends the wall-clock and allocator
 // measurements to the given JSON history file, and prints the new entry —
@@ -63,6 +73,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/engine"
 	"repro/internal/hw"
+	"repro/internal/serve"
 	"repro/internal/shard"
 )
 
@@ -81,6 +92,7 @@ var experiments = map[string]func(bench.Config) (*bench.Table, error){
 	"overhead":    bench.OverheadStudy,
 	"sensitivity": bench.SensitivityExtra,
 	"ablation":    bench.AblationWindows,
+	"serving":     bench.ServingFrontier,
 }
 
 func main() {
@@ -96,6 +108,10 @@ func main() {
 	reshard := flag.String("reshard", "", "elastic reshard schedule (e.g. 200:4,500:8 or load:8; empty = fixed sharding)")
 	failPlan := flag.String("fail", "", "fault schedule for the dynamic-cache engines ("+hw.FaultGrammar+"; empty = no faults)")
 	ckptInterval := flag.Int("ckpt-interval", 0, "priced scratchpad checkpoint flush every N iterations (0 = disabled)")
+	serveMode := flag.Bool("serve", false, "configure the online serving simulation (the serving experiment and the -json serving family)")
+	replicas := flag.Int("replicas", 4, "serving replica workers (with -serve)")
+	router := flag.String("router", "hitaware", "serving router policy: "+serve.PolicyNames+" (with -serve)")
+	arrival := flag.String("arrival", "", "serving arrival process: "+serve.ArrivalGrammar+" (with -serve; empty = poisson default)")
 	jsonPath := flag.String("json", "", "run the hot-path benchmark and append the measurement to this JSON history file")
 	note := flag.String("note", "", "free-form note recorded with the -json measurement")
 	flag.Parse()
@@ -145,6 +161,20 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	routerPolicy, err := serve.ParsePolicy(*router)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spbench: -router %q: want %s\n", *router, serve.PolicyNames)
+		os.Exit(2)
+	}
+	arrivalSpec, err := serve.ParseArrival(*arrival)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spbench: -arrival %q: want %s\n", *arrival, serve.ArrivalGrammar)
+		os.Exit(2)
+	}
+	if *serveMode && *replicas < 1 {
+		fmt.Fprintf(os.Stderr, "spbench: -replicas %d: serving needs at least one replica\n", *replicas)
+		os.Exit(2)
+	}
 
 	cfg := bench.Default()
 	configName := "full"
@@ -170,6 +200,13 @@ func main() {
 		cfg.Topology = topo
 		cfg.Placement = policy
 	}
+	if *serveMode {
+		cfg.Serve = serve.Options{
+			Replicas: *replicas,
+			Router:   routerPolicy,
+			Arrival:  arrivalSpec,
+		}
+	}
 
 	if *jsonPath != "" {
 		res, err := bench.HotPath(cfg, configName)
@@ -181,6 +218,12 @@ func main() {
 		if _, err := bench.AppendHotPath(*jsonPath, res); err != nil {
 			fmt.Fprintln(os.Stderr, "spbench:", err)
 			os.Exit(1)
+		}
+		if res.Serve != "" {
+			fmt.Printf("hotpath serving (%s, %s router, %d replicas, arrival %s): %.2fs wall, %.0f q/s, %.1f%% hit rate, p99 %.3f ms, %d drops -> %s\n",
+				configName, res.Serve, res.ServeReplicas, res.ServeArrival,
+				res.WallSeconds, res.ServeThroughput, res.ServeHitRate*100, res.ServeP99Ms, res.ServeDrops, *jsonPath)
+			return
 		}
 		shape := ""
 		if res.Topology != "" {

@@ -17,6 +17,7 @@ import (
 	"repro/internal/dlrm"
 	"repro/internal/engine"
 	"repro/internal/hw"
+	"repro/internal/serve"
 	"repro/internal/shard"
 	"repro/internal/trace"
 )
@@ -72,6 +73,11 @@ type Config struct {
 	// this many iterations (0 disables); with faults it buys
 	// checkpoint-restored residency at the flush cost.
 	CkptInterval int
+	// Serve configures the online serving simulation (internal/serve):
+	// replicas, router policy, arrival process. The zero value keeps
+	// serving off; active options power the ServingFrontier experiment
+	// and the hotpath serving family.
+	Serve serve.Options
 }
 
 // Default returns the paper's §V methodology configuration. Iters must
@@ -175,6 +181,7 @@ func newEnv(cfg Config, model dlrm.Config, class trace.Class) (*engine.Env, erro
 		Reshard:      cfg.Reshard,
 		Faults:       cfg.Faults,
 		CkptInterval: cfg.CkptInterval,
+		Serve:        cfg.Serve,
 	})
 }
 

@@ -12,7 +12,9 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/shard"
+	"repro/internal/trace"
 )
 
 // HotPathResult is one measurement of the hot-path benchmark.
@@ -64,6 +66,20 @@ type HotPathResult struct {
 	// schedule, so benchgate gates recovery-path regressions exactly).
 	DowntimeSeconds float64 `json:"downtime_seconds,omitempty"`
 	RecoverySeconds float64 `json:"recovery_seconds,omitempty"`
+	// Serve/ServeArrival/ServeReplicas record the serving-family shape:
+	// entries with a router name measured the online serving simulation
+	// (internal/serve) instead of the Figure 13 training sweep and gate
+	// independently of every training family.
+	Serve         string `json:"serve,omitempty"`
+	ServeArrival  string `json:"serve_arrival,omitempty"`
+	ServeReplicas int    `json:"serve_replicas,omitempty"`
+	// ServeThroughput/ServeHitRate/ServeP99Ms/ServeDrops are the serving
+	// run's headline results (simulated, deterministic in the seed, so
+	// benchgate gates routing regressions on them exactly).
+	ServeThroughput float64 `json:"serve_throughput,omitempty"`
+	ServeHitRate    float64 `json:"serve_hit_rate,omitempty"`
+	ServeP99Ms      float64 `json:"serve_p99_ms,omitempty"`
+	ServeDrops      int64   `json:"serve_drops,omitempty"`
 	// Iters is the measured iterations per data point.
 	Iters int `json:"iters"`
 	// WallSeconds is the real time of one full Figure 13 sweep.
@@ -86,8 +102,13 @@ type HotPathHistory struct {
 	History []HotPathResult `json:"history"`
 }
 
-// HotPath runs one Figure 13 sweep under cfg and returns the measurement.
+// HotPath runs one Figure 13 sweep under cfg and returns the
+// measurement. With cfg.Serve active it measures the online serving
+// simulation (the serving hot path) instead of the training sweep.
 func HotPath(cfg Config, configName string) (*HotPathResult, error) {
+	if cfg.Serve.Active() {
+		return hotPathServe(cfg, configName)
+	}
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -144,6 +165,53 @@ func HotPath(cfg Config, configName string) (*HotPathResult, error) {
 		Allocs:                after.Mallocs - before.Mallocs,
 		AllocBytes:            after.TotalAlloc - before.TotalAlloc,
 		ScratchPipeSpeedupAvg: spSum / float64(len(pts)),
+	}, nil
+}
+
+// hotPathServe measures the serving hot path: one engine.RunServe pass
+// on the skewed (High locality) trace under cfg's serving options, with
+// wall-clock/allocator counters around it and the deterministic
+// throughput/hit-rate/p99 results recorded for benchgate's serving
+// family.
+func hotPathServe(cfg Config, configName string) (*HotPathResult, error) {
+	cfg.Serve = cfg.Serve.WithDefaults()
+	env, err := newEnv(cfg, cfg.Model, trace.High)
+	if err != nil {
+		return nil, err
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	rep, err := engine.RunServe(env)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	topoName := ""
+	if cfg.Topology != nil {
+		topoName = cfg.Topology.Name
+	}
+	return &HotPathResult{
+		Timestamp:       time.Now().UTC().Format(time.RFC3339),
+		Config:          configName,
+		Workers:         cfg.Workers,
+		Shards:          cfg.Shards,
+		Topology:        topoName,
+		Placement:       string(cfg.Placement),
+		Serve:           string(rep.Router),
+		ServeArrival:    cfg.Serve.Arrival.String(),
+		ServeReplicas:   rep.Replicas,
+		ServeThroughput: rep.Throughput,
+		ServeHitRate:    rep.HitRate(),
+		ServeP99Ms:      rep.Latency.P99 * 1e3,
+		ServeDrops:      rep.Drops,
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		Iters:           cfg.Iters,
+		WallSeconds:     wall.Seconds(),
+		Allocs:          after.Mallocs - before.Mallocs,
+		AllocBytes:      after.TotalAlloc - before.TotalAlloc,
 	}, nil
 }
 

@@ -1,0 +1,79 @@
+// Online-serving frontier: the routing-policy sweep behind README's
+// "Online serving" table. Training benchmarks ask "how fast does the
+// cache learn"; this one asks "how well does a fleet of cache-holding
+// replicas answer queries" — and the answer turns on the router.
+
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/engine"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// servingArrivals returns the arrival shapes the frontier sweeps: the
+// configured (or default) Poisson base rate plus a flash-crowd variant
+// at the same base rate, so every policy is measured both in steady
+// state and through an overload transient.
+func servingArrivals(opts serve.Options) []serve.ArrivalSpec {
+	base := opts.Arrival
+	if !base.Active() {
+		base = serve.ArrivalSpec{Shape: serve.ShapePoisson, Rate: serve.DefaultArrivalRate}
+	}
+	flash := base
+	flash.Shape = serve.ShapeFlash
+	if base.Shape == serve.ShapeFlash {
+		// Already a flash spec: pair it with its own Poisson base.
+		base.Shape = serve.ShapePoisson
+	}
+	return []serve.ArrivalSpec{base, flash}
+}
+
+// ServingFrontier sweeps the routing frontier — every routing policy
+// under steady-state and flash-crowd arrivals on the skewed (High
+// locality) trace — and reports throughput, hit rate, latency tail,
+// drops, and cost.Cluster $/1M-query pricing for each point. Replicas,
+// topology, sharding, and the base arrival rate come from cfg.
+func ServingFrontier(cfg Config) (*Table, error) {
+	opts := cfg.Serve
+	if !opts.Active() {
+		opts.Replicas = 4
+	}
+	cluster := cost.ClusterFor(cfg.Topology, cost.P32xlarge)
+	table := &Table{
+		Title: fmt.Sprintf("Online serving: routing frontier (%d replicas, %s, High locality)",
+			opts.Replicas, cluster.Name()),
+		Columns: []string{"Router", "Arrival", "Offered q/s", "Tput q/s", "Hit rate", "p50 ms", "p99 ms", "Drops", "$/1M q"},
+	}
+	for _, arrival := range servingArrivals(opts) {
+		for _, policy := range serve.Policies {
+			c := cfg
+			c.Serve = opts
+			c.Serve.Router = policy
+			c.Serve.Arrival = arrival
+			env, err := newEnv(c, c.Model, trace.High)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := engine.RunServe(env)
+			if err != nil {
+				return nil, err
+			}
+			table.AddRow(
+				string(policy),
+				arrival.String(),
+				fmt.Sprintf("%.0f", rep.OfferedRate),
+				fmt.Sprintf("%.0f", rep.Throughput),
+				pct(rep.HitRate()),
+				ms(rep.Latency.P50),
+				ms(rep.Latency.P99),
+				fmt.Sprintf("%d", rep.Drops),
+				cost.FormatUSD(cluster.MillionQueryCost(rep.Throughput)),
+			)
+		}
+	}
+	return table, nil
+}

@@ -92,6 +92,18 @@ func (c Cluster) MillionIterCost(iterTime float64) float64 {
 	return c.CostFor(iterTime, 1_000_000)
 }
 
+// MillionQueryCost is the serving analogue of MillionIterCost: the USD
+// cost of answering one million queries at a sustained throughput of
+// qps queries/second on the whole fleet. Serving rents the fleet
+// continuously, so cost per query is just price-per-hour divided by
+// realized throughput.
+func (c Cluster) MillionQueryCost(qps float64) float64 {
+	if qps <= 0 {
+		return 0
+	}
+	return c.PricePerHour() * 1_000_000 / qps / 3600
+}
+
 // ClusterFor sizes a fleet for a topology: one instance per distinct
 // host the topology's nodes span. A nil topology is the single-host
 // degenerate case.

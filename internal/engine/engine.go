@@ -46,6 +46,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/opt"
 	"repro/internal/par"
+	"repro/internal/serve"
 	"repro/internal/shard"
 	"repro/internal/tensor"
 	"repro/internal/trace"
@@ -132,6 +133,13 @@ type EnvConfig struct {
 	// residency from the last flush instead of dropping it cold — the
 	// knob trades per-interval flush cost against recovery point.
 	CkptInterval int
+	// Serve configures the online serving simulation (internal/serve):
+	// RunServe plays an open-loop query stream through Serve.Replicas
+	// scratchpad-holding workers behind the Serve.Router policy,
+	// reusing this config's model/trace/topology/shard knobs. The zero
+	// value keeps serving off and is guaranteed not to perturb any
+	// training run.
+	Serve serve.Options
 }
 
 // Env is the shared substrate an engine trains on: the batch stream and,
@@ -188,6 +196,9 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 	}
 	if cfg.CkptInterval < 0 {
 		return nil, fmt.Errorf("engine: CkptInterval %d < 0", cfg.CkptInterval)
+	}
+	if err := cfg.Serve.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.Faults.Active() {
 		if err := cfg.Faults.Validate(cfg.Topology); err != nil {

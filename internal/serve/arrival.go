@@ -1,0 +1,239 @@
+// Arrival processes for the serving simulation: open-loop query streams
+// whose instantaneous rate follows one of three shapes layered over a
+// Poisson base process. Open-loop means arrivals do not slow down when
+// the fleet falls behind — exactly the regime where queueing (and the
+// router's load awareness) matters.
+
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// ArrivalShape names a rate profile.
+type ArrivalShape string
+
+const (
+	// ShapePoisson is a homogeneous Poisson process at the base rate.
+	ShapePoisson ArrivalShape = "poisson"
+	// ShapeDiurnal modulates the base rate sinusoidally over the run
+	// (one full day-cycle: trough at the start, peak mid-run), modeling
+	// the daily traffic swing of a user-facing service.
+	ShapeDiurnal ArrivalShape = "diurnal"
+	// ShapeFlash multiplies the base rate by a burst factor for a short
+	// window mid-run (a flash crowd / retry storm), modeling the
+	// overload transient that exposes queue drops.
+	ShapeFlash ArrivalShape = "flash"
+)
+
+// ArrivalGrammar documents the -arrival flag syntax for usage errors.
+const ArrivalGrammar = "poisson:<qps>, diurnal:<qps>[:<amp>], flash:<qps>[:<mult>[:<at>:<dur>]]"
+
+// ArrivalSpec describes one arrival process. The zero value is inactive
+// (no arrivals); ParseArrival builds active specs from the -arrival flag
+// grammar.
+type ArrivalSpec struct {
+	// Shape selects the rate profile.
+	Shape ArrivalShape
+	// Rate is the base arrival rate in queries/second.
+	Rate float64
+	// Amp is the diurnal modulation amplitude in (0, 1]: the rate swings
+	// between Rate*(1-Amp) and Rate*(1+Amp). 0 selects the default 0.5.
+	Amp float64
+	// Mult is the flash-crowd rate multiplier (> 1). 0 selects the
+	// default 8.
+	Mult float64
+	// At is the flash-crowd start as a fraction of the nominal run
+	// duration (0 selects the default 0.5).
+	At float64
+	// Dur is the flash-crowd length as a fraction of the nominal run
+	// duration (0 selects the default 0.1).
+	Dur float64
+}
+
+// Active reports whether the spec describes any arrivals.
+func (a ArrivalSpec) Active() bool { return a.Rate > 0 }
+
+// withDefaults fills the shape parameters left at zero.
+func (a ArrivalSpec) withDefaults() ArrivalSpec {
+	if a.Shape == "" {
+		a.Shape = ShapePoisson
+	}
+	if a.Amp == 0 {
+		a.Amp = 0.5
+	}
+	if a.Mult == 0 {
+		a.Mult = 8
+	}
+	if a.At == 0 {
+		a.At = 0.5
+	}
+	if a.Dur == 0 {
+		a.Dur = 0.1
+	}
+	return a
+}
+
+// Validate reports a descriptive error for an unusable spec.
+func (a ArrivalSpec) Validate() error {
+	if a.Rate <= 0 {
+		return fmt.Errorf("serve: arrival rate %g <= 0", a.Rate)
+	}
+	switch a.Shape {
+	case "", ShapePoisson:
+	case ShapeDiurnal:
+		if a.Amp < 0 || a.Amp > 1 {
+			return fmt.Errorf("serve: diurnal amplitude %g out of (0,1]", a.Amp)
+		}
+	case ShapeFlash:
+		if a.Mult != 0 && a.Mult <= 1 {
+			return fmt.Errorf("serve: flash multiplier %g <= 1", a.Mult)
+		}
+		if a.At < 0 || a.At >= 1 {
+			return fmt.Errorf("serve: flash start fraction %g out of [0,1)", a.At)
+		}
+		if a.Dur < 0 || a.Dur > 1 {
+			return fmt.Errorf("serve: flash duration fraction %g out of (0,1]", a.Dur)
+		}
+	default:
+		return fmt.Errorf("serve: unknown arrival shape %q (want %s)", a.Shape, ArrivalGrammar)
+	}
+	return nil
+}
+
+// String renders the spec in the -arrival grammar.
+func (a ArrivalSpec) String() string {
+	if !a.Active() {
+		return ""
+	}
+	d := a.withDefaults()
+	switch d.Shape {
+	case ShapeDiurnal:
+		return fmt.Sprintf("diurnal:%g:%g", d.Rate, d.Amp)
+	case ShapeFlash:
+		return fmt.Sprintf("flash:%g:%g:%g:%g", d.Rate, d.Mult, d.At, d.Dur)
+	}
+	return fmt.Sprintf("poisson:%g", d.Rate)
+}
+
+// ParseArrival parses the -arrival flag grammar (see ArrivalGrammar):
+// "poisson:2000", "diurnal:2000:0.7", "flash:2000:8" or
+// "flash:2000:8:0.5:0.1". The empty string parses to the inactive zero
+// spec (callers substitute their default).
+func ParseArrival(s string) (ArrivalSpec, error) {
+	if s == "" {
+		return ArrivalSpec{}, nil
+	}
+	parts := strings.Split(s, ":")
+	spec := ArrivalSpec{Shape: ArrivalShape(parts[0])}
+	num := func(i int, what string) (float64, error) {
+		v, err := strconv.ParseFloat(parts[i], 64)
+		if err != nil {
+			return 0, fmt.Errorf("serve: arrival %q: bad %s %q", s, what, parts[i])
+		}
+		return v, nil
+	}
+	var err error
+	switch spec.Shape {
+	case ShapePoisson:
+		if len(parts) != 2 {
+			return ArrivalSpec{}, fmt.Errorf("serve: arrival %q: want poisson:<qps>", s)
+		}
+		if spec.Rate, err = num(1, "rate"); err != nil {
+			return ArrivalSpec{}, err
+		}
+	case ShapeDiurnal:
+		if len(parts) < 2 || len(parts) > 3 {
+			return ArrivalSpec{}, fmt.Errorf("serve: arrival %q: want diurnal:<qps>[:<amp>]", s)
+		}
+		if spec.Rate, err = num(1, "rate"); err != nil {
+			return ArrivalSpec{}, err
+		}
+		if len(parts) == 3 {
+			if spec.Amp, err = num(2, "amplitude"); err != nil {
+				return ArrivalSpec{}, err
+			}
+		}
+	case ShapeFlash:
+		if len(parts) < 2 || len(parts) == 4 || len(parts) > 5 {
+			return ArrivalSpec{}, fmt.Errorf("serve: arrival %q: want flash:<qps>[:<mult>[:<at>:<dur>]]", s)
+		}
+		if spec.Rate, err = num(1, "rate"); err != nil {
+			return ArrivalSpec{}, err
+		}
+		if len(parts) >= 3 {
+			if spec.Mult, err = num(2, "multiplier"); err != nil {
+				return ArrivalSpec{}, err
+			}
+		}
+		if len(parts) == 5 {
+			if spec.At, err = num(3, "start fraction"); err != nil {
+				return ArrivalSpec{}, err
+			}
+			if spec.Dur, err = num(4, "duration fraction"); err != nil {
+				return ArrivalSpec{}, err
+			}
+		}
+	default:
+		return ArrivalSpec{}, fmt.Errorf("serve: arrival %q: unknown shape %q (want %s)", s, parts[0], ArrivalGrammar)
+	}
+	if err := spec.Validate(); err != nil {
+		return ArrivalSpec{}, err
+	}
+	return spec, nil
+}
+
+// rateAt is the instantaneous rate lambda(t) given the nominal run
+// duration d (the duration n queries take at the base rate).
+func (a ArrivalSpec) rateAt(t, d float64) float64 {
+	switch a.Shape {
+	case ShapeDiurnal:
+		// One full cycle over the nominal duration, trough at t=0 so
+		// the run warms up before peak load hits.
+		return a.Rate * (1 + a.Amp*math.Sin(2*math.Pi*t/d-math.Pi/2))
+	case ShapeFlash:
+		if t >= a.At*d && t < (a.At+a.Dur)*d {
+			return a.Rate * a.Mult
+		}
+		return a.Rate
+	}
+	return a.Rate
+}
+
+// peakRate is the envelope max of lambda(t), the thinning proposal rate.
+func (a ArrivalSpec) peakRate() float64 {
+	switch a.Shape {
+	case ShapeDiurnal:
+		return a.Rate * (1 + a.Amp)
+	case ShapeFlash:
+		return a.Rate * a.Mult
+	}
+	return a.Rate
+}
+
+// Times generates n arrival timestamps (seconds, ascending from 0) by
+// thinning a homogeneous Poisson proposal process at the envelope peak
+// rate: candidates arrive at Exp(peak) spacing and survive with
+// probability lambda(t)/peak. Deterministic in the seed.
+func (a ArrivalSpec) Times(n int, seed int64) []float64 {
+	a = a.withDefaults()
+	if n <= 0 || !a.Active() {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := float64(n) / a.Rate
+	peak := a.peakRate()
+	times := make([]float64, 0, n)
+	t := 0.0
+	for len(times) < n {
+		t += rng.ExpFloat64() / peak
+		if rng.Float64()*peak < a.rateAt(t, d) {
+			times = append(times, t)
+		}
+	}
+	return times
+}

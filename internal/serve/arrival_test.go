@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseArrival(t *testing.T) {
+	cases := []struct {
+		in   string
+		want ArrivalSpec
+	}{
+		{"", ArrivalSpec{}},
+		{"poisson:2000", ArrivalSpec{Shape: ShapePoisson, Rate: 2000}},
+		{"diurnal:1500", ArrivalSpec{Shape: ShapeDiurnal, Rate: 1500}},
+		{"diurnal:1500:0.7", ArrivalSpec{Shape: ShapeDiurnal, Rate: 1500, Amp: 0.7}},
+		{"flash:1000:4", ArrivalSpec{Shape: ShapeFlash, Rate: 1000, Mult: 4}},
+		{"flash:1000:4:0.25:0.2", ArrivalSpec{Shape: ShapeFlash, Rate: 1000, Mult: 4, At: 0.25, Dur: 0.2}},
+	}
+	for _, c := range cases {
+		got, err := ParseArrival(c.in)
+		if err != nil {
+			t.Fatalf("ParseArrival(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseArrival(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseArrivalErrors(t *testing.T) {
+	for _, in := range []string{
+		"poisson", "poisson:abc", "poisson:-5", "poisson:0",
+		"sawtooth:100", "diurnal:100:2", "diurnal:100:0.5:9",
+		"flash:100:0.5", "flash:100:4:0.5", "flash:100:4:2:0.1",
+	} {
+		if _, err := ParseArrival(in); err == nil {
+			t.Errorf("ParseArrival(%q): want error, got nil", in)
+		}
+	}
+}
+
+func TestArrivalStringRoundTrip(t *testing.T) {
+	for _, in := range []string{"poisson:2000", "diurnal:1500:0.7", "flash:1000:4:0.25:0.2"} {
+		spec, err := ParseArrival(in)
+		if err != nil {
+			t.Fatalf("ParseArrival(%q): %v", in, err)
+		}
+		back, err := ParseArrival(spec.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", spec.String(), err)
+		}
+		if back.withDefaults() != spec.withDefaults() {
+			t.Errorf("round trip %q -> %q changed the spec", in, spec.String())
+		}
+	}
+}
+
+// TestPoissonRate: n arrivals at base rate lambda should span close to
+// n/lambda seconds (law of large numbers; 5% tolerance at n=20000).
+func TestPoissonRate(t *testing.T) {
+	const n, rate = 20000, 2000.0
+	times := ArrivalSpec{Shape: ShapePoisson, Rate: rate}.Times(n, 1)
+	if len(times) != n {
+		t.Fatalf("got %d arrivals, want %d", len(times), n)
+	}
+	span := times[n-1]
+	want := float64(n) / rate
+	if math.Abs(span-want)/want > 0.05 {
+		t.Errorf("span %.3fs, want %.3fs +-5%%", span, want)
+	}
+	for i := 1; i < n; i++ {
+		if times[i] < times[i-1] {
+			t.Fatalf("arrivals not ascending at %d", i)
+		}
+	}
+}
+
+// TestFlashSpikeShape: the flash window's realized rate should be near
+// Mult times the outside rate.
+func TestFlashSpikeShape(t *testing.T) {
+	const n, rate = 40000, 2000.0
+	spec := ArrivalSpec{Shape: ShapeFlash, Rate: rate, Mult: 8, At: 0.5, Dur: 0.1}
+	times := spec.Times(n, 2)
+	d := float64(n) / rate
+	lo, hi := spec.At*d, (spec.At+spec.Dur)*d
+	var in, out int
+	for _, at := range times {
+		if at >= lo && at < hi {
+			in++
+		} else if at < d {
+			out++
+		}
+	}
+	inRate := float64(in) / (hi - lo)
+	outRate := float64(out) / (d - (hi - lo))
+	ratio := inRate / outRate
+	if math.Abs(ratio-spec.Mult)/spec.Mult > 0.25 {
+		t.Errorf("flash rate ratio %.2f, want ~%.0f +-25%%", ratio, spec.Mult)
+	}
+}
+
+// TestDiurnalSwing: the cycle peaks at mid-run, so the middle half of
+// the nominal duration must carry visibly more arrivals than the two
+// outer quarters (around the trough) combined. With Amp=0.8 the exact
+// ratio is (1+2A/pi)/(1-2A/pi) ~ 3.1.
+func TestDiurnalSwing(t *testing.T) {
+	const n, rate = 20000, 2000.0
+	spec := ArrivalSpec{Shape: ShapeDiurnal, Rate: rate, Amp: 0.8}
+	times := spec.Times(n, 3)
+	d := float64(n) / rate
+	var mid, outer int
+	for _, at := range times {
+		switch {
+		case at >= d:
+		case at >= d/4 && at < 3*d/4:
+			mid++
+		default:
+			outer++
+		}
+	}
+	ratio := float64(mid) / float64(outer)
+	if ratio < 2 {
+		t.Errorf("diurnal mid/outer ratio %.2f, want > 2 (peak mid-run)", ratio)
+	}
+}
+
+func TestTimesDeterministic(t *testing.T) {
+	spec := ArrivalSpec{Shape: ShapeFlash, Rate: 1000, Mult: 4}
+	a := spec.Times(500, 42)
+	b := spec.Times(500, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Times not deterministic at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}

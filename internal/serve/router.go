@@ -1,0 +1,177 @@
+// Request routers: the policy that picks which replica serves each
+// arriving query. Routing is where the serving fleet trades locality
+// against load: spreading queries evenly balances queues but dilutes
+// every replica's cache, while concentrating similar queries heats one
+// replica's cache at the risk of queue buildup. The hit-aware policy
+// navigates exactly that frontier.
+
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Policy names a routing policy.
+type Policy string
+
+const (
+	// PolicyRandom routes each query to a uniformly random replica.
+	PolicyRandom Policy = "random"
+	// PolicyRoundRobin cycles replicas in index order.
+	PolicyRoundRobin Policy = "roundrobin"
+	// PolicyLeastLoaded routes to the replica with the shortest queue
+	// at arrival time (ties break toward the lower index).
+	PolicyLeastLoaded Policy = "leastloaded"
+	// PolicyHitAware scores each replica by the estimated overlap
+	// between the query's embedding IDs and the replica's cache
+	// contents (tracked router-side, not by oracle inspection), minus a
+	// queue-depth penalty; ties break toward the shallower queue, then
+	// the lower index.
+	PolicyHitAware Policy = "hitaware"
+)
+
+// Policies lists every routing policy in escalation order.
+var Policies = []Policy{PolicyRandom, PolicyRoundRobin, PolicyLeastLoaded, PolicyHitAware}
+
+// PolicyNames lists the parseable policies for usage errors.
+const PolicyNames = "random, roundrobin, leastloaded, hitaware"
+
+// ParsePolicy resolves a routing policy name ("" selects hitaware).
+func ParsePolicy(s string) (Policy, error) {
+	switch Policy(s) {
+	case "", PolicyHitAware:
+		return PolicyHitAware, nil
+	case PolicyRandom:
+		return PolicyRandom, nil
+	case PolicyRoundRobin:
+		return PolicyRoundRobin, nil
+	case PolicyLeastLoaded:
+		return PolicyLeastLoaded, nil
+	}
+	return "", fmt.Errorf("serve: unknown router policy %q (want %s)", s, PolicyNames)
+}
+
+// depthPenalty converts queue depth into overlap-score units, in
+// multiples of the query's own occurrence count: each queued request
+// costs a full query's worth of overlap. A fully warm replica can
+// therefore never outbid an idle rival from behind a queue — overlap
+// only breaks ties between equally shallow queues. Weaker penalties
+// (tried first) let the warm replica absorb the whole stream and blow
+// up the latency tail; this calibration keeps the p99 at the
+// load-balancers' level while still concentrating traffic for cache
+// warmth whenever the fleet has slack.
+const depthPenalty = 1.0
+
+// router is the routing state shared across a run: the PRNG for the
+// random policy, the round-robin cursor, and the hit-aware policy's
+// per-replica cache views.
+type router struct {
+	policy Policy
+	rng    *rand.Rand
+	rr     int
+	views  []*cacheView
+}
+
+func newRouter(policy Policy, replicas, viewCap int, seed int64) *router {
+	r := &router{policy: policy, rng: rand.New(rand.NewSource(seed))}
+	if policy == PolicyHitAware {
+		r.views = make([]*cacheView, replicas)
+		for i := range r.views {
+			r.views[i] = newCacheView(viewCap)
+		}
+	}
+	return r
+}
+
+// pick selects the replica for a request arriving at time now. keys is
+// the request's embedding IDs in the router's composite (table, id) key
+// space, occurrence-ordered.
+func (r *router) pick(keys []int64, workers []*worker, now float64) int {
+	switch r.policy {
+	case PolicyRandom:
+		return r.rng.Intn(len(workers))
+	case PolicyRoundRobin:
+		w := r.rr
+		r.rr = (r.rr + 1) % len(workers)
+		return w
+	case PolicyLeastLoaded:
+		best := 0
+		bestDepth := workers[0].depth(now)
+		for i := 1; i < len(workers); i++ {
+			if d := workers[i].depth(now); d < bestDepth {
+				best, bestDepth = i, d
+			}
+		}
+		return best
+	case PolicyHitAware:
+		// score(w) = overlap(w) - depthPenalty * |keys| * depth(w),
+		// where overlap counts the request's ID occurrences the router
+		// believes are resident in w's scratchpad.
+		best := -1
+		bestScore := 0.0
+		bestDepth := 0
+		for i, wk := range workers {
+			d := wk.depth(now)
+			score := float64(r.views[i].overlap(keys)) - depthPenalty*float64(len(keys))*float64(d)
+			if best < 0 || score > bestScore || (score == bestScore && d < bestDepth) {
+				best, bestScore, bestDepth = i, score, d
+			}
+		}
+		r.views[best].insert(keys)
+		return best
+	}
+	return 0
+}
+
+// cacheView is the router's approximate model of one replica's cache
+// contents: a bounded FIFO set of the composite ID keys the router has
+// sent there. It deliberately ignores the replica's true (LRU) eviction
+// order — the router estimates from its own routing history, which is
+// the information a real frontend actually has.
+type cacheView struct {
+	set  map[int64]struct{}
+	ring []int64
+	head int
+	cap  int
+}
+
+func newCacheView(capacity int) *cacheView {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &cacheView{set: make(map[int64]struct{}, capacity), cap: capacity}
+}
+
+// overlap counts the keys (occurrence-weighted) present in the view.
+func (v *cacheView) overlap(keys []int64) int {
+	n := 0
+	for _, k := range keys {
+		if _, ok := v.set[k]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// insert records keys as resident, evicting the oldest entries FIFO
+// once the view exceeds its capacity.
+func (v *cacheView) insert(keys []int64) {
+	for _, k := range keys {
+		if _, ok := v.set[k]; ok {
+			continue
+		}
+		v.set[k] = struct{}{}
+		v.ring = append(v.ring, k)
+		for len(v.set) > v.cap {
+			old := v.ring[v.head]
+			v.head++
+			delete(v.set, old)
+		}
+	}
+	// Compact the ring's consumed prefix once it dominates the slice.
+	if v.head > len(v.ring)/2 && v.head > 1024 {
+		v.ring = append(v.ring[:0], v.ring[v.head:]...)
+		v.head = 0
+	}
+}

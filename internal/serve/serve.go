@@ -1,0 +1,569 @@
+// Package serve simulates online inference serving over the scratchpad:
+// R replica workers, each holding the same per-table embedding cache
+// machinery the training engines use (internal/shard over
+// internal/core), fed single-sample queries by an open-loop arrival
+// process through a pluggable router.
+//
+// Training and serving stress the scratchpad in opposite ways. Training
+// plans with look-ahead — the dataset's future batches are known, so
+// the cache prefetches exactly what it will need. A serving frontend
+// has no future: queries arrive stochastically, the cache is reactive
+// LRU, and the hit rate is made (or lost) by which replica each query
+// lands on. That routing decision is this package's subject.
+//
+// Architecture orientation (DESIGN.md §11 is the long form):
+//
+//   - [ArrivalSpec] defines the open-loop query stream: a Poisson base
+//     rate with optional diurnal or flash-crowd modulation
+//     (ParseArrival speaks the -arrival flag grammar). Times renders a
+//     deterministic arrival timestamp vector.
+//   - [Policy] selects the router: random, roundrobin, leastloaded, or
+//     hitaware (score replicas by estimated cache overlap from the
+//     router's own bounded view of what it has sent where, minus a
+//     queue-depth penalty).
+//   - [Config] -> [NewFleet] -> [Fleet]: R workers, each with one
+//     shard.Manager per table (Shards/Coord/Elastic configs carry over
+//     from training), a bounded FIFO queue, and a home topology node.
+//     Workers stripe across the topology's nodes; each worker's shards
+//     stripe across its own host's nodes, so sharded replicas pay NUMA
+//     coordination and cross-host routing pays network links.
+//   - [Fleet.Simulate] plays an arrival vector through the router and
+//     the per-worker queues: each admitted query Plans against the
+//     worker's scratchpads (hits, misses, fills), is priced by the hw
+//     Table I arithmetic (ServiceTime), and retires; queries arriving
+//     to a full queue drop. [Report] digests throughput, aggregate and
+//     per-worker hit rates, latency percentiles, and drops.
+//
+// Everything is deterministic in Config.Seed: same config, same report.
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/par"
+	"repro/internal/shard"
+	"repro/internal/trace"
+)
+
+// Options is the CLI-facing serving knob set (the -serve flag family),
+// threaded through engine.EnvConfig and bench.Config. The zero value
+// means "serving off" — Active() is false and nothing downstream runs.
+type Options struct {
+	// Replicas is the worker count R (>= 1 activates serving).
+	Replicas int
+	// Router selects the routing policy ("" = hitaware).
+	Router Policy
+	// Arrival is the open-loop arrival process (zero = poisson at
+	// DefaultArrivalRate).
+	Arrival ArrivalSpec
+	// Requests is the number of queries to play (0 = DefaultRequests).
+	Requests int
+	// QueueCap bounds each worker's queue, in-service request included
+	// (0 = DefaultQueueCap); arrivals beyond it drop.
+	QueueCap int
+	// CacheFrac sizes each worker's per-table scratchpad as a fraction
+	// of the table (0 = the paper's 2%).
+	CacheFrac float64
+}
+
+// Serving defaults.
+const (
+	DefaultArrivalRate = 2000.0
+	DefaultRequests    = 4096
+	DefaultQueueCap    = 32
+)
+
+// Active reports whether serving mode is on.
+func (o Options) Active() bool { return o.Replicas > 0 }
+
+// WithDefaults returns the options with every unset knob filled in
+// (router, arrival process, request count, queue cap, cache fraction) —
+// the exact option set NewFleet resolves, exposed so harnesses can
+// record the effective configuration.
+func (o Options) WithDefaults() Options {
+	if o.Router == "" {
+		o.Router = PolicyHitAware
+	}
+	if !o.Arrival.Active() {
+		o.Arrival = ArrivalSpec{Shape: ShapePoisson, Rate: DefaultArrivalRate}
+	}
+	o.Arrival = o.Arrival.withDefaults()
+	if o.Requests == 0 {
+		o.Requests = DefaultRequests
+	}
+	if o.QueueCap == 0 {
+		o.QueueCap = DefaultQueueCap
+	}
+	if o.CacheFrac == 0 {
+		o.CacheFrac = 0.02
+	}
+	return o
+}
+
+// Validate reports a descriptive error for an unusable option set
+// (inactive options are always valid).
+func (o Options) Validate() error {
+	if !o.Active() {
+		return nil
+	}
+	if o.Replicas < 1 {
+		return fmt.Errorf("serve: Replicas %d < 1", o.Replicas)
+	}
+	if _, err := ParsePolicy(string(o.Router)); err != nil {
+		return err
+	}
+	if o.Arrival.Active() {
+		if err := o.Arrival.Validate(); err != nil {
+			return err
+		}
+	}
+	if o.Requests < 0 {
+		return fmt.Errorf("serve: Requests %d < 0", o.Requests)
+	}
+	if o.QueueCap < 0 {
+		return fmt.Errorf("serve: QueueCap %d < 0", o.QueueCap)
+	}
+	if o.CacheFrac < 0 || o.CacheFrac > 1 {
+		return fmt.Errorf("serve: CacheFrac %g out of [0,1]", o.CacheFrac)
+	}
+	return nil
+}
+
+// Config assembles one serving simulation: the options, the workload
+// shape (tables, rows, lookups, per-table trace distributions), the
+// platform, and the per-worker scratchpad configuration.
+type Config struct {
+	Options
+	// NumTables/RowsPerTable/Lookups/EmbeddingDim describe the model's
+	// sparse side; each query gathers Lookups IDs per table.
+	NumTables    int
+	RowsPerTable int64
+	Lookups      int
+	EmbeddingDim int
+	// Dists holds the per-table query-ID distributions (NumTables
+	// entries; the same locality classes training traces use).
+	Dists []trace.Distribution
+	// Seed drives every PRNG (arrivals, query IDs, policies, router).
+	Seed int64
+	// System prices the per-query work (hw Table I arithmetic).
+	System hw.System
+	// Topology places workers (and their shards) on a platform graph;
+	// the frontend lives on node 0 and queries routed off it are
+	// charged the crossed link. nil or single-node co-locates all.
+	Topology *hw.Topology
+	// Shards partitions each worker's per-table scratchpad control
+	// plane (internal/shard); a worker's shards stripe across its own
+	// host's nodes, so S > 1 on a multi-socket host prices NUMA
+	// coordination into each query's Plan.
+	Shards int
+	// Coord/CoordQuantum select the cross-shard coordination protocol.
+	Coord        shard.CoordMode
+	CoordQuantum int
+	// Elastic builds the managers in their elastic representation (the
+	// generic re-shardable form used by training's live resharding).
+	Elastic bool
+	// DenseTime is the per-query dense-model forward latency in
+	// seconds (the MLP inference pass; engine.RunServe derives it from
+	// the model configuration).
+	DenseTime float64
+	// Pool bounds the shard managers' fan-out parallelism (nil =
+	// serial).
+	Pool *par.Pool
+}
+
+// Validate reports a descriptive error for an unusable configuration.
+func (c Config) Validate() error {
+	if err := c.Options.Validate(); err != nil {
+		return err
+	}
+	if c.NumTables <= 0 {
+		return fmt.Errorf("serve: NumTables %d <= 0", c.NumTables)
+	}
+	if c.RowsPerTable <= 0 {
+		return fmt.Errorf("serve: RowsPerTable %d <= 0", c.RowsPerTable)
+	}
+	if c.Lookups <= 0 {
+		return fmt.Errorf("serve: Lookups %d <= 0", c.Lookups)
+	}
+	if c.EmbeddingDim <= 0 {
+		return fmt.Errorf("serve: EmbeddingDim %d <= 0", c.EmbeddingDim)
+	}
+	if len(c.Dists) != c.NumTables {
+		return fmt.Errorf("serve: %d distributions for %d tables", len(c.Dists), c.NumTables)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("serve: Shards %d < 0", c.Shards)
+	}
+	if c.DenseTime < 0 {
+		return fmt.Errorf("serve: DenseTime %g < 0", c.DenseTime)
+	}
+	return nil
+}
+
+// worker is one serving replica: per-table scratchpad managers, a home
+// topology node, and the completion-time deque that models its bounded
+// FIFO queue (the worker is a single server; comp[head:] are the
+// requests still queued or in service).
+type worker struct {
+	id   int
+	node int
+	host int
+	mgrs []*shard.Manager
+	seq  int
+
+	comp      []float64
+	head      int
+	busyUntil float64
+
+	served, drops int64
+	hits, misses  int64
+	peakDepth     int
+}
+
+// depth returns the queue depth (in-service request included) at time t.
+func (w *worker) depth(t float64) int {
+	for w.head < len(w.comp) && w.comp[w.head] <= t {
+		w.head++
+	}
+	if w.head > len(w.comp)/2 && w.head > 1024 {
+		w.comp = append(w.comp[:0], w.comp[w.head:]...)
+		w.head = 0
+	}
+	return len(w.comp) - w.head
+}
+
+// Fleet is a built serving deployment, ready to Simulate.
+type Fleet struct {
+	cfg     Config
+	workers []*worker
+	router  *router
+	reqRng  *rand.Rand
+	reqIDs  [][]int64
+	reqKeys []int64
+}
+
+// NewFleet builds the R workers (scratchpad managers, placements) and
+// the router for cfg.
+func NewFleet(cfg Config) (*Fleet, error) {
+	cfg.Options = cfg.Options.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	slots := int(cfg.CacheFrac * float64(cfg.RowsPerTable))
+	if slots < 1 {
+		slots = 1
+	}
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	nodes := 1
+	if cfg.Topology != nil {
+		if err := cfg.Topology.Validate(); err != nil {
+			return nil, err
+		}
+		nodes = cfg.Topology.NumNodes()
+	}
+	f := &Fleet{cfg: cfg, reqRng: rand.New(rand.NewSource(cfg.Seed + 8000))}
+	f.reqIDs = make([][]int64, cfg.NumTables)
+	for t := range f.reqIDs {
+		f.reqIDs[t] = make([]int64, cfg.Lookups)
+	}
+	f.reqKeys = make([]int64, 0, cfg.NumTables*cfg.Lookups)
+	for w := 0; w < cfg.Replicas; w++ {
+		wk := &worker{id: w, node: w % nodes}
+		if cfg.Topology != nil {
+			wk.host = cfg.Topology.Nodes[wk.node].Host
+		}
+		place, err := workerPlacement(cfg.Topology, wk.node, shards)
+		if err != nil {
+			return nil, err
+		}
+		for t := 0; t < cfg.NumTables; t++ {
+			spCfg := core.Config{
+				Slots:      slots,
+				Policy:     cache.LRU,
+				PolicySeed: cfg.Seed + int64(7000+w*cfg.NumTables+t),
+				PastWindow: 1,
+			}
+			spCfg.Reserve = core.WorstCaseReserve(spCfg, cfg.Lookups)
+			mgr, err := shard.New(shard.Config{
+				Scratchpad:   spCfg,
+				Shards:       shards,
+				Pool:         cfg.Pool,
+				Placement:    place,
+				Coord:        cfg.Coord,
+				CoordQuantum: cfg.CoordQuantum,
+				Elastic:      cfg.Elastic,
+			})
+			if err != nil {
+				return nil, err
+			}
+			wk.mgrs = append(wk.mgrs, mgr)
+		}
+		f.workers = append(f.workers, wk)
+	}
+	f.router = newRouter(Policy(cfg.Router), cfg.Replicas, slots*cfg.NumTables, cfg.Seed+8500)
+	return f, nil
+}
+
+// workerPlacement stripes a worker's shards across the nodes of its own
+// host: replicas live on one host each, so cross-shard coordination
+// stays within the host's NUMA links while cross-host cost is paid by
+// routing, not planning. Single-node topologies and unsharded workers
+// get the zero (co-located) placement.
+func workerPlacement(topo *hw.Topology, home, shards int) (hw.Placement, error) {
+	if topo == nil || topo.NumNodes() <= 1 || shards <= 1 {
+		return hw.Placement{}, nil
+	}
+	host := topo.Nodes[home].Host
+	var hostNodes []int
+	for i, n := range topo.Nodes {
+		if n.Host == host {
+			hostNodes = append(hostNodes, i)
+		}
+	}
+	node := make([]int, shards)
+	for j := range node {
+		node[j] = hostNodes[j%len(hostNodes)]
+	}
+	p := hw.Placement{Topo: topo, Node: node, Policy: hw.PlaceStripe}
+	if err := p.Validate(shards); err != nil {
+		return hw.Placement{}, err
+	}
+	return p, nil
+}
+
+// idBytes is the wire payload of n sparse IDs (int64).
+func idBytes(n int) float64 { return float64(n) * 8 }
+
+// respBytes is the wire payload of one query's answer (a float32 score
+// plus framing).
+const respBytes = 8
+
+// ServiceTime prices one query on a worker with the hw Table I
+// arithmetic: the GPU probes its Hit-Map once per ID occurrence, the
+// fills (missed rows) take the CPU-gather -> PCIe -> scratchpad-fill
+// detour, the now-resident rows are gathered and pooled on the GPU, and
+// the dense MLP forward runs. Victim rows are clean in inference (no
+// gradient ever dirties them), so evictions are metadata-only and free.
+// coord is the query's cross-shard Plan coordination latency.
+func (f *Fleet) ServiceTime(fills, totalIDs int, coord float64) float64 {
+	sys := f.cfg.System
+	dim := f.cfg.EmbeddingDim
+	// Sparse IDs cross PCIe; the GPU probes key+value per occurrence.
+	t := sys.PCIe.TransferTime(idBytes(totalIDs)) +
+		sys.GPU.RandomTime(float64(totalIDs)*16)
+	if fills > 0 {
+		t += sys.CPU.GatherTime(fills, dim) +
+			sys.PCIe.TransferTime(hw.EmbeddingBytes(fills, dim)) +
+			sys.GPU.ScatterWriteTime(fills, dim)
+	}
+	t += sys.GPU.GatherTime(totalIDs, dim) +
+		sys.GPU.ReduceTime(totalIDs, f.cfg.NumTables, dim)
+	return t + f.cfg.DenseTime + coord
+}
+
+// Run builds a fleet for cfg, generates the configured arrival vector,
+// and simulates it.
+func Run(cfg Config) (*Report, error) {
+	f, err := NewFleet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	times := f.cfg.Arrival.Times(f.cfg.Requests, f.cfg.Seed+8200)
+	return f.Simulate(times)
+}
+
+// Simulate plays an ascending arrival-time vector through the fleet and
+// returns the report. Exposed separately from Run so tests can inject
+// hand-built arrival vectors.
+func (f *Fleet) Simulate(arrivals []float64) (*Report, error) {
+	var lat metrics.Series
+	rep := &Report{
+		Router:   Policy(f.cfg.Router),
+		Replicas: f.cfg.Replicas,
+		Offered:  int64(len(arrivals)),
+	}
+	var maxDone float64
+	totalIDs := f.cfg.NumTables * f.cfg.Lookups
+	for _, at := range arrivals {
+		f.nextRequest()
+		w := f.router.pick(f.reqKeys, f.workers, at)
+		wk := f.workers[w]
+		if wk.depth(at) >= f.cfg.QueueCap {
+			wk.drops++
+			rep.Drops++
+			continue
+		}
+		// Frontend-to-worker hop: queries routed off node 0 pay the
+		// crossed link both ways (IDs up, score back).
+		var linkUp, linkDown float64
+		if f.cfg.Topology != nil && wk.node != 0 {
+			link := f.cfg.Topology.Link(0, wk.node)
+			linkUp = link.TransferTime(idBytes(totalIDs))
+			linkDown = link.TransferTime(respBytes)
+			rep.CrossNode++
+			if wk.host != f.cfg.Topology.Nodes[0].Host {
+				rep.CrossHost++
+			}
+			rep.LinkTime += linkUp + linkDown
+		}
+		fills, evicts, coord, err := wk.plan(f.reqIDs)
+		if err != nil {
+			return nil, err
+		}
+		svc := f.ServiceTime(fills, totalIDs, coord)
+		enq := at + linkUp
+		start := enq
+		if wk.busyUntil > start {
+			start = wk.busyUntil
+		}
+		done := start + svc
+		wk.busyUntil = done
+		wk.comp = append(wk.comp, done)
+		if d := len(wk.comp) - wk.head; d > wk.peakDepth {
+			wk.peakDepth = d
+		}
+		wk.served++
+		rep.Served++
+		rep.Fills += int64(fills)
+		rep.Evictions += int64(evicts)
+		rep.CoordTime += coord
+		lat.Add(done + linkDown - at)
+		if done+linkDown > maxDone {
+			maxDone = done + linkDown
+		}
+	}
+	for _, wk := range f.workers {
+		var h, m int64
+		for _, mgr := range wk.mgrs {
+			st := mgr.Stats()
+			h += st.Hits
+			m += st.Misses
+		}
+		wk.hits, wk.misses = h, m
+		rep.Hits += h
+		rep.Misses += m
+		rep.Workers = append(rep.Workers, WorkerReport{
+			Node: wk.node, Host: wk.host,
+			Served: wk.served, Drops: wk.drops,
+			Hits: wk.hits, Misses: wk.misses,
+			PeakDepth: wk.peakDepth,
+		})
+	}
+	rep.Duration = maxDone
+	if rep.Duration > 0 {
+		rep.Throughput = float64(rep.Served) / rep.Duration
+	}
+	if n := len(arrivals); n > 0 && arrivals[n-1] > 0 {
+		rep.OfferedRate = float64(rep.Offered) / arrivals[n-1]
+	}
+	rep.Latency = lat.Summarize()
+	return rep, nil
+}
+
+// nextRequest draws one query's per-table ID lists into the reusable
+// request buffers and rebuilds the router's composite key list.
+func (f *Fleet) nextRequest() {
+	f.reqKeys = f.reqKeys[:0]
+	nt := int64(f.cfg.NumTables)
+	for t := range f.reqIDs {
+		dist := f.cfg.Dists[t]
+		for l := range f.reqIDs[t] {
+			id := dist.Sample(f.reqRng)
+			f.reqIDs[t][l] = id
+			f.reqKeys = append(f.reqKeys, id*nt+int64(t))
+		}
+	}
+}
+
+// plan runs one query's Plan/Release/Recycle cycle on every table of
+// the worker and returns the fill and eviction counts plus the modeled
+// cross-shard coordination latency.
+func (w *worker) plan(ids [][]int64) (fills, evicts int, coord float64, err error) {
+	for t, mgr := range w.mgrs {
+		res, perr := mgr.Plan(w.seq, ids[t], nil)
+		if perr != nil {
+			return 0, 0, 0, perr
+		}
+		fills += len(res.Fills)
+		evicts += len(res.Evictions)
+		coord += mgr.LastPlanCoord()
+		if rerr := mgr.Release(w.seq); rerr != nil {
+			return 0, 0, 0, rerr
+		}
+		mgr.Recycle(res)
+	}
+	w.seq++
+	return fills, evicts, coord, nil
+}
+
+// Report digests one serving simulation. The zero value is valid (all
+// counters zero) — engine reports embed it by value so non-serving runs
+// never carry a nil.
+type Report struct {
+	// Router/Replicas echo the deployment shape.
+	Router   Policy
+	Replicas int
+	// Offered counts generated queries; Served the admitted ones;
+	// Drops the arrivals bounced off full queues.
+	Offered, Served, Drops int64
+	// Duration is the simulated span from the first arrival to the
+	// last completion; Throughput is Served/Duration and OfferedRate
+	// the arrival process's realized rate.
+	Duration    float64
+	Throughput  float64
+	OfferedRate float64
+	// Hits/Misses are occurrence-level scratchpad statistics summed
+	// over all workers and tables; Fills/Evictions count row movements.
+	Hits, Misses     int64
+	Fills, Evictions int64
+	// Latency digests per-query end-to-end latency (queueing + service
+	// + routing links): P50/P95/P99 are the serving tail metrics.
+	Latency metrics.Summary
+	// CoordTime totals the cross-shard Plan coordination latency paid
+	// inside service times (zero for unsharded or co-located workers).
+	CoordTime float64
+	// CrossNode/CrossHost count queries routed off the frontend node /
+	// host; LinkTime totals the routing-link latency they paid.
+	CrossNode, CrossHost int64
+	LinkTime             float64
+	// Workers carries the per-replica breakdown.
+	Workers []WorkerReport
+}
+
+// WorkerReport is one replica's share of the run.
+type WorkerReport struct {
+	// Node/Host locate the replica on the topology.
+	Node, Host int
+	// Served/Drops count this replica's admitted and bounced queries.
+	Served, Drops int64
+	// Hits/Misses are the replica's occurrence-level cache statistics.
+	Hits, Misses int64
+	// PeakDepth is the replica's queue high-water mark.
+	PeakDepth int
+}
+
+// HitRate returns the fleet's occurrence-level cache hit rate.
+func (r Report) HitRate() float64 {
+	total := r.Hits + r.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(total)
+}
+
+// HitRate returns the replica's occurrence-level cache hit rate.
+func (w WorkerReport) HitRate() float64 {
+	total := w.Hits + w.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(w.Hits) / float64(total)
+}

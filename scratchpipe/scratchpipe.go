@@ -28,6 +28,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/hw"
 	"repro/internal/opt"
+	"repro/internal/serve"
 	"repro/internal/shard"
 	"repro/internal/trace"
 )
@@ -168,6 +169,40 @@ type EvacStats = shard.EvacStats
 // degrade:host<A>-host<B>@<I>[-<J>][x<F>].
 func ParseFaultPlan(s string) (FaultPlan, error) { return hw.ParseFaultPlan(s) }
 
+// ServeOptions configures the online serving simulation (see
+// serve.Options): replica count, routing policy, arrival process,
+// queue bound, and per-replica cache fraction. The zero value keeps
+// serving off.
+type ServeOptions = serve.Options
+
+// RouterPolicy names a serving routing policy.
+type RouterPolicy = serve.Policy
+
+// The four routing policies, in sophistication order: random spreads
+// blindly, roundrobin evenly, leastloaded by queue depth, and hitaware
+// by estimated cache overlap (tie-broken by queue depth).
+const (
+	RouterRandom     = serve.PolicyRandom
+	RouterRoundRobin = serve.PolicyRoundRobin
+	RouterLeastLoad  = serve.PolicyLeastLoaded
+	RouterHitAware   = serve.PolicyHitAware
+)
+
+// ParseRouterPolicy resolves a routing policy name ("" = hitaware).
+func ParseRouterPolicy(s string) (RouterPolicy, error) { return serve.ParsePolicy(s) }
+
+// ArrivalSpec describes a serving arrival process (see serve.ArrivalSpec).
+type ArrivalSpec = serve.ArrivalSpec
+
+// ParseArrival parses the -arrival flag grammar: "poisson:<qps>",
+// "diurnal:<qps>[:<amp>]", or "flash:<qps>[:<mult>[:<at>:<dur>]]".
+func ParseArrival(s string) (ArrivalSpec, error) { return serve.ParseArrival(s) }
+
+// ServeReport summarizes one serving simulation (see serve.Report for
+// field docs). The zero value is valid: serving-off runs carry it
+// zero-valued, never nil.
+type ServeReport = serve.Report
+
 // PolicyKind selects the scratchpad replacement policy.
 type PolicyKind = cache.PolicyKind
 
@@ -271,6 +306,10 @@ type Config struct {
 	// residency from the last flush (Report.CheckpointTime carries the
 	// flush cost) instead of dropping it cold.
 	CkptInterval int
+	// Serve configures the online serving simulation (Trainer.Serve):
+	// replicas, router, arrival process. The zero value keeps serving
+	// off and never perturbs training.
+	Serve ServeOptions
 }
 
 func (c *Config) applyDefaults() {
@@ -317,6 +356,7 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 		Reshard:      cfg.Reshard,
 		Faults:       cfg.Faults,
 		CkptInterval: cfg.CkptInterval,
+		Serve:        cfg.Serve,
 	})
 	if err != nil {
 		return nil, err
@@ -354,6 +394,18 @@ func (t *Trainer) Engine() string { return t.eng.Name() }
 
 // Train runs iters training iterations and returns the report.
 func (t *Trainer) Train(iters int) (*Report, error) { return t.eng.Run(iters) }
+
+// Serve plays the configured online serving simulation (Config.Serve)
+// over this trainer's model, trace class, topology, and shard knobs:
+// replica workers holding reactive scratchpads answer an open-loop
+// query stream behind the configured router. Training state is never
+// touched. Returns an error if Config.Serve is inactive.
+func (t *Trainer) Serve() (*ServeReport, error) {
+	if !t.cfg.Serve.Active() {
+		return nil, fmt.Errorf("scratchpipe: serving not configured (Config.Serve.Replicas == 0)")
+	}
+	return engine.RunServe(t.env)
+}
 
 // Flush writes GPU-cached dirty embedding rows back to the CPU tables
 // (functional mode) so full model state can be inspected or compared.
