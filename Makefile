@@ -34,12 +34,16 @@ test:
 # checkpoint (restore staging), plus the shard evacuation and engine
 # fault-orchestration tests already inside the shard/engine runs. The
 # serving fleet (serve) drives the sharded planner per replica and
-# inherits its fan-out machinery. Any hold-discipline, shard-partition,
-# or fan-out bug must surface as a race here.
+# inherits its fan-out machinery. The message plane (msgplane) runs
+# every host as a goroutine and the overlapped-coordination path races
+# a speculation goroutine against the pipeline, so both ride along. Any
+# hold-discipline, shard-partition, or fan-out bug must surface as a
+# race here.
 race:
 	$(GO) test -race ./internal/par/ ./internal/core/ ./internal/shard/ \
 		./internal/engine/ ./internal/trace/ ./internal/bench/ \
-		./internal/hw/ ./internal/checkpoint/ ./internal/serve/ ./scratchpipe/
+		./internal/hw/ ./internal/checkpoint/ ./internal/serve/ \
+		./internal/msgplane/ ./scratchpipe/
 
 # Fails on dangling intra-repo documentation references: any *.md that
 # names a file, directory, or package path that no longer exists (see

@@ -7,10 +7,11 @@
 // Usage:
 //
 //	benchgate -baseline BENCH_hotpath.json [-wall-factor 1.25]
-//	          [-alloc-factor 1.25] [-coord-factor 1.25] [-runs 2]
+//	          [-alloc-factor 1.25] [-coord-factor 1.25]
+//	          [-skew-tolerance 0.75] [-runs 2]
 //	          [-workers 1] [-shards 1] [-topology single]
-//	          [-placement stripe] [-coord exact] [-reshard SPEC]
-//	          [-fail PLAN] [-ckpt-interval N]
+//	          [-placement stripe] [-coord exact] [-coord-overlap]
+//	          [-reshard SPEC] [-fail PLAN] [-ckpt-interval N]
 //
 // The gate measures with Workers=1 and Shards=1 by default so allocation
 // counts are deterministic and wall time does not depend on the CI
@@ -36,16 +37,32 @@
 // for a given schedule. Passing -serve (with -router/-replicas/-arrival)
 // gates the serving-family entries — the online serving simulation —
 // on their deterministic throughput, hit rate, and p99, where *falling
-// below* the baseline by the -coord-factor is the regression. Wall time
-// is the minimum of -runs sweeps, which damps scheduler noise on shared
-// runners. Exit status 1 means a regression, 2 a usage/baseline
-// problem.
+// below* the baseline by the -coord-factor is the regression.
+//
+// Entries that recorded a measured coordination wall additionally gate
+// the modeled-vs-measured skew |coord_seconds - coord_wall_seconds| /
+// coord_seconds against -skew-tolerance (DESIGN.md §12 documents why
+// the plane legitimately undershoots the serial pricing model).
+// Passing -coord-overlap gates the overlapped-coordination family: the
+// speculation counters must match the baseline exactly (they are
+// deterministic — a guard regression that silently stops adopting is a
+// failure even though plans stay correct), an undisturbed family must
+// adopt every speculation, and the deterministic modeled sweep wall
+// (sim_wall_seconds) must sit strictly below the matching non-overlap
+// twin entry's — the gated "overlap measurably wins" criterion.
+//
+// Wall time is the minimum of -runs sweeps, which damps scheduler
+// noise on shared runners. On any regression the gate prints the
+// failing family's full baseline-vs-measured delta table, not just the
+// first offending metric. Exit status 1 means a regression, 2 a
+// usage/baseline problem.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"repro/internal/bench"
@@ -61,12 +78,14 @@ func main() {
 	wallFactor := flag.Float64("wall-factor", 1.25, "fail if wall time exceeds baseline by this factor")
 	allocFactor := flag.Float64("alloc-factor", 1.25, "fail if allocation count exceeds baseline by this factor")
 	coordFactor := flag.Float64("coord-factor", 1.25, "fail if coordination rounds exceed baseline by this factor (entries with recorded rounds only)")
+	skewTol := flag.Float64("skew-tolerance", 0.75, "fail if the modeled-vs-measured coordination skew exceeds this fraction (entries with a recorded coordination wall only)")
 	runs := flag.Int("runs", 2, "measurement repetitions (best wall time wins)")
 	workers := flag.Int("workers", 1, "per-table fan-out parallelism for the measurement")
 	shards := flag.Int("shards", 1, "scratchpad shards per table for the measurement")
 	topology := flag.String("topology", "single", "shard placement topology for the measurement ("+hw.TopologyNames+")")
 	placement := flag.String("placement", "stripe", "shard placement policy for the measurement (stripe|range|loadaware)")
 	coord := flag.String("coord", "exact", "cross-shard coordination protocol for the measurement ("+shard.CoordModeNames+")")
+	coordOverlap := flag.Bool("coord-overlap", false, "gate the overlapped-coordination family (speculation counters exact; sim wall strictly below the non-overlap twin entry)")
 	reshard := flag.String("reshard", "", "elastic reshard schedule for the measurement (e.g. 4:4 or load:8; empty = fixed sharding)")
 	failPlan := flag.String("fail", "", "fault schedule for the measurement ("+hw.FaultGrammar+"; empty = fault-free)")
 	ckptInterval := flag.Int("ckpt-interval", 0, "checkpoint-flush interval for the measurement (0 = disabled)")
@@ -162,9 +181,12 @@ func main() {
 		serveArrival = resolved.Arrival.String()
 		serveReplicas = resolved.Replicas
 	}
-	base := pickBaseline(hist.History, *configName, *workers, *shards, topoName, string(policy), string(coordMode), reshardSpec.String(), faults.String(), *ckptInterval, serveRouter, serveArrival, serveReplicas)
+	base := pickBaseline(hist.History, *configName, *workers, *shards, topoName, string(policy), string(coordMode), *coordOverlap, reshardSpec.String(), faults.String(), *ckptInterval, serveRouter, serveArrival, serveReplicas)
 	if base == nil {
 		extraArgs := ""
+		if *coordOverlap {
+			extraArgs += " -coord-overlap"
+		}
 		if reshardSpec.Active() {
 			extraArgs += " -reshard " + reshardSpec.String()
 		}
@@ -196,6 +218,7 @@ func main() {
 	cfg.Faults = faults
 	cfg.CkptInterval = *ckptInterval
 	cfg.Serve = serveOpts
+	cfg.CoordOverlap = *coordOverlap
 	if topo.NumNodes() > 1 {
 		cfg.Topology = topo
 		cfg.Placement = policy
@@ -282,7 +305,71 @@ func main() {
 			failed = true
 		}
 	}
+	// The modeled-vs-measured skew: the message plane's makespan must
+	// track the serial pricing model within the documented tolerance
+	// (DESIGN.md §12 — the plane legitimately undershoots because it
+	// executes rounds the model prices serially).
+	if best.CoordSeconds > 0 && best.CoordWallSeconds > 0 {
+		skew := math.Abs(best.CoordSeconds-best.CoordWallSeconds) / best.CoordSeconds
+		if skew > *skewTol {
+			fmt.Printf("benchgate: FAIL modeled-vs-measured coordination skew %.3f exceeds %.2f (modeled %.4fs, measured %.4fs)\n",
+				skew, *skewTol, best.CoordSeconds, best.CoordWallSeconds)
+			failed = true
+		}
+	}
+	// The modeled sweep wall is deterministic for a configuration, so it
+	// gates at the coordination threshold like the other simulated
+	// quantities.
+	if base.SimWallSeconds > 0 {
+		if limit := base.SimWallSeconds * *coordFactor; best.SimWallSeconds > limit {
+			fmt.Printf("benchgate: FAIL modeled sweep wall %.4fs exceeds %.4fs (baseline x %.2f)\n",
+				best.SimWallSeconds, limit, *coordFactor)
+			failed = true
+		}
+	}
+	// The overlap family's speculation counters are deterministic:
+	// any drift from the baseline means the adoption guards changed
+	// behaviour (plans would still be correct — adoptSpec re-validates —
+	// but the overlap win silently erodes, which is exactly what this
+	// gate exists to catch).
+	if *coordOverlap {
+		if best.OverlapSpeculated == 0 {
+			fmt.Printf("benchgate: FAIL overlap family never speculated\n")
+			failed = true
+		}
+		if !faults.Active() && (best.OverlapAdopted != best.OverlapSpeculated || best.OverlapRolledBack != 0) {
+			fmt.Printf("benchgate: FAIL undisturbed overlap family must adopt every speculation (speculated %d, adopted %d, rolled back %d)\n",
+				best.OverlapSpeculated, best.OverlapAdopted, best.OverlapRolledBack)
+			failed = true
+		}
+		if best.OverlapSpeculated != base.OverlapSpeculated ||
+			best.OverlapAdopted != base.OverlapAdopted ||
+			best.OverlapRolledBack != base.OverlapRolledBack {
+			fmt.Printf("benchgate: FAIL speculation counters moved: speculated %d->%d, adopted %d->%d, rolled back %d->%d (deterministic; gate is exact)\n",
+				base.OverlapSpeculated, best.OverlapSpeculated,
+				base.OverlapAdopted, best.OverlapAdopted,
+				base.OverlapRolledBack, best.OverlapRolledBack)
+			failed = true
+		}
+		// The win itself: the overlapped sweep's modeled wall must sit
+		// strictly below the matching non-overlap twin entry's.
+		twin := pickBaseline(hist.History, *configName, *workers, *shards, topoName, string(policy), string(coordMode), false, reshardSpec.String(), faults.String(), *ckptInterval, serveRouter, serveArrival, serveReplicas)
+		switch {
+		case twin == nil || twin.SimWallSeconds <= 0:
+			fmt.Fprintf(os.Stderr, "benchgate: no non-overlap twin entry in %s to verify the overlap win against; record one with the same shape minus -coord-overlap\n", *baseline)
+			os.Exit(2)
+		case best.SimWallSeconds >= twin.SimWallSeconds:
+			fmt.Printf("benchgate: FAIL overlap did not beat the non-overlap twin: sim wall %.6fs vs twin %.6fs\n",
+				best.SimWallSeconds, twin.SimWallSeconds)
+			failed = true
+		default:
+			fmt.Printf("benchgate: overlap win %.4fs -> %.4fs modeled sweep wall (-%.2f%% vs non-overlap twin)\n",
+				twin.SimWallSeconds, best.SimWallSeconds,
+				100*(1-best.SimWallSeconds/twin.SimWallSeconds))
+		}
+	}
 	if failed {
+		printDelta(base, best)
 		os.Exit(1)
 	}
 	coordNote := ""
@@ -305,7 +392,7 @@ func main() {
 // coordination metering the co-located sweep never executes, and the
 // batched/hier/approx protocol entries send a fraction of the exact
 // protocol's rounds.
-func pickBaseline(hist []bench.HotPathResult, config string, workers, shards int, topology, placement, coord, reshard, faults string, ckptInterval int, serveRouter, serveArrival string, serveReplicas int) *bench.HotPathResult {
+func pickBaseline(hist []bench.HotPathResult, config string, workers, shards int, topology, placement, coord string, coordOverlap bool, reshard, faults string, ckptInterval int, serveRouter, serveArrival string, serveReplicas int) *bench.HotPathResult {
 	norm := func(s int) int {
 		if s <= 1 {
 			return 1
@@ -338,7 +425,8 @@ func pickBaseline(hist []bench.HotPathResult, config string, workers, shards int
 		// placement is meaningless without a topology and is compared
 		// only when one is set.
 		if e.Config == config && e.Workers == workers && norm(e.Shards) == norm(shards) &&
-			normCoord(e.CoordMode) == normCoord(coord) && e.Reshard == reshard &&
+			normCoord(e.CoordMode) == normCoord(coord) &&
+			e.CoordOverlap == coordOverlap && e.Reshard == reshard &&
 			e.Faults == faults && e.CkptInterval == ckptInterval &&
 			e.Serve == serveRouter && e.ServeArrival == serveArrival &&
 			e.ServeReplicas == serveReplicas &&
@@ -348,4 +436,54 @@ func pickBaseline(hist []bench.HotPathResult, config string, workers, shards int
 		}
 	}
 	return exact
+}
+
+// printDelta dumps the failing family's full baseline-vs-measured table
+// so one CI failure shows every metric's movement, not just the first
+// offending gate. Rows where both sides are zero (fields the family
+// never recorded) are omitted.
+func printDelta(base, best *bench.HotPathResult) {
+	type row struct {
+		name    string
+		b, m    float64
+		integer bool
+	}
+	rows := []row{
+		{"wall_seconds", base.WallSeconds, best.WallSeconds, false},
+		{"allocs", float64(base.Allocs), float64(best.Allocs), true},
+		{"alloc_bytes", float64(base.AllocBytes), float64(best.AllocBytes), true},
+		{"scratchpipe_speedup_avg", base.ScratchPipeSpeedupAvg, best.ScratchPipeSpeedupAvg, false},
+		{"coord_rounds", float64(base.CoordRounds), float64(best.CoordRounds), true},
+		{"coord_seconds", base.CoordSeconds, best.CoordSeconds, false},
+		{"coord_wall_seconds", base.CoordWallSeconds, best.CoordWallSeconds, false},
+		{"sim_wall_seconds", base.SimWallSeconds, best.SimWallSeconds, false},
+		{"overlap_speculated", float64(base.OverlapSpeculated), float64(best.OverlapSpeculated), true},
+		{"overlap_adopted", float64(base.OverlapAdopted), float64(best.OverlapAdopted), true},
+		{"overlap_rolled_back", float64(base.OverlapRolledBack), float64(best.OverlapRolledBack), true},
+		{"migration_seconds", base.MigrationSeconds, best.MigrationSeconds, false},
+		{"downtime_seconds", base.DowntimeSeconds, best.DowntimeSeconds, false},
+		{"recovery_seconds", base.RecoverySeconds, best.RecoverySeconds, false},
+		{"serve_throughput", base.ServeThroughput, best.ServeThroughput, false},
+		{"serve_hit_rate", base.ServeHitRate, best.ServeHitRate, false},
+		{"serve_p99_ms", base.ServeP99Ms, best.ServeP99Ms, false},
+		{"serve_drops", float64(base.ServeDrops), float64(best.ServeDrops), true},
+	}
+	fmt.Printf("benchgate: full family delta (baseline %s):\n", base.Timestamp)
+	fmt.Printf("  %-24s %16s %16s %10s\n", "metric", "baseline", "measured", "ratio")
+	for _, r := range rows {
+		if r.b == 0 && r.m == 0 {
+			continue
+		}
+		format := func(v float64) string {
+			if r.integer {
+				return fmt.Sprintf("%d", int64(v))
+			}
+			return fmt.Sprintf("%.6g", v)
+		}
+		ratio := "-"
+		if r.b != 0 {
+			ratio = fmt.Sprintf("%.3fx", r.m/r.b)
+		}
+		fmt.Printf("  %-24s %16s %16s %10s\n", r.name, format(r.b), format(r.m), ratio)
+	}
 }

@@ -8,6 +8,7 @@
 //	dlrmtrain -shards 4 -topology cluster2x2 -placement loadaware
 //	dlrmtrain -shards 4 -topology cluster2x2 -coord hier   # batched host-tier coordination
 //	dlrmtrain -shards 4 -topology cluster2x2 -coord approx -coord-quantum 64
+//	dlrmtrain -shards 4 -topology cluster2x2 -coord hier -coord-overlap  # speculative coordination overlap
 //	dlrmtrain -shards 1 -topology cluster2x2 -reshard 20:4 -coord hier  # elastic scale-out mid-run
 //	dlrmtrain -topology numa4 -reshard load:4 -class High   # load-triggered growth
 //	dlrmtrain -serve -replicas 4 -router hitaware -arrival poisson:2000 -class High
@@ -85,6 +86,7 @@ func main() {
 	placement := flag.String("placement", "stripe", "shard placement policy (stripe|range|loadaware)")
 	coord := flag.String("coord", "exact", "cross-shard coordination protocol (exact|batched|hier|approx)")
 	coordQuantum := flag.Int("coord-quantum", 0, "approx-mode recency quantum in clock ticks (0 = default; 1 = exact order)")
+	coordOverlap := flag.Bool("coord-overlap", false, "overlap distributed coordination with the pipeline (scratchpipe engine; bit-identical plans, shrinks the Plan-stage coordination share)")
 	reshard := flag.String("reshard", "", "elastic reshard schedule: iter:shards steps and/or load:<max>[:<thresh>] (e.g. 200:4,500:8 or load:8; empty = fixed sharding)")
 	failPlan := flag.String("fail", "", "fault schedule: host<H>@<I>, agg<H>@<I>, link:host<A>-host<B>@<I>[-<J>], degrade:host<A>-host<B>@<I>[-<J>][x<F>] (e.g. host1@20,link:host0-host1@10-15; empty = no faults)")
 	ckptInterval := flag.Int("ckpt-interval", 0, "priced scratchpad checkpoint flush every N iterations (0 = disabled; with -fail, host deaths restore residency from the last flush)")
@@ -126,6 +128,9 @@ func main() {
 	}
 	if *coordQuantum > 0 && coordMode != scratchpipe.CoordApprox {
 		fail("-coord-quantum only applies to -coord approx (got -coord %s)", coordMode)
+	}
+	if *coordOverlap && scratchpipe.Kind(*engineFlag) != scratchpipe.KindScratchPipe {
+		fail("-coord-overlap applies to the scratchpipe engine, got -engine %s", *engineFlag)
 	}
 	reshardSpec, err := scratchpipe.ParseReshardSpec(*reshard)
 	if err != nil {
@@ -212,6 +217,7 @@ func main() {
 		Placement:    place,
 		Coord:        coordMode,
 		CoordQuantum: *coordQuantum,
+		CoordOverlap: *coordOverlap,
 		Reshard:      reshardSpec,
 		Faults:       faults,
 		CkptInterval: *ckptInterval,
@@ -270,6 +276,14 @@ func main() {
 			rep.Coord.Messages, rep.Coord.PollRounds, rep.Coord.ConfirmRounds,
 			rep.Coord.SlotMoveRounds, rep.Coord.StampSyncRounds, rep.Coord.BorrowRounds,
 			rep.Coord.Bytes()/1e3)
+		if rep.CoordWallTime > 0 {
+			fmt.Printf("    message plane: %.3f ms/iter measured wall (modeled %.3f ms/iter)\n",
+				rep.CoordWallTime*1e3, rep.CoordTime*1e3)
+		}
+		if ov := rep.Overlap; ov.Speculated > 0 {
+			fmt.Printf("    overlap: %d speculated, %d adopted, %d rolled back\n",
+				ov.Speculated, ov.Adopted, ov.RolledBack)
+		}
 	}
 	if rs := rep.Resharding; rs.Events > 0 {
 		// Resharding counters sum across tables; every boundary

@@ -6,12 +6,12 @@
 //	         fig13|fig14|fig15a|fig15b|tablei|overhead|sensitivity|ablation|
 //	         serving]
 //	        [-iters N] [-quick] [-seed S] [-workers N] [-shards S]
-//	        [-topology T] [-placement P] [-coord M] [-reshard SPEC]
-//	        [-fail PLAN] [-ckpt-interval N]
+//	        [-topology T] [-placement P] [-coord M] [-coord-overlap]
+//	        [-reshard SPEC] [-fail PLAN] [-ckpt-interval N]
 //	        [-serve] [-replicas R] [-router P] [-arrival SPEC]
 //	spbench -json BENCH_hotpath.json [-quick] [-workers N] [-shards S]
-//	        [-topology T] [-placement P] [-coord M] [-reshard SPEC]
-//	        [-fail PLAN] [-ckpt-interval N] [-note TEXT]
+//	        [-topology T] [-placement P] [-coord M] [-coord-overlap]
+//	        [-reshard SPEC] [-fail PLAN] [-ckpt-interval N] [-note TEXT]
 //	        [-serve] [-replicas R] [-router P] [-arrival SPEC]
 //
 // With -quick the paper-scale tables (10M rows) shrink 50x, which changes
@@ -30,7 +30,13 @@
 // protocol (exact|batched|hier|approx): exact, batched, and hier
 // produce identical tables (batching only cuts coordination rounds);
 // approx trades measured eviction divergence for zero stamp-sync
-// traffic.
+// traffic. -coord-overlap overlaps each ScratchPipe run's distributed
+// coordination with the pipeline (speculative candidate resolution with
+// rollback-and-replay; DESIGN.md §12): plans and cache statistics stay
+// bit-identical, only the critical coordination share charged to the
+// Plan stage — and with it the modeled wall — shrinks. With -json the
+// entry additionally records coord_wall_seconds (the measured message-
+// plane makespan) and the overlap_* speculation counters.
 //
 // -reshard schedules elastic shard-count transitions mid-run for the
 // dynamic-cache engines ("200:4,500:8" = step to 4 shards at iteration
@@ -105,6 +111,7 @@ func main() {
 	topology := flag.String("topology", "single", "shard placement topology ("+hw.TopologyNames+")")
 	placement := flag.String("placement", "stripe", "shard placement policy (stripe|range|loadaware)")
 	coord := flag.String("coord", "exact", "cross-shard coordination protocol ("+shard.CoordModeNames+")")
+	coordOverlap := flag.Bool("coord-overlap", false, "overlap ScratchPipe's distributed coordination with the pipeline (bit-identical plans; shrinks the Plan-stage coordination share)")
 	reshard := flag.String("reshard", "", "elastic reshard schedule (e.g. 200:4,500:8 or load:8; empty = fixed sharding)")
 	failPlan := flag.String("fail", "", "fault schedule for the dynamic-cache engines ("+hw.FaultGrammar+"; empty = no faults)")
 	ckptInterval := flag.Int("ckpt-interval", 0, "priced scratchpad checkpoint flush every N iterations (0 = disabled)")
@@ -193,6 +200,7 @@ func main() {
 	// is how their figures are diff-verified bit-identical to exact;
 	// approx changes eviction order regardless of placement).
 	cfg.Coord = coordMode
+	cfg.CoordOverlap = *coordOverlap
 	cfg.Reshard = reshardSpec
 	cfg.Faults = faults
 	cfg.CkptInterval = *ckptInterval
@@ -231,7 +239,12 @@ func main() {
 		}
 		coordLine := ""
 		if res.CoordRounds > 0 {
-			coordLine = fmt.Sprintf(", %d coord rounds (%.1f ms modeled)", res.CoordRounds, res.CoordSeconds*1e3)
+			coordLine = fmt.Sprintf(", %d coord rounds (%.1f ms modeled, %.1f ms measured)",
+				res.CoordRounds, res.CoordSeconds*1e3, res.CoordWallSeconds*1e3)
+		}
+		if res.CoordOverlap {
+			coordLine += fmt.Sprintf(", overlap %d/%d adopted (%d rolled back, sim wall %.1f ms)",
+				res.OverlapAdopted, res.OverlapSpeculated, res.OverlapRolledBack, res.SimWallSeconds*1e3)
 		}
 		if res.Reshard != "" {
 			coordLine += fmt.Sprintf(", reshard %s (%.1f ms migration)", res.Reshard, res.MigrationSeconds*1e3)

@@ -53,6 +53,12 @@ type Config struct {
 	// and hier produce identical simulated tables; approx may diverge
 	// and the reports carry the measured divergence.
 	Coord shard.CoordMode
+	// CoordOverlap overlaps each ScratchPipe run's distributed
+	// coordination with the pipeline (engine.ScratchPipeOptions
+	// .CoordOverlap): plans and cache statistics are unchanged, the
+	// critical coordination share charged to [Plan] shrinks. A no-op
+	// for every other engine and under co-located placement.
+	CoordOverlap bool
 	// Reshard schedules run-time shard-count transitions for the
 	// dynamic-cache engines mid-run (engine.ReshardSpec): every data
 	// point's strawman and ScratchPipe runs then migrate their live
@@ -209,9 +215,9 @@ func buildStrawMan(frac float64) func(*engine.Env) (engine.Engine, error) {
 	return func(env *engine.Env) (engine.Engine, error) { return engine.NewStrawMan(env, frac, "lru") }
 }
 
-func buildScratchPipe(frac float64) func(*engine.Env) (engine.Engine, error) {
+func buildScratchPipe(frac float64, overlap bool) func(*engine.Env) (engine.Engine, error) {
 	return func(env *engine.Env) (engine.Engine, error) {
-		return engine.NewScratchPipe(env, engine.ScratchPipeOptions{CacheFrac: frac})
+		return engine.NewScratchPipe(env, engine.ScratchPipeOptions{CacheFrac: frac, CoordOverlap: overlap})
 	}
 }
 

@@ -45,6 +45,27 @@ type HotPathResult struct {
 	// gates protocol regressions on them exactly).
 	CoordRounds  int64   `json:"coord_rounds,omitempty"`
 	CoordSeconds float64 `json:"coord_seconds,omitempty"`
+	// CoordWallSeconds is the MEASURED coordination wall: the message
+	// plane's makespan (internal/msgplane), recorded beside the modeled
+	// CoordSeconds so benchgate can gate the modeled-vs-measured skew
+	// |modeled - measured| / modeled within the documented tolerance
+	// (DESIGN.md §12).
+	CoordWallSeconds float64 `json:"coord_wall_seconds,omitempty"`
+	// CoordOverlap records whether the sweep ran with overlapped
+	// coordination (-coord-overlap): overlap entries are their own
+	// family — same traffic, different wall shape.
+	CoordOverlap bool `json:"coord_overlap,omitempty"`
+	// OverlapSpeculated/Adopted/RolledBack total the sweep's speculation
+	// outcomes (deterministic; benchgate gates them exactly so a guard
+	// regression that silently stops adopting is caught).
+	OverlapSpeculated int64 `json:"overlap_speculated,omitempty"`
+	OverlapAdopted    int64 `json:"overlap_adopted,omitempty"`
+	OverlapRolledBack int64 `json:"overlap_rolled_back,omitempty"`
+	// SimWallSeconds totals the ScratchPipe runs' modeled wall across
+	// the sweep's data points (deterministic). The overlap family's
+	// value must sit strictly below its non-overlapped twin entry —
+	// that is the gated "hot-path wall measurably drops" criterion.
+	SimWallSeconds float64 `json:"sim_wall_seconds,omitempty"`
 	// Reshard records the elastic-resharding schedule of the sweep in
 	// the -reshard grammar (empty = no resharding): reshard entries
 	// gate independently, since mid-sweep migration changes both the
@@ -120,13 +141,17 @@ func HotPath(cfg Config, configName string) (*HotPathResult, error) {
 	wall := time.Since(start)
 	runtime.ReadMemStats(&after)
 
-	var spSum, coordSec, migSec, downSec, recovSec float64
+	var spSum, coordSec, coordWallSec, migSec, downSec, recovSec, simWall float64
 	var coordRounds int64
+	var overlap shard.OverlapStats
 	for _, p := range pts {
 		_, _, sp := p.SpeedupVsStatic()
 		spSum += sp
 		coordRounds += p.CoordRounds
 		coordSec += p.CoordSeconds
+		coordWallSec += p.CoordWallSeconds
+		simWall += p.ScratchPipeWall
+		overlap.Merge(p.Overlap)
 		migSec += p.MigrationSeconds
 		downSec += p.DowntimeSeconds
 		recovSec += p.RecoverySeconds
@@ -153,6 +178,12 @@ func HotPath(cfg Config, configName string) (*HotPathResult, error) {
 		CoordMode:             coordMode,
 		CoordRounds:           coordRounds,
 		CoordSeconds:          coordSec,
+		CoordWallSeconds:      coordWallSec,
+		CoordOverlap:          cfg.CoordOverlap,
+		OverlapSpeculated:     overlap.Speculated,
+		OverlapAdopted:        overlap.Adopted,
+		OverlapRolledBack:     overlap.RolledBack,
+		SimWallSeconds:        simWall,
 		Reshard:               cfg.Reshard.String(),
 		MigrationSeconds:      migSec,
 		Faults:                cfg.Faults.String(),
@@ -193,25 +224,35 @@ func hotPathServe(cfg Config, configName string) (*HotPathResult, error) {
 	if cfg.Topology != nil {
 		topoName = cfg.Topology.Name
 	}
+	// Serving entries carry the same coordination columns as training
+	// entries: protocol, rounds, modeled seconds, measured wall.
+	coordMode := ""
+	if mode, err := shard.ParseCoordMode(string(cfg.Coord)); err == nil && mode != shard.CoordExact {
+		coordMode = string(mode)
+	}
 	return &HotPathResult{
-		Timestamp:       time.Now().UTC().Format(time.RFC3339),
-		Config:          configName,
-		Workers:         cfg.Workers,
-		Shards:          cfg.Shards,
-		Topology:        topoName,
-		Placement:       string(cfg.Placement),
-		Serve:           string(rep.Router),
-		ServeArrival:    cfg.Serve.Arrival.String(),
-		ServeReplicas:   rep.Replicas,
-		ServeThroughput: rep.Throughput,
-		ServeHitRate:    rep.HitRate(),
-		ServeP99Ms:      rep.Latency.P99 * 1e3,
-		ServeDrops:      rep.Drops,
-		GoMaxProcs:      runtime.GOMAXPROCS(0),
-		Iters:           cfg.Iters,
-		WallSeconds:     wall.Seconds(),
-		Allocs:          after.Mallocs - before.Mallocs,
-		AllocBytes:      after.TotalAlloc - before.TotalAlloc,
+		Timestamp:        time.Now().UTC().Format(time.RFC3339),
+		Config:           configName,
+		Workers:          cfg.Workers,
+		Shards:           cfg.Shards,
+		Topology:         topoName,
+		Placement:        string(cfg.Placement),
+		CoordMode:        coordMode,
+		CoordRounds:      rep.CoordRounds,
+		CoordSeconds:     rep.CoordTime,
+		CoordWallSeconds: rep.CoordWallTime,
+		Serve:            string(rep.Router),
+		ServeArrival:     cfg.Serve.Arrival.String(),
+		ServeReplicas:    rep.Replicas,
+		ServeThroughput:  rep.Throughput,
+		ServeHitRate:     rep.HitRate(),
+		ServeP99Ms:       rep.Latency.P99 * 1e3,
+		ServeDrops:       rep.Drops,
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		Iters:            cfg.Iters,
+		WallSeconds:      wall.Seconds(),
+		Allocs:           after.Mallocs - before.Mallocs,
+		AllocBytes:       after.TotalAlloc - before.TotalAlloc,
 	}, nil
 }
 

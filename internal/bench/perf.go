@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dlrm"
 	"repro/internal/energy"
+	"repro/internal/shard"
 	"repro/internal/trace"
 )
 
@@ -47,7 +48,7 @@ func Figure12b(cfg Config) (*Table, error) {
 	}
 	for _, class := range trace.Classes {
 		for _, frac := range CacheFracs {
-			rep, err := runEngine(cfg, cfg.Model, class, buildScratchPipe(frac))
+			rep, err := runEngine(cfg, cfg.Model, class, buildScratchPipe(frac, cfg.CoordOverlap))
 			if err != nil {
 				return nil, err
 			}
@@ -74,6 +75,19 @@ type SpeedupPoint struct {
 	// time at this point (zero under co-located placements).
 	CoordRounds  int64
 	CoordSeconds float64
+	// CoordWallSeconds totals the same engines' MEASURED coordination
+	// wall — the message plane's makespan (internal/msgplane) rather
+	// than the meter's serialized arithmetic; the modeled-vs-measured
+	// skew is defined over the two (DESIGN.md §12).
+	CoordWallSeconds float64
+	// Overlap totals the ScratchPipe run's speculative-coordination
+	// outcomes at this point (all zero unless cfg.CoordOverlap).
+	Overlap shard.OverlapStats
+	// ScratchPipeWall is the ScratchPipe run's total modeled wall at
+	// this point (fill + steady cycles + episodic stalls). Deterministic
+	// for a configuration, and strictly smaller with CoordOverlap on a
+	// distributed placement — benchgate gates the overlap win on it.
+	ScratchPipeWall float64
 	// MigrationSeconds totals the dynamic-cache engines' modeled
 	// elastic-resharding migration latency at this point (zero without
 	// a reshard schedule or under co-located migration).
@@ -110,20 +124,26 @@ func CollectFigure13(cfg Config) ([]SpeedupPoint, error) {
 			if err != nil {
 				return nil, err
 			}
-			sp, err := runEngine(cfg, cfg.Model, class, buildScratchPipe(frac))
+			sp, err := runEngine(cfg, cfg.Model, class, buildScratchPipe(frac, cfg.CoordOverlap))
 			if err != nil {
 				return nil, err
 			}
-			pts = append(pts, SpeedupPoint{
+			pt := SpeedupPoint{
 				Class: class, CacheFrac: frac,
 				Hybrid: hybrid.IterTime, Static: static.IterTime,
 				StrawMan: sm.IterTime, ScratchPipe: sp.IterTime,
-				CoordRounds:      sm.Coord.Messages + sp.Coord.Messages,
-				CoordSeconds:     sm.Coord.Seconds + sp.Coord.Seconds,
+				CoordRounds:  sm.Coord.Messages + sp.Coord.Messages,
+				CoordSeconds: sm.Coord.Seconds + sp.Coord.Seconds,
+				CoordWallSeconds: sm.Coord.WallSeconds + sm.Coord.WallHiddenSeconds +
+					sp.Coord.WallSeconds + sp.Coord.WallHiddenSeconds,
 				MigrationSeconds: sm.MigrationTime + sp.MigrationTime,
 				DowntimeSeconds:  sm.Downtime + sp.Downtime,
 				RecoverySeconds:  sm.RecoveryTime + sp.RecoveryTime,
-			})
+				ScratchPipeWall:  sp.Wall,
+			}
+			pt.Overlap.Merge(sm.Overlap)
+			pt.Overlap.Merge(sp.Overlap)
+			pts = append(pts, pt)
 		}
 	}
 	return pts, nil
@@ -173,7 +193,7 @@ func Figure14(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		sp, err := runEngine(cfg, cfg.Model, class, buildScratchPipe(0.02))
+		sp, err := runEngine(cfg, cfg.Model, class, buildScratchPipe(0.02, cfg.CoordOverlap))
 		if err != nil {
 			return nil, err
 		}
@@ -237,7 +257,7 @@ func addSweepRow(tab *Table, cfg Config, model dlrm.Config, class trace.Class, l
 	if err != nil {
 		return err
 	}
-	sp, err := runEngine(cfg, model, class, buildScratchPipe(frac))
+	sp, err := runEngine(cfg, model, class, buildScratchPipe(frac, cfg.CoordOverlap))
 	if err != nil {
 		return err
 	}

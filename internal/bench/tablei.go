@@ -18,7 +18,7 @@ func TableI(cfg Config) (*Table, error) {
 		Columns: []string{"dataset", "system", "instance", "price/hr", "iter time (ms)", "1M-iter cost", "cost ratio"},
 	}
 	for _, class := range trace.Classes {
-		sp, err := runEngine(cfg, cfg.Model, class, buildScratchPipe(0.02))
+		sp, err := runEngine(cfg, cfg.Model, class, buildScratchPipe(0.02, cfg.CoordOverlap))
 		if err != nil {
 			return nil, err
 		}
@@ -53,7 +53,7 @@ func OverheadStudy(cfg Config) (*Table, error) {
 	worstRows := float64(window * perBatch * model.NumTables)
 	for _, class := range trace.Classes {
 		for _, frac := range []float64{0.02, 0.10} {
-			rep, err := runEngine(cfg, model, class, buildScratchPipe(frac))
+			rep, err := runEngine(cfg, model, class, buildScratchPipe(frac, cfg.CoordOverlap))
 			if err != nil {
 				return nil, err
 			}
@@ -102,7 +102,7 @@ func SensitivityExtra(cfg Config) (*Table, error) {
 	for _, bs := range []int{512, 2048, 8192} {
 		model := cfg.Model
 		model.BatchSize = bs
-		rep, err := runEngine(cfg, model, trace.Medium, buildScratchPipe(0.02))
+		rep, err := runEngine(cfg, model, trace.Medium, buildScratchPipe(0.02, cfg.CoordOverlap))
 		if err != nil {
 			return nil, err
 		}
@@ -113,7 +113,7 @@ func SensitivityExtra(cfg Config) (*Table, error) {
 	model.TopHidden = []int{4096, 4096, 2048, 1024}
 	model.Lookups = 2
 	for _, class := range []trace.Class{trace.Low, trace.High} {
-		sp, err := runEngine(cfg, model, class, buildScratchPipe(0.02))
+		sp, err := runEngine(cfg, model, class, buildScratchPipe(0.02, cfg.CoordOverlap))
 		if err != nil {
 			return nil, err
 		}
@@ -141,7 +141,7 @@ func AblationWindows(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		tab.AddRow("strawman (no pipeline)", class.String(), ms(sm.IterTime), fmt.Sprintf("%d", sm.ReservePeak), "stage sum")
-		sp, err := runEngine(cfg, cfg.Model, class, buildScratchPipe(0.02))
+		sp, err := runEngine(cfg, cfg.Model, class, buildScratchPipe(0.02, cfg.CoordOverlap))
 		if err != nil {
 			return nil, err
 		}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -49,6 +50,11 @@ type dynamicState struct {
 	// do NOT — the single socket's DRAM is shared, which is exactly why
 	// the paper expects multi-GPU ScratchPipe to underutilize GPUs.
 	gpus int
+
+	// Overlapped-coordination state (scratchpipe.go maybeSpeculate):
+	// specWG joins the speculation goroutine running behind the cycle
+	// before anything else touches the shard managers.
+	specWG sync.WaitGroup
 
 	// Elastic-resharding state (reshard.go): reshardNext cursors the
 	// static schedule, loadSnap is the load policy's last probe
@@ -103,10 +109,20 @@ type spJob struct {
 	tCPU, tGPU []float64
 	// tCoord collects each table's cross-node shard-coordination
 	// latency for the Plan just executed; coord accumulates the batch's
-	// total (zero under co-located placement).
-	tCoord    []float64
-	coord     float64
-	stageTime [core.NumStages]float64
+	// total (zero under co-located placement). tCoordCrit/tCoordWall
+	// are its overlapped-coordination companions: the critical share
+	// the Plan actually waited for (== tCoord unless a speculation was
+	// adopted) and the message plane's measured wall twin. coordHidden
+	// is the batch's speculation-hidden share (coord - critical): it
+	// occupies the coordinator concurrently with the cycle's other
+	// stages, so the cycle wall floors on it.
+	tCoord      []float64
+	tCoordCrit  []float64
+	tCoordWall  []float64
+	coord       float64
+	coordWall   float64
+	coordHidden float64
+	stageTime   [core.NumStages]float64
 	// stageCPU is the CPU-memory-bound component of each stage, used by
 	// the optional contention model (concurrent stages sharing the one
 	// CPU socket's DRAM bandwidth serialize in the worst case).
@@ -237,6 +253,8 @@ func (d *dynamicState) getJob() *spJob {
 		tCPU:       make([]float64, nt),
 		tGPU:       make([]float64, nt),
 		tCoord:     make([]float64, nt),
+		tCoordCrit: make([]float64, nt),
+		tCoordWall: make([]float64, nt),
 	}
 }
 
@@ -267,7 +285,7 @@ func (d *dynamicState) recycleJob(job *spJob) {
 	job.stageTime = [core.NumStages]float64{}
 	job.stageCPU = [core.NumStages]float64{}
 	job.cpuBusy, job.gpuBusy = 0, 0
-	job.coord = 0
+	job.coord, job.coordWall, job.coordHidden = 0, 0, 0
 	job.loss = 0
 	d.jobPool = append(d.jobPool, job)
 }
@@ -319,26 +337,37 @@ func (d *dynamicState) stagePlan(job *spJob) error {
 		// probes its Hit-Map once per lookup).
 		job.tGPU[t] = d.env.Cfg.System.GPU.RandomTime(float64(len(job.batch.Tables[t])) * 16)
 		// Cross-node coordination latency this table's placement just
-		// paid (zero when its shards are co-located).
+		// paid (zero when its shards are co-located). The critical
+		// share is what this Plan actually waited for — the rest was
+		// hidden by speculation under the previous cycle; the wall
+		// figure is the message plane's measured twin.
 		job.tCoord[t] = d.sps[t].LastPlanCoord()
+		job.tCoordCrit[t] = d.sps[t].LastPlanCoordCritical()
+		job.tCoordWall[t] = d.sps[t].LastPlanCoordWall()
 		return nil
 	})
 	if err != nil {
 		return err
 	}
 	totalIDs := 0
-	var gpuProbe, coord float64
+	var gpuProbe, coord, coordCrit, coordWall float64
 	for t := 0; t < cfg.NumTables; t++ {
 		totalIDs += len(job.batch.Tables[t])
 		gpuProbe += job.tGPU[t]
 		coord += job.tCoord[t]
+		coordCrit += job.tCoordCrit[t]
+		coordWall += job.tCoordWall[t]
 	}
 	// The per-table coordinators contend for the same inter-node links,
 	// so their communication serializes (sum, not max) on top of the
-	// local Plan work.
-	tTime := d.cost.pcie(idBytes(totalIDs))/d.links() + gpuProbe/float64(d.gpus) + coord
+	// local Plan work. Only the critical share blocks the stage; the
+	// speculation-hidden remainder runs concurrently with the cycle and
+	// is floored into the cycle wall by the run loop.
+	tTime := d.cost.pcie(idBytes(totalIDs))/d.links() + gpuProbe/float64(d.gpus) + coordCrit
 	job.stageTime[core.StagePlan] = tTime
 	job.coord += coord
+	job.coordWall += coordWall
+	job.coordHidden += coord - coordCrit
 	job.gpuBusy += gpuProbe
 	return nil
 }
@@ -614,6 +643,7 @@ func (d *dynamicState) aggregateCacheStats(rep *Report) {
 		rep.Evictions += st.Evictions
 		rep.ReservePeak += st.ReservePeak
 		rep.Coord.Merge(sp.CoordStats())
+		rep.Overlap.Merge(sp.OverlapStats())
 		rep.CoordDivergence.Merge(sp.Divergence())
 		rep.Resharding.Merge(sp.ReshardStats())
 		rep.Evac.Merge(sp.EvacStats())

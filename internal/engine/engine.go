@@ -290,6 +290,18 @@ type Report struct {
 	// borrowing on the placement's links; included in the Plan stage's
 	// time). Zero unless shards are placed across topology nodes.
 	CoordTime float64
+	// CoordWallTime is CoordTime's measured twin: the average
+	// per-iteration wall-clock makespan of the same coordination
+	// messages replayed through internal/msgplane's goroutine hosts
+	// (critical and speculation-hidden shares together). It differs
+	// from the modeled CoordTime exactly where the serial pricing model
+	// ignores cross-host parallelism; benchgate gates the skew
+	// (DESIGN.md §12). Zero under co-located placements.
+	CoordWallTime float64
+	// Overlap counts speculative-coordination outcomes across tables
+	// (shard.OverlapStats); the zero value unless the run enabled
+	// overlapped coordination against a distributed placement.
+	Overlap shard.OverlapStats
 	// CoordMode names the cross-shard coordination protocol the run
 	// used (empty for engines without a dynamic scratchpad).
 	CoordMode string

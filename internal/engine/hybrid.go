@@ -102,6 +102,7 @@ func finalizeAverages(rep *Report, n int, lossSum float64) {
 	rep.CPUBusy /= fn
 	rep.GPUBusy /= fn
 	rep.CoordTime /= fn
+	rep.CoordWallTime /= fn
 	for s := range rep.StageAvg {
 		rep.StageAvg[s] /= fn
 	}

@@ -61,6 +61,18 @@ type ScratchPipeOptions struct {
 	// (table-wise parallelism reorders no float operation). Zero
 	// selects the paper's single-GPU design.
 	NumGPUs int
+	// CoordOverlap pipelines distributed coordination with the cycle:
+	// after each cycle retires, every table's shard manager speculatively
+	// resolves the NEXT Plan's eviction candidates against a snapshot of
+	// its stamp clock (shard.Manager.SpeculatePlan), so when that Plan
+	// runs it only waits for the non-speculable confirm/transfer rounds.
+	// A snapshot invalidated by resharding, faults, or a mis-projected
+	// release rolls back and the Plan replays the sweep from scratch —
+	// plans, traffic counters, and total coordination Seconds are
+	// bit-identical either way; only the critical share charged to the
+	// [Plan] stage shrinks (DESIGN.md §12). No effect under co-located
+	// placement or Shards == 1.
+	CoordOverlap bool
 }
 
 func (o *ScratchPipeOptions) applyDefaults() {
@@ -168,6 +180,10 @@ func (s *ScratchPipe) Run(n int) (*Report, error) {
 	var cycleSeries metrics.Series
 
 	runCycle := func(job *spJob) error {
+		// Any in-flight speculation must land before the cycle touches
+		// the managers (release, Plan) — this is the join point of the
+		// overlap window.
+		s.dyn.joinSpec()
 		// The job about to enter [Train] stops holding its slots:
 		// from this cycle's [Plan] onward they are fair eviction
 		// game, exactly the paper's past-window arithmetic. (Fault
@@ -206,6 +222,15 @@ func (s *ScratchPipe) Run(n int) (*Report, error) {
 		if s.opts.CPUContention && cpuSum > cycleWall {
 			cycleWall = cpuSum
 		}
+		// The coordination share hidden by speculation ran on the
+		// inter-node links concurrently with this cycle's stages; the
+		// cycle cannot retire before those rounds complete, so it floors
+		// the wall (this is what keeps overlap honest rather than free).
+		if pj := exec[core.StagePlan]; pj != nil {
+			if h := pj.(*spJob).coordHidden; h > cycleWall {
+				cycleWall = h
+			}
+		}
 		rep.Wall += cycleWall
 		if occupied == int(core.NumStages) {
 			steadyTime += cycleWall
@@ -221,6 +246,7 @@ func (s *ScratchPipe) Run(n int) (*Report, error) {
 				rep.StageAvg[st] += t
 			}
 			rep.CoordTime += j.coord
+			rep.CoordWallTime += j.coordWall
 			rep.CPUBusy += j.cpuBusy
 			rep.GPUBusy += j.gpuBusy
 			// The batch has fully retired: recycle its plans and
@@ -234,6 +260,10 @@ func (s *ScratchPipe) Run(n int) (*Report, error) {
 		// Elastic resharding fires between Plans: in-flight batches'
 		// hold state migrates with everything else, so the pipeline
 		// does not drain and plans stay identical across the boundary.
+		// Reshard/fault events mutate the managers, so the speculation
+		// goroutine (if any) is joined first; the events then invalidate
+		// its snapshot and the next Plan replays non-speculatively.
+		s.dyn.joinSpec()
 		if err := s.dyn.maybeReshard(it); err != nil {
 			return nil, err
 		}
@@ -242,9 +272,11 @@ func (s *ScratchPipe) Run(n int) (*Report, error) {
 		if err := s.dyn.maybeFault(it, rep.Wall); err != nil {
 			return nil, err
 		}
-		if err := runCycle(s.dyn.newJob(s.loader, s.opts.FutureWindow, s.loader.Ahead())); err != nil {
+		job := s.dyn.newJob(s.loader, s.opts.FutureWindow, s.loader.Ahead())
+		if err := runCycle(job); err != nil {
 			return nil, err
 		}
+		s.maybeSpeculate(job)
 	}
 	for s.pipe.InFlight() > 0 {
 		if err := runCycle(nil); err != nil {
@@ -275,5 +307,43 @@ func (s *ScratchPipe) Run(n int) (*Report, error) {
 	return rep, nil
 }
 
+// maybeSpeculate launches the overlap window after a cycle that injected
+// job: the job sits at [Load] and executes its Plan NEXT cycle, so a
+// goroutine runs every table's SpeculatePlan against the job's own batch
+// and look-ahead windows (captured by newJob, immutable from here on),
+// projecting across the release the next cycle will perform first. The
+// goroutine only reads the job plus each manager's own state, which
+// nothing else touches until joinSpec.
+func (s *ScratchPipe) maybeSpeculate(job *spJob) {
+	if !s.opts.CoordOverlap || job == nil {
+		return
+	}
+	d := s.dyn
+	nt := d.env.Cfg.Model.NumTables
+	// The next cycle releases the job currently parked at the stage
+	// before the release stage (it executed that stage this cycle);
+	// the projection must account for those holds dropping.
+	rel := -1
+	if entering := s.pipe.AtStage(s.opts.UnsafeReleaseAt - 1); entering != nil {
+		rel = entering.(*spJob).batch.Seq
+	}
+	d.specWG.Add(1)
+	go func() {
+		defer d.specWG.Done()
+		for t := 0; t < nt; t++ {
+			uniq, _ := job.batch.UniqueWithCounts(t)
+			d.sps[t].SpeculatePlan(job.batch.Seq, uniq, job.futT[t], job.hintT[t], rel)
+		}
+	}()
+}
+
+// joinSpec waits for the in-flight speculation goroutine, if any. Every
+// path that mutates the shard managers (release, Plan, reshard, fault
+// injection, flush) joins first.
+func (d *dynamicState) joinSpec() { d.specWG.Wait() }
+
 // Flush implements FlushTables.
-func (s *ScratchPipe) Flush() error { return s.dyn.flush() }
+func (s *ScratchPipe) Flush() error {
+	s.dyn.joinSpec()
+	return s.dyn.flush()
+}

@@ -78,13 +78,34 @@ func (p *Pool) ForEachErr(n int, fn func(i int) error) error {
 	var mu sync.Mutex
 	firstIdx := n
 	var firstErr error
+	panicIdx := n
+	var panicVal any
 	body := func() {
 		for {
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
 			}
-			if err := fn(i); err != nil {
+			err, pv, panicked := protect(fn, i)
+			if panicked {
+				// A panic must not unwind through the fan-out: if it
+				// escaped the caller's inline body here, wg.Wait()
+				// would be skipped and the spawned workers would keep
+				// mutating shared state while the caller's recovery
+				// handler runs. Park it, stop handing out indices, and
+				// let the caller rethrow after every worker has
+				// drained. The lowest panicking index wins, keeping the
+				// rethrown value deterministic under parallelism like
+				// the error path.
+				mu.Lock()
+				if i < panicIdx {
+					panicIdx, panicVal = i, pv
+				}
+				mu.Unlock()
+				next.Store(int64(n))
+				return
+			}
+			if err != nil {
 				mu.Lock()
 				if i < firstIdx {
 					firstIdx, firstErr = i, err
@@ -103,5 +124,22 @@ func (p *Pool) ForEachErr(n int, fn func(i int) error) error {
 	}
 	body() // the caller is worker 0
 	wg.Wait()
+	if panicIdx < n {
+		panic(panicVal)
+	}
 	return firstErr
+}
+
+// protect runs fn(i), converting a panic into a value instead of
+// letting it unwind (panicked distinguishes panic(nil) from no panic).
+func protect(fn func(i int) error, i int) (err error, pv any, panicked bool) {
+	defer func() {
+		if panicked {
+			pv = recover()
+		}
+	}()
+	panicked = true
+	err = fn(i)
+	panicked = false
+	return
 }

@@ -3,8 +3,10 @@ package par
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachCoversAllIndices(t *testing.T) {
@@ -76,6 +78,68 @@ func TestDefaultWorkersIsGOMAXPROCS(t *testing.T) {
 	}
 	if New(-3).Workers() < 1 {
 		t.Fatal("New(-3) must resolve to at least 1 worker")
+	}
+}
+
+// TestPanicDoesNotLeakWorkers is the regression test for the fan-out
+// shutdown leak: a panic in the caller's inline body used to unwind
+// past wg.Wait(), leaving the spawned workers running (and still
+// consuming indices) while the caller's recovery handler proceeded.
+// The fan-out must contain the panic, drain every worker, and rethrow.
+func TestPanicDoesNotLeakWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := New(8)
+	var after atomic.Int32
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatal("panic did not propagate out of ForEachErr")
+			}
+		}()
+		p.ForEachErr(64, func(i int) error {
+			if i == 5 {
+				panic("stage blew up")
+			}
+			if i > 5 {
+				after.Add(1)
+			}
+			return nil
+		})
+	}()
+	// Every spawned worker must be gone by the time the rethrown panic
+	// reaches the caller — if any were still draining indices, this
+	// counter could still be moving and the goroutine count would sit
+	// above the baseline.
+	settled := after.Load()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutines leaked across panic: %d before, %d after", before, g)
+	}
+	if moved := after.Load(); moved != settled {
+		t.Fatalf("workers still consuming indices after rethrow: %d -> %d", settled, moved)
+	}
+}
+
+// TestPanicLowestIndexWins pins the determinism of the rethrown value
+// when several workers panic in the same fan-out: index 0 is always
+// handed out before the stop, so with every index panicking the
+// rethrown value must be index 0's on any worker count.
+func TestPanicLowestIndexWins(t *testing.T) {
+	for _, workers := range []int{1, 4, 8} {
+		p := New(workers)
+		func() {
+			defer func() {
+				if r := recover(); r != "panic 0" {
+					t.Fatalf("workers=%d: rethrow = %v, want panic 0", workers, r)
+				}
+			}()
+			p.ForEachErr(32, func(i int) error {
+				panic(fmt.Sprintf("panic %d", i))
+			})
+		}()
 	}
 }
 

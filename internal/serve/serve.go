@@ -446,6 +446,9 @@ func (f *Fleet) Simulate(arrivals []float64) (*Report, error) {
 			st := mgr.Stats()
 			h += st.Hits
 			m += st.Misses
+			cs := mgr.CoordStats()
+			rep.CoordRounds += cs.Messages
+			rep.CoordWallTime += cs.WallSeconds + cs.WallHiddenSeconds
 		}
 		wk.hits, wk.misses = h, m
 		rep.Hits += h
@@ -530,6 +533,13 @@ type Report struct {
 	// CoordTime totals the cross-shard Plan coordination latency paid
 	// inside service times (zero for unsharded or co-located workers).
 	CoordTime float64
+	// CoordRounds totals the cross-shard coordination message rounds
+	// across all workers' managers, and CoordWallTime the message
+	// plane's measured makespan for them — the serving twin of the
+	// training report's coordination fields, so serving benchmark
+	// entries no longer omit the coordination columns.
+	CoordRounds   int64
+	CoordWallTime float64
 	// CrossNode/CrossHost count queries routed off the frontend node /
 	// host; LinkTime totals the routing-link latency they paid.
 	CrossNode, CrossHost int64

@@ -1,6 +1,9 @@
 package shard
 
-import "repro/internal/hw"
+import (
+	"repro/internal/hw"
+	"repro/internal/msgplane"
+)
 
 // The cross-shard eviction-budget coordinator is free only while every
 // shard lives in one socket's shared memory. Under a distributed
@@ -36,6 +39,22 @@ import "repro/internal/hw"
 // Co-located shards (same node, or any TierLocal link) contribute
 // nothing, so a single-node placement reproduces the shared-memory
 // coordinator bit-for-bit at zero cost.
+//
+// Since PR 8 the meter does two more things (DESIGN.md §12):
+//
+//   - Every recorded round is also appended to a message script and
+//     replayed through internal/msgplane's goroutine hosts at Plan end,
+//     yielding a *measured* wall-clock twin (CoordStats.WallSeconds /
+//     WallHiddenSeconds) of the modeled Seconds. The script's phase
+//     boundaries mark the protocol's real barriers: stamp sync before
+//     the sweep, the sweep before the Plan-end flush.
+//   - Speculative coordination (spec.go) stages its rounds on a side
+//     ledger (staging == true): the same addRound paths write into the
+//     spec arrays/script instead of the Plan's. On adoption the staged
+//     traffic is priced separately as OverlapSeconds (hidden under the
+//     previous Collect) and its counters merge into the lifetime stats;
+//     on rollback the ledger is discarded wholesale, leaving the
+//     lifetime stats bit-identical to a run that never speculated.
 const (
 	// stampSyncBytes is one touch-stamp round trip: stamp base out,
 	// touch count back.
@@ -68,6 +87,29 @@ func pollPayload(got int) float64 {
 	return batchHeaderBytes + candEntryBytes*float64(got)
 }
 
+// byteBucket / roundBucket name the CoordStats field a message tallies
+// into; addRound resolves them against the live or staging stats, so
+// the speculative path reuses the exact recording code.
+type byteBucket uint8
+
+const (
+	bktVictim byteBucket = iota
+	bktStamp
+	bktBorrow
+	bktReelect
+)
+
+type roundBucket uint8
+
+const (
+	rndPoll roundBucket = iota
+	rndConfirm
+	rndSlotMove
+	rndStampSync
+	rndBorrow
+	rndReelect
+)
+
 // CoordStats aggregates the coordinator's cross-node communication over
 // a Manager's lifetime. All byte counts are control-message payloads
 // that crossed a non-local link; co-located coordination is free and
@@ -96,8 +138,22 @@ type CoordStats struct {
 
 	// Messages counts all cross-node message round trips.
 	Messages int64
-	// Seconds is the total modeled link time charged to Plans.
+	// Seconds is the total modeled link time charged to Plans —
+	// critical and overlapped shares together, so its semantics do not
+	// change when overlapped coordination is enabled.
 	Seconds float64
+	// OverlapSeconds is the share of Seconds that speculation hid under
+	// the previous Collect (zero when overlap is off or nothing was
+	// adopted). The critical share a Plan actually waited for is
+	// Seconds - OverlapSeconds.
+	OverlapSeconds float64
+	// WallSeconds / WallHiddenSeconds are the measured twins: the
+	// message plane's virtual makespan for the critical and overlapped
+	// scripts respectively (msgplane; DESIGN.md §12). The modeled-vs-
+	// measured skew benchgate gates is
+	// |Seconds - (WallSeconds+WallHiddenSeconds)| / Seconds.
+	WallSeconds       float64
+	WallHiddenSeconds float64
 }
 
 // Bytes returns the total coordination payload.
@@ -120,6 +176,58 @@ func (s *CoordStats) Merge(o CoordStats) {
 	s.ReelectRounds += o.ReelectRounds
 	s.Messages += o.Messages
 	s.Seconds += o.Seconds
+	s.OverlapSeconds += o.OverlapSeconds
+	s.WallSeconds += o.WallSeconds
+	s.WallHiddenSeconds += o.WallHiddenSeconds
+}
+
+// bytesBucket returns the payload accumulator a byteBucket names.
+func (s *CoordStats) bytesBucket(b byteBucket) *float64 {
+	switch b {
+	case bktVictim:
+		return &s.VictimMergeBytes
+	case bktStamp:
+		return &s.TouchStampBytes
+	case bktBorrow:
+		return &s.BorrowBytes
+	default:
+		return &s.ReelectBytes
+	}
+}
+
+// roundsBucket returns the round counter a roundBucket names.
+func (s *CoordStats) roundsBucket(r roundBucket) *int64 {
+	switch r {
+	case rndPoll:
+		return &s.PollRounds
+	case rndConfirm:
+		return &s.ConfirmRounds
+	case rndSlotMove:
+		return &s.SlotMoveRounds
+	case rndStampSync:
+		return &s.StampSyncRounds
+	case rndBorrow:
+		return &s.BorrowRounds
+	default:
+		return &s.ReelectRounds
+	}
+}
+
+// mergeCounters folds another ledger's message counts and payload bytes
+// into s without touching the priced-seconds fields (the caller prices
+// the adopted staging itself).
+func (s *CoordStats) mergeCounters(o CoordStats) {
+	s.VictimMergeBytes += o.VictimMergeBytes
+	s.TouchStampBytes += o.TouchStampBytes
+	s.BorrowBytes += o.BorrowBytes
+	s.ReelectBytes += o.ReelectBytes
+	s.PollRounds += o.PollRounds
+	s.ConfirmRounds += o.ConfirmRounds
+	s.SlotMoveRounds += o.SlotMoveRounds
+	s.StampSyncRounds += o.StampSyncRounds
+	s.BorrowRounds += o.BorrowRounds
+	s.ReelectRounds += o.ReelectRounds
+	s.Messages += o.Messages
 }
 
 // coordMeter accumulates one Plan's coordination traffic per link pair
@@ -166,6 +274,34 @@ type coordMeter struct {
 	rounds  []int64
 	touched []linkUse
 
+	// plane replays the recorded message script on goroutine hosts at
+	// Plan end; ops is the Plan's critical script, phase its current
+	// barrier index (see nextPhase).
+	plane *msgplane.Plane
+	ops   []msgplane.Op
+	phase int32
+
+	// Speculation side ledger (spec.go): while staging is set, addRound
+	// and addPayload record into the spec arrays, script, and stats
+	// instead of the Plan's. specAdopted marks the staged traffic
+	// consumed by the current Plan: finishPlan then prices it as
+	// OverlapSeconds and merges its counters; otherwise the ledger is
+	// simply cleared.
+	staging     bool
+	specAdopted bool
+	specBytes   []float64
+	specRounds  []int64
+	specTouched []linkUse
+	specOps     []msgplane.Op
+	specStats   CoordStats
+
+	// Most recent finishPlan split, read back by the Manager:
+	// lastCrit is the modeled critical share, lastWallCrit/lastWallFull
+	// the measured critical share and full makespan.
+	lastCrit     float64
+	lastWallCrit float64
+	lastWallFull float64
+
 	stats CoordStats
 }
 
@@ -193,6 +329,7 @@ func newCoordMeter(p hw.Placement, shards int, mode CoordMode) *coordMeter {
 		hostIdx:     make([]int32, shards),
 		planVictims: make([]int32, shards),
 		moveCount:   make([]int64, shards*shards),
+		plane:       msgplane.New(p.Topo),
 	}
 	for j := range m.nodeOf {
 		m.nodeOf[j] = int32(p.Node[j])
@@ -218,41 +355,123 @@ func newCoordMeter(p hw.Placement, shards int, mode CoordMode) *coordMeter {
 	return m
 }
 
+// side returns the active recording ledger: the Plan's own, or the
+// speculation staging while it is open.
+func (c *coordMeter) side() (st *CoordStats, bytes []float64, rounds []int64) {
+	if c.staging {
+		return &c.specStats, c.specBytes, c.specRounds
+	}
+	return &c.stats, c.bytes, c.rounds
+}
+
 // addRound records one message round of the given payload between two
-// nodes, tallying the payload in bucket and the round in roundCtr;
-// same-node traffic is free.
-func (c *coordMeter) addRound(a, b int32, payload float64, bucket *float64, roundCtr *int64) {
+// nodes, tallying the payload and round into the named buckets and
+// appending the round to the active message script; same-node traffic
+// is free.
+func (c *coordMeter) addRound(a, b int32, payload float64, bb byteBucket, rb roundBucket) {
 	if a == b {
 		return
 	}
-	idx := c.dirty(a, b)
-	c.bytes[idx] += payload
-	c.rounds[idx]++
-	c.stats.Messages++
-	*roundCtr++
-	*bucket += payload
+	st, bytes, rounds := c.side()
+	idx := c.dirty(a, b, bytes, rounds)
+	bytes[idx] += payload
+	rounds[idx]++
+	st.Messages++
+	*st.roundsBucket(rb)++
+	*st.bytesBucket(bb) += payload
+	c.record(msgplane.Op{Exec: a, Peer: b, Bytes: payload, Latency: true, Phase: c.opPhase()})
 }
 
 // addPayload merges extra payload onto the link between two nodes
 // without a new round (the bytes ride an already-counted batched
 // message); same-node traffic is free.
-func (c *coordMeter) addPayload(a, b int32, payload float64, bucket *float64) {
+func (c *coordMeter) addPayload(a, b int32, payload float64, bb byteBucket) {
 	if a == b {
 		return
 	}
-	idx := c.dirty(a, b)
-	c.bytes[idx] += payload
-	*bucket += payload
+	st, bytes, rounds := c.side()
+	idx := c.dirty(a, b, bytes, rounds)
+	bytes[idx] += payload
+	*st.bytesBucket(bb) += payload
+	c.record(msgplane.Op{Exec: a, Peer: b, Bytes: payload, Latency: false, Phase: c.opPhase()})
+}
+
+// record appends one op to the active message script.
+func (c *coordMeter) record(op msgplane.Op) {
+	if c.staging {
+		c.specOps = append(c.specOps, op)
+	} else {
+		c.ops = append(c.ops, op)
+	}
+}
+
+// opPhase returns the active script's barrier index: the staged
+// speculative script is a single phase (its polls are independent), the
+// Plan script advances through nextPhase.
+func (c *coordMeter) opPhase() int32 {
+	if c.staging {
+		return 0
+	}
+	return c.phase
+}
+
+// nextPhase closes the Plan script's current barrier: subsequent ops
+// may not start on the plane before every earlier op completed.
+func (c *coordMeter) nextPhase() {
+	if !c.staging {
+		c.phase++
+	}
 }
 
 // dirty returns the flattened pair index for (a, b), registering the
-// pair in the Plan's touched list on first use.
-func (c *coordMeter) dirty(a, b int32) int32 {
+// pair in the active ledger's touched list on first use.
+func (c *coordMeter) dirty(a, b int32, bytes []float64, rounds []int64) int32 {
 	idx := int32(c.place.Topo.PairIndex(int(a), int(b)))
-	if c.rounds[idx] == 0 && c.bytes[idx] == 0 {
-		c.touched = append(c.touched, linkUse{idx: idx, a: a, b: b})
+	if rounds[idx] == 0 && bytes[idx] == 0 {
+		if c.staging {
+			c.specTouched = append(c.specTouched, linkUse{idx: idx, a: a, b: b})
+		} else {
+			c.touched = append(c.touched, linkUse{idx: idx, a: a, b: b})
+		}
 	}
 	return idx
+}
+
+// beginStaging opens the speculation side ledger: subsequent addRound /
+// addPayload calls record into it. The per-sweep host-batch state is
+// reset because the staged polls open the next Plan's sweep.
+func (c *coordMeter) beginStaging() {
+	if c.specBytes == nil {
+		c.specBytes = make([]float64, c.place.Topo.NumLinkPairs())
+		c.specRounds = make([]int64, c.place.Topo.NumLinkPairs())
+	}
+	c.staging = true
+	c.beginSweep()
+}
+
+// endStaging closes the side ledger (the staged traffic stays parked
+// until adoptStaging or discardStaging).
+func (c *coordMeter) endStaging() { c.staging = false }
+
+// adoptStaging marks the staged traffic consumed by the current Plan:
+// finishPlan will price it as the Plan's overlapped share. The per-sweep
+// hostPolled state staged by the speculative polls stays live, so later
+// refills on an already-polled host keep merging into its batch.
+func (c *coordMeter) adoptStaging() { c.specAdopted = true }
+
+// discardStaging drops the staged traffic without pricing it (rollback:
+// the re-polls are metered critically by the Plan, so lifetime stats
+// match a run that never speculated).
+func (c *coordMeter) discardStaging() {
+	for _, u := range c.specTouched {
+		c.specBytes[u.idx] = 0
+		c.specRounds[u.idx] = 0
+	}
+	c.specTouched = c.specTouched[:0]
+	c.specOps = c.specOps[:0]
+	c.specStats = CoordStats{}
+	c.specAdopted = false
+	c.staging = false
 }
 
 // beginSweep resets the per-sweep host-batch state; the Manager calls it
@@ -261,6 +480,7 @@ func (c *coordMeter) beginSweep() {
 	for i := range c.hostPolled {
 		c.hostPolled[i] = false
 	}
+	c.nextPhase()
 }
 
 // meterPoll records one candidate-poll refill for shard j that returned
@@ -268,13 +488,13 @@ func (c *coordMeter) beginSweep() {
 func (c *coordMeter) meterPoll(j, got int) {
 	switch c.mode {
 	case CoordExact:
-		c.addRound(c.coordNode, c.nodeOf[j], victimPollBytes, &c.stats.VictimMergeBytes, &c.stats.PollRounds)
+		c.addRound(c.coordNode, c.nodeOf[j], victimPollBytes, bktVictim, rndPoll)
 	case CoordBatched:
-		c.addRound(c.coordNode, c.nodeOf[j], pollPayload(got), &c.stats.VictimMergeBytes, &c.stats.PollRounds)
+		c.addRound(c.coordNode, c.nodeOf[j], pollPayload(got), bktVictim, rndPoll)
 	default: // CoordHier, CoordApprox
 		h := c.hostIdx[j]
 		agg := c.aggNode[h]
-		c.addRound(agg, c.nodeOf[j], pollPayload(got), &c.stats.VictimMergeBytes, &c.stats.PollRounds)
+		c.addRound(agg, c.nodeOf[j], pollPayload(got), bktVictim, rndPoll)
 		if agg == c.coordNode {
 			return
 		}
@@ -283,11 +503,11 @@ func (c *coordMeter) meterPoll(j, got int) {
 			// forwards the host-level winner batch in one cross-host
 			// round.
 			c.hostPolled[h] = true
-			c.addRound(c.coordNode, agg, pollPayload(got), &c.stats.VictimMergeBytes, &c.stats.PollRounds)
+			c.addRound(c.coordNode, agg, pollPayload(got), bktVictim, rndPoll)
 		} else {
 			// Later refills merge into the host batch already in
 			// flight: extra candidates cost bytes, not rounds.
-			c.addPayload(c.coordNode, agg, candEntryBytes*float64(got), &c.stats.VictimMergeBytes)
+			c.addPayload(c.coordNode, agg, candEntryBytes*float64(got), bktVictim)
 		}
 	}
 }
@@ -297,7 +517,7 @@ func (c *coordMeter) meterPoll(j, got int) {
 // confirm otherwise.
 func (c *coordMeter) meterConfirm(j int) {
 	if c.mode == CoordExact {
-		c.addRound(c.coordNode, c.nodeOf[j], victimConfirmBytes, &c.stats.VictimMergeBytes, &c.stats.ConfirmRounds)
+		c.addRound(c.coordNode, c.nodeOf[j], victimConfirmBytes, bktVictim, rndConfirm)
 		return
 	}
 	c.planVictims[j]++
@@ -308,7 +528,7 @@ func (c *coordMeter) meterConfirm(j int) {
 // aggregated per-pair transfer otherwise.
 func (c *coordMeter) meterSlotMove(from, to int) {
 	if c.mode == CoordExact {
-		c.addRound(c.nodeOf[from], c.nodeOf[to], slotMoveBytes, &c.stats.VictimMergeBytes, &c.stats.SlotMoveRounds)
+		c.addRound(c.nodeOf[from], c.nodeOf[to], slotMoveBytes, bktVictim, rndSlotMove)
 		return
 	}
 	idx := int32(from*len(c.planVictims) + to)
@@ -321,7 +541,7 @@ func (c *coordMeter) meterSlotMove(from, to int) {
 // meterBorrow records a free-slot borrow round between two shards
 // (identical in every mode: the starved shard blocks on the grant).
 func (c *coordMeter) meterBorrow(from, to int) {
-	c.addRound(c.nodeOf[from], c.nodeOf[to], borrowBytes, &c.stats.BorrowBytes, &c.stats.BorrowRounds)
+	c.addRound(c.nodeOf[from], c.nodeOf[to], borrowBytes, bktBorrow, rndBorrow)
 }
 
 // meterStampSync records one Plan's touch-stamp synchronization: per
@@ -333,17 +553,22 @@ func (c *coordMeter) meterStampSync() {
 	case CoordApprox:
 		return
 	case CoordExact, CoordBatched:
+		c.nextPhase()
 		for j := range c.nodeOf {
-			c.addRound(c.coordNode, c.nodeOf[j], stampSyncBytes, &c.stats.TouchStampBytes, &c.stats.StampSyncRounds)
+			c.addRound(c.coordNode, c.nodeOf[j], stampSyncBytes, bktStamp, rndStampSync)
 		}
 	default: // CoordHier
+		c.nextPhase()
 		for j := range c.nodeOf {
-			c.addRound(c.aggNode[c.hostIdx[j]], c.nodeOf[j], stampSyncBytes, &c.stats.TouchStampBytes, &c.stats.StampSyncRounds)
+			c.addRound(c.aggNode[c.hostIdx[j]], c.nodeOf[j], stampSyncBytes, bktStamp, rndStampSync)
 		}
+		// Host-level uploads depend on the shard-level collections: a
+		// plane barrier separates the two tiers.
+		c.nextPhase()
 		for h := range c.aggNode {
 			c.addRound(c.coordNode, c.aggNode[h],
 				batchHeaderBytes+stampCountBytes*float64(c.hostShards[h]),
-				&c.stats.TouchStampBytes, &c.stats.StampSyncRounds)
+				bktStamp, rndStampSync)
 		}
 	}
 }
@@ -353,6 +578,7 @@ func (c *coordMeter) meterStampSync() {
 // coordinator -> host aggregator -> shard in hier/approx) and one slot
 // transfer round per dirty ordered shard pair.
 func (c *coordMeter) flushBatched() {
+	c.nextPhase()
 	if c.mode == CoordHier || c.mode == CoordApprox {
 		for j, v := range c.planVictims {
 			if v > 0 {
@@ -363,15 +589,17 @@ func (c *coordMeter) flushBatched() {
 			if v > 0 {
 				c.addRound(c.coordNode, c.aggNode[h],
 					batchHeaderBytes+confirmSlotBytes*float64(v),
-					&c.stats.VictimMergeBytes, &c.stats.ConfirmRounds)
+					bktVictim, rndConfirm)
 				c.hostVictims[h] = 0
 			}
 		}
+		// Shard-level fan-out waits for the host-level batch: barrier.
+		c.nextPhase()
 		for j, v := range c.planVictims {
 			if v > 0 {
 				c.addRound(c.aggNode[c.hostIdx[j]], c.nodeOf[j],
 					batchHeaderBytes+confirmSlotBytes*float64(v),
-					&c.stats.VictimMergeBytes, &c.stats.ConfirmRounds)
+					bktVictim, rndConfirm)
 				c.planVictims[j] = 0
 			}
 		}
@@ -380,7 +608,7 @@ func (c *coordMeter) flushBatched() {
 			if v > 0 {
 				c.addRound(c.coordNode, c.nodeOf[j],
 					batchHeaderBytes+confirmSlotBytes*float64(v),
-					&c.stats.VictimMergeBytes, &c.stats.ConfirmRounds)
+					bktVictim, rndConfirm)
 				c.planVictims[j] = 0
 			}
 		}
@@ -390,34 +618,65 @@ func (c *coordMeter) flushBatched() {
 		from, to := int(idx)/n, int(idx)%n
 		c.addRound(c.nodeOf[from], c.nodeOf[to],
 			slotMoveBytes*float64(c.moveCount[idx]),
-			&c.stats.VictimMergeBytes, &c.stats.SlotMoveRounds)
+			bktVictim, rndSlotMove)
 		c.moveCount[idx] = 0
 	}
 	c.moveDirty = c.moveDirty[:0]
 }
 
-// finishPlan prices the Plan's accumulated traffic, folds it into the
-// lifetime stats, resets the per-Plan state, and returns the Plan's
-// coordination latency in seconds. The coordinator pass is serial, so
-// the per-link times sum.
-func (c *coordMeter) finishPlan() float64 {
-	if c.mode != CoordExact {
-		c.flushBatched()
-	}
+// price sums the ledger's link times and zeroes its per-pair arrays;
+// the caller truncates the touched list. The coordinator pass is
+// serial, so the per-link times add.
+func (c *coordMeter) price(touched []linkUse, bytes []float64, rounds []int64) float64 {
 	var t float64
-	for _, u := range c.touched {
+	for _, u := range touched {
 		l := c.place.Topo.Link(int(u.a), int(u.b))
 		// A down link prices at zero like a local one: no message
 		// crosses a partition — the rounds stay counted (the protocol
 		// sent them; they queue), and the stale state they failed to
 		// deliver is what degraded-mode divergence measures.
 		if l.Tier != hw.TierLocal && !l.Down {
-			t += float64(c.rounds[u.idx])*l.Latency + c.bytes[u.idx]/l.Bandwidth
+			t += float64(rounds[u.idx])*l.Latency + bytes[u.idx]/l.Bandwidth
 		}
-		c.bytes[u.idx] = 0
-		c.rounds[u.idx] = 0
+		bytes[u.idx] = 0
+		rounds[u.idx] = 0
 	}
-	c.touched = c.touched[:0]
-	c.stats.Seconds += t
 	return t
+}
+
+// finishPlan prices the Plan's accumulated traffic, replays its message
+// script on the plane, folds everything into the lifetime stats, resets
+// the per-Plan state, and returns the Plan's total coordination latency
+// in seconds (critical + adopted overlapped share — the same quantity
+// the pre-overlap meter returned, so reported CoordTime semantics are
+// unchanged). The critical/overlapped split and the measured wall twins
+// are parked in lastCrit / lastWallCrit / lastWallFull for the Manager.
+func (c *coordMeter) finishPlan() float64 {
+	if c.mode != CoordExact {
+		c.flushBatched()
+	}
+	tCrit := c.price(c.touched, c.bytes, c.rounds)
+	c.touched = c.touched[:0]
+	var tOver float64
+	var specScript []msgplane.Op
+	if c.specAdopted {
+		tOver = c.price(c.specTouched, c.specBytes, c.specRounds)
+		c.specTouched = c.specTouched[:0]
+		c.stats.mergeCounters(c.specStats)
+		specScript = c.specOps
+	}
+	total, oend := c.plane.Execute(specScript, c.ops)
+	c.lastCrit = tCrit
+	c.lastWallCrit = total - oend
+	c.lastWallFull = total
+	c.stats.Seconds += tCrit + tOver
+	c.stats.OverlapSeconds += tOver
+	c.stats.WallSeconds += total - oend
+	c.stats.WallHiddenSeconds += oend
+	c.ops = c.ops[:0]
+	c.phase = 0
+	if c.specAdopted {
+		c.discardStaging()
+	}
+	return tCrit + tOver
 }

@@ -234,6 +234,21 @@ type Manager struct {
 	// (setup-time slot shuffling is not per-iteration traffic).
 	prewarming bool
 
+	// Overlapped coordination (see spec.go): spec parks one speculative
+	// sweep between SpeculatePlan and the Plan that adopts or rolls it
+	// back; specFlags/specDirty are the sparse projection overlay;
+	// specEntryClock snapshots the stamp clock at Plan entry for the
+	// adoption guard; overlap counts lifetime outcomes. lastCoordCrit /
+	// lastCoordWall are the most recent Plan's critical modeled share
+	// and measured wall twin (see LastPlanCoordCritical).
+	spec           specState
+	specFlags      []uint8
+	specDirty      []int32
+	specEntryClock uint64
+	overlap        OverlapStats
+	lastCoordCrit  float64
+	lastCoordWall  float64
+
 	// mode is the coordination protocol; quantum is the approx-mode
 	// recency quantum in clock ticks (1 outside approx mode, so the
 	// victim merge compares raw stamps); pollK is the current Plan's
@@ -857,6 +872,10 @@ func (m *Manager) PlanUniqueWithHints(seq int, uniq []int64, counts []int32, fut
 		return nil, fmt.Errorf("shard: plan %d: %d future batches exceeds future window %d", seq, got, m.cfg.FutureWindow)
 	}
 
+	// Snapshot the stamp clock before anything moves: the speculative
+	// sweep (if one is parked) was taken against exactly this value.
+	m.specEntryClock = m.stampClock
+
 	// Pin-epoch bookkeeping (identical to the unsharded planner; see
 	// core.Scratchpad for the multi-epoch stamp argument).
 	m.pinEpoch++
@@ -1033,7 +1052,12 @@ func (m *Manager) PlanUniqueWithHints(seq int, uniq []int64, counts []int32, fut
 		slot := m.borrowPrimary(j)
 		if slot < 0 {
 			if !m.sweepArmed {
-				m.armSweep()
+				// Adoption point: a valid speculation installs the
+				// sweep pre-answered (its polls become the Plan's
+				// hidden coordination share); otherwise arm critically.
+				if !m.adoptSpec(seq, len(uniq), len(missIdx)) {
+					m.armSweep()
+				}
 				m.sweepArmed = true
 			}
 			v, vsh := m.victim()
@@ -1086,8 +1110,15 @@ func (m *Manager) PlanUniqueWithHints(seq int, uniq []int64, counts []int32, fut
 		sh.held = nil
 	}
 
+	// Retire a speculation this Plan never consumed (no sweep armed)
+	// before pricing, so its staged ledger cannot leak into the bill.
+	m.endSpecPlan(seq)
 	if m.coord != nil {
 		m.lastCoord = m.coord.finishPlan()
+		m.lastCoordCrit = m.coord.lastCrit
+		m.lastCoordWall = m.coord.lastWallFull
+	} else {
+		m.lastCoordCrit, m.lastCoordWall = 0, 0
 	}
 
 	if m.shadow != nil {
@@ -1194,6 +1225,9 @@ func (m *Manager) PrewarmRows(rows int64, sample func() int64, onFill func(id in
 	if m.InFlight() != 0 {
 		panic("shard: Prewarm with batches in flight")
 	}
+	// Prewarm inserts move recency lists and the stamp clock: any parked
+	// speculation is stale.
+	m.invalidateSpec()
 	m.prewarming = true
 	defer func() { m.prewarming = false }()
 	if m.shadow != nil {

@@ -1,0 +1,313 @@
+package shard
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/intmap"
+)
+
+// specDriver runs the engine's overlap choreography against a manager:
+// after each Plan, speculate the next Plan's sweep (projecting the
+// Release the driver will issue before it), then release and go around.
+// mis != nil perturbs the speculation inputs to force rollbacks.
+type specDriver struct {
+	dedup *intmap.Map
+	uniq  []int64
+	cnt   []int32
+}
+
+func (d *specDriver) speculate(m *Manager, seq int, ids []int64, future, hints [][]int64, releaseSeq int) {
+	if d.dedup == nil {
+		d.dedup = intmap.New(len(ids))
+	}
+	d.uniq, d.cnt = intmap.Dedup(ids, d.dedup, d.uniq[:0], d.cnt[:0])
+	m.SpeculatePlan(seq, d.uniq, future, hints, releaseSeq)
+}
+
+// driveOverlap is driveLockstep with manager b running the speculation
+// choreography; wrongRelease mis-projects every Release (the adversarial
+// all-rollback mode).
+func driveOverlap(t *testing.T, label string, a, b *Manager, st *stream, iters, futureWin, lookahead int, wrongRelease bool) {
+	t.Helper()
+	const depth = 4
+	var d specDriver
+	var pendA, pendB []*core.PlanResult
+	for seq := 0; seq < iters; seq++ {
+		future, hints := st.window(seq, futureWin, lookahead)
+		ra, err := a.PlanWithHints(seq, st.at(seq), future, hints)
+		if err != nil {
+			t.Fatalf("%s seq %d: baseline Plan: %v", label, seq, err)
+		}
+		rb, err := b.PlanWithHints(seq, st.at(seq), future, hints)
+		if err != nil {
+			t.Fatalf("%s seq %d: overlapped Plan: %v", label, seq, err)
+		}
+		samePlan(t, label, seq, ra, rb)
+		for k := range ra.Slots {
+			if ra.Slots[k] != rb.Slots[k] {
+				t.Fatalf("%s seq %d: slot %d differs (%d vs %d): speculation changed planning",
+					label, seq, k, ra.Slots[k], rb.Slots[k])
+			}
+		}
+		pendA, pendB = append(pendA, ra), append(pendB, rb)
+
+		// The engine's overlap window: speculate the next Plan against
+		// the current state, projecting the Release that will precede it.
+		if seq+1 < iters {
+			rel := -1
+			if len(pendA) >= depth {
+				rel = seq - depth + 1
+			}
+			if wrongRelease {
+				rel = -1 // project "no release", then release anyway
+			}
+			nf, nh := st.window(seq+1, futureWin, lookahead)
+			d.speculate(b, seq+1, st.at(seq+1), nf, nh, rel)
+		}
+
+		if len(pendA) >= depth {
+			old := seq - depth + 1
+			if err := a.Release(old); err != nil {
+				t.Fatalf("%s: baseline Release(%d): %v", label, old, err)
+			}
+			if err := b.Release(old); err != nil {
+				t.Fatalf("%s: overlapped Release(%d): %v", label, old, err)
+			}
+			a.Recycle(pendA[0])
+			b.Recycle(pendB[0])
+			pendA, pendB = pendA[1:], pendB[1:]
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("%s: stats diverged:\nbase %+v\nspec %+v", label, a.Stats(), b.Stats())
+	}
+}
+
+// sameTraffic asserts the two managers metered identical coordination
+// traffic: counters and bytes exactly (all payload sums are integer-
+// valued, so float addition is exact), priced seconds within tol
+// relative (the critical/overlapped split re-associates the per-link
+// sums).
+func sameTraffic(t *testing.T, label string, a, b CoordStats, tol float64) {
+	t.Helper()
+	ca, cb := a, b
+	ca.Seconds, cb.Seconds = 0, 0
+	ca.OverlapSeconds, cb.OverlapSeconds = 0, 0
+	ca.WallSeconds, cb.WallSeconds = 0, 0
+	ca.WallHiddenSeconds, cb.WallHiddenSeconds = 0, 0
+	if ca != cb {
+		t.Fatalf("%s: coordination counters diverged:\nbase %+v\nspec %+v", label, ca, cb)
+	}
+	if d := math.Abs(a.Seconds - b.Seconds); d > tol*math.Max(a.Seconds, 1e-30) {
+		t.Fatalf("%s: coordination seconds diverged beyond %g: %g vs %g", label, tol, a.Seconds, b.Seconds)
+	}
+}
+
+// TestOverlapEquivalence is the tentpole acceptance property at the
+// shard layer: with speculation running the engine's choreography,
+// plans, victims, physical slots, statistics, and coordination traffic
+// are identical to a run that never speculated — the hidden share just
+// moves from critical to overlapped — across every protocol and shard
+// count the fig12b/fig13 suites sweep.
+func TestOverlapEquivalence(t *testing.T) {
+	topo := hw.Cluster(2, 2)
+	for _, mode := range []CoordMode{CoordExact, CoordBatched, CoordHier, CoordApprox} {
+		for _, shards := range []int{2, 4} {
+			label := string(mode) + "/S=" + string(rune('0'+shards))
+			cfg := testConfig(512, 96)
+			mk := func() *Manager {
+				pl, err := hw.NewPlacement(hw.PlaceStripe, topo, shards, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, err := New(Config{Scratchpad: cfg, Shards: shards, Pool: nil, Placement: pl, Coord: mode})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return m
+			}
+			base, spec := mk(), mk()
+			st := newStream(77, 96, 96, int64(512*4))
+			driveOverlap(t, label, base, spec, st, 150, 2, 6, false)
+
+			if os := base.OverlapStats(); os != (OverlapStats{}) {
+				t.Fatalf("%s: baseline speculated: %+v", label, os)
+			}
+			os := spec.OverlapStats()
+			if os.Speculated == 0 || os.Adopted == 0 {
+				t.Fatalf("%s: speculation never adopted: %+v", label, os)
+			}
+			if os.Adopted != os.Speculated {
+				t.Fatalf("%s: undisturbed run rolled back (%d of %d): the projection is not exact", label, os.RolledBack, os.Speculated)
+			}
+			sameTraffic(t, label, base.CoordStats(), spec.CoordStats(), 1e-9)
+
+			cs := spec.CoordStats()
+			if cs.OverlapSeconds <= 0 {
+				t.Fatalf("%s: nothing hidden: %+v", label, cs)
+			}
+			if cs.OverlapSeconds >= cs.Seconds {
+				t.Fatalf("%s: hidden share %g not a strict share of %g", label, cs.OverlapSeconds, cs.Seconds)
+			}
+			if base.CoordStats().OverlapSeconds != 0 {
+				t.Fatalf("%s: baseline priced an overlapped share", label)
+			}
+			// The measured twin must cover both scripts: hidden wall only
+			// on the speculating run, critical wall on both.
+			if cs.WallHiddenSeconds <= 0 || cs.WallSeconds <= 0 {
+				t.Fatalf("%s: measured wall missing a share: %+v", label, cs)
+			}
+			if bs := base.CoordStats(); bs.WallHiddenSeconds != 0 || bs.WallSeconds <= 0 {
+				t.Fatalf("%s: baseline wall shape wrong: %+v", label, bs)
+			}
+		}
+	}
+}
+
+// TestOverlapAdversarialAllMiss forces every speculation to miss (each
+// one projects "no Release" and a Release then happens), asserting the
+// rollback path's two guarantees: bit-identical plans and statistics,
+// and bounded replay cost — the discarded speculation contributes zero
+// modeled seconds, zero rounds, zero bytes, and zero hidden wall; the
+// only cost is the wasted background walk.
+func TestOverlapAdversarialAllMiss(t *testing.T) {
+	topo := hw.Cluster(2, 2)
+	for _, mode := range []CoordMode{CoordExact, CoordHier} {
+		label := "allmiss/" + string(mode)
+		cfg := testConfig(512, 96)
+		mk := func() *Manager {
+			pl, err := hw.NewPlacement(hw.PlaceStripe, topo, 4, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := New(Config{Scratchpad: cfg, Shards: 4, Pool: nil, Placement: pl, Coord: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}
+		base, spec := mk(), mk()
+		st := newStream(77, 96, 96, int64(512*4))
+		driveOverlap(t, label, base, spec, st, 150, 2, 6, true)
+
+		os := spec.OverlapStats()
+		if os.Speculated == 0 {
+			t.Fatalf("%s: adversary never speculated: %+v", label, os)
+		}
+		if os.Adopted != 0 {
+			t.Fatalf("%s: a mis-projected Release was adopted: %+v", label, os)
+		}
+		if os.RolledBack < os.Speculated {
+			t.Fatalf("%s: %d speculations unaccounted: %+v", label, os.Speculated-os.RolledBack, os)
+		}
+		// Bounded replay: the rolled-back ledgers must leave no trace —
+		// traffic totals match the baseline bit for bit (integer-valued
+		// sums in identical order), and nothing was priced as hidden.
+		if base.CoordStats() != spec.CoordStats() {
+			t.Fatalf("%s: rollback left residue:\nbase %+v\nspec %+v", label, base.CoordStats(), spec.CoordStats())
+		}
+		if cs := spec.CoordStats(); cs.OverlapSeconds != 0 || cs.WallHiddenSeconds != 0 {
+			t.Fatalf("%s: rolled-back speculation priced time: %+v", label, cs)
+		}
+	}
+}
+
+// TestOverlapColocatedNoOp: without a coordination meter there is
+// nothing to hide; SpeculatePlan must be a free no-op so engines can
+// call it unconditionally.
+func TestOverlapColocatedNoOp(t *testing.T) {
+	cfg := testConfig(256, 64)
+	mk := func() *Manager {
+		m, err := New(Config{Scratchpad: cfg, Shards: 4, Pool: nil})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	base, spec := mk(), mk()
+	st := newStream(31, 64, 64, int64(256*4))
+	driveOverlap(t, "colocated", base, spec, st, 100, 2, 0, false)
+	if os := spec.OverlapStats(); os != (OverlapStats{}) {
+		t.Fatalf("co-located manager speculated: %+v", os)
+	}
+	if cs := spec.CoordStats(); cs != (CoordStats{}) {
+		t.Fatalf("co-located manager metered coordination: %+v", cs)
+	}
+}
+
+// TestOverlapInvalidatedByFaults: the invalidation hooks must retire a
+// parked speculation on every state mutation outside the projected
+// closed set, and the following Plan must replan critically and stay
+// correct.
+func TestOverlapInvalidatedByFaults(t *testing.T) {
+	topo := hw.Cluster(2, 2)
+	cfg := testConfig(512, 96)
+	mk := func() *Manager {
+		pl, err := hw.NewPlacement(hw.PlaceStripe, topo, 4, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(Config{Scratchpad: cfg, Shards: 4, Pool: nil, Placement: pl, Coord: CoordHier})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	base, spec := mk(), mk()
+	st := newStream(77, 96, 96, int64(512*4))
+	var d specDriver
+	const depth = 4
+	var pendA, pendB []*core.PlanResult
+	for seq := 0; seq < 120; seq++ {
+		future, hints := st.window(seq, 2, 6)
+		ra, err := base.PlanWithHints(seq, st.at(seq), future, hints)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := spec.PlanWithHints(seq, st.at(seq), future, hints)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samePlan(t, "faulted", seq, ra, rb)
+		pendA, pendB = append(pendA, ra), append(pendB, rb)
+		if seq+1 < 120 {
+			rel := -1
+			if len(pendA) >= depth {
+				rel = seq - depth + 1
+			}
+			nf, nh := st.window(seq+1, 2, 6)
+			d.speculate(spec, seq+1, st.at(seq+1), nf, nh, rel)
+		}
+		if seq%10 == 5 {
+			// A degrade/heal cycle between speculation and Plan: both
+			// managers take it, only spec has a parked sweep to lose.
+			base.Degrade()
+			base.Heal()
+			spec.Degrade()
+			spec.Heal()
+		}
+		if len(pendA) >= depth {
+			old := seq - depth + 1
+			if err := base.Release(old); err != nil {
+				t.Fatal(err)
+			}
+			if err := spec.Release(old); err != nil {
+				t.Fatal(err)
+			}
+			base.Recycle(pendA[0])
+			spec.Recycle(pendB[0])
+			pendA, pendB = pendA[1:], pendB[1:]
+		}
+	}
+	os := spec.OverlapStats()
+	if os.RolledBack == 0 || os.Adopted == 0 {
+		t.Fatalf("fault schedule produced no mix of outcomes: %+v", os)
+	}
+	if base.Stats() != spec.Stats() {
+		t.Fatalf("stats diverged across faults:\nbase %+v\nspec %+v", base.Stats(), spec.Stats())
+	}
+	sameTraffic(t, "faulted", base.CoordStats(), spec.CoordStats(), 1e-9)
+}

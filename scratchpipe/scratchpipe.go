@@ -130,6 +130,11 @@ type CoordStats = shard.CoordStats
 // exact shadow planner (see shard.Divergence).
 type CoordDivergence = shard.Divergence
 
+// OverlapStats counts speculative-coordination outcomes under
+// Config.CoordOverlap (see shard.OverlapStats); Report.Overlap carries
+// the run's totals.
+type OverlapStats = shard.OverlapStats
+
 // ReshardSpec schedules run-time shard-count transitions (elastic
 // resharding with live state migration; see engine.ReshardSpec and
 // DESIGN.md §9): static "iter:shards" steps and/or a load-triggered
@@ -284,6 +289,14 @@ type Config struct {
 	// CoordQuantum is approx mode's recency quantum in clock ticks
 	// (0 = the shard package default; 1 makes approx exact).
 	CoordQuantum int
+	// CoordOverlap overlaps distributed coordination with the pipeline
+	// (ScratchPipe engine only): the coordinator speculatively resolves
+	// the next Plan's eviction candidates against a stamp-clock snapshot
+	// while the current cycle runs, rolling back and replaying on any
+	// mismatch. Plans, statistics, and training results are bit-identical
+	// with the flag off; only the critical coordination share charged to
+	// the Plan stage shrinks. A no-op co-located or unsharded.
+	CoordOverlap bool
 	// Reshard schedules run-time shard-count transitions for the
 	// dynamic-cache engines (strawman/scratchpipe): the live scratchpad
 	// state migrates between Plans — plans, statistics, and functional
@@ -371,9 +384,10 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 		eng, err = engine.NewStrawMan(env, cfg.CacheFrac, cfg.Policy)
 	case KindScratchPipe:
 		eng, err = engine.NewScratchPipe(env, engine.ScratchPipeOptions{
-			CacheFrac: cfg.CacheFrac,
-			Policy:    cfg.Policy,
-			Parallel:  cfg.Parallel,
+			CacheFrac:    cfg.CacheFrac,
+			Policy:       cfg.Policy,
+			Parallel:     cfg.Parallel,
+			CoordOverlap: cfg.CoordOverlap,
 		})
 	case KindMultiGPU:
 		eng, err = engine.NewMultiGPU(env)
