@@ -12,6 +12,9 @@
 //	          [-workers 1] [-shards 1] [-topology single]
 //	          [-placement stripe] [-coord exact] [-coord-overlap]
 //	          [-reshard SPEC] [-fail PLAN] [-ckpt-interval N]
+//	          [-serve] [-router P] [-replicas R] [-arrival SPEC]
+//	          [-serve-fail PLAN] [-deadline MS] [-retry SPEC] [-hedge MS]
+//	          [-admission SPEC]
 //
 // The gate measures with Workers=1 and Shards=1 by default so allocation
 // counts are deterministic and wall time does not depend on the CI
@@ -37,7 +40,14 @@
 // for a given schedule. Passing -serve (with -router/-replicas/-arrival)
 // gates the serving-family entries — the online serving simulation —
 // on their deterministic throughput, hit rate, and p99, where *falling
-// below* the baseline by the -coord-factor is the regression.
+// below* the baseline by the -coord-factor is the regression. Adding
+// -serve-fail (with -deadline/-retry/-hedge/-admission) gates the
+// fault-injected serving family: availability and goodput must not
+// fall below the baseline by the -coord-factor, and the retried/
+// hedged/shed counters must match the baseline exactly — they are
+// deterministic in the seed, so any drift means the resilience
+// machinery (retry scheduling, hedge arming, admission shedding)
+// changed behaviour.
 //
 // Entries that recorded a measured coordination wall additionally gate
 // the modeled-vs-measured skew |coord_seconds - coord_wall_seconds| /
@@ -93,6 +103,11 @@ func main() {
 	replicas := flag.Int("replicas", 4, "serving replica workers (with -serve)")
 	router := flag.String("router", "hitaware", "serving router policy: "+serve.PolicyNames+" (with -serve)")
 	arrival := flag.String("arrival", "", "serving arrival process: "+serve.ArrivalGrammar+" (with -serve; empty = poisson default)")
+	serveFail := flag.String("serve-fail", "", "serving fault schedule ("+serve.ServeFaultGrammar+"; with -serve; empty = no faults)")
+	deadline := flag.Float64("deadline", 0, "per-query serving deadline in ms (with -serve; 0 = none)")
+	retry := flag.String("retry", "", "serving client retry policy ("+serve.RetryGrammar+"; with -serve; empty = no retries)")
+	hedge := flag.Float64("hedge", 0, "serving hedged-request delay in ms (with -serve; 0 = no hedging)")
+	admission := flag.String("admission", "", "serving admission control ("+serve.AdmissionGrammar+"; with -serve; empty = admit all)")
 	flag.Parse()
 
 	if *shards < 1 {
@@ -153,6 +168,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: -replicas %d: serving needs at least one replica\n", *replicas)
 		os.Exit(2)
 	}
+	serveFaults, err := hw.ParseFaultPlan(*serveFail)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: -serve-fail %q: %v\n", *serveFail, err)
+		os.Exit(2)
+	}
+	retrySpec, err := serve.ParseRetry(*retry)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: -retry %q: %v\n", *retry, err)
+		os.Exit(2)
+	}
+	admissionSpec, err := serve.ParseAdmission(*admission)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: -admission %q: %v\n", *admission, err)
+		os.Exit(2)
+	}
+	if *deadline < 0 || *hedge < 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: -deadline/-hedge must be >= 0 ms\n")
+		os.Exit(2)
+	}
+	if *serveMode {
+		serveTopo := topo
+		if topo.NumNodes() <= 1 {
+			serveTopo = nil
+		}
+		if err := serveFaults.ValidateServe(*replicas, serveTopo); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: -serve-fail %q: %v\n", *serveFail, err)
+			os.Exit(2)
+		}
+	}
 
 	data, err := os.ReadFile(*baseline)
 	if err != nil {
@@ -172,16 +216,28 @@ func main() {
 	// = not a serving entry).
 	serveOpts := serve.Options{}
 	if *serveMode {
-		serveOpts = serve.Options{Replicas: *replicas, Router: routerPolicy, Arrival: arrivalSpec}
+		serveOpts = serve.Options{
+			Replicas:  *replicas,
+			Router:    routerPolicy,
+			Arrival:   arrivalSpec,
+			Faults:    serveFaults,
+			Deadline:  *deadline * 1e-3,
+			Retry:     retrySpec,
+			Hedge:     *hedge * 1e-3,
+			Admission: admissionSpec,
+		}
 	}
 	serveRouter, serveArrival, serveReplicas := "", "", 0
+	serveFaultsStr, serveResilience := "", ""
 	if *serveMode {
 		resolved := serveOpts.WithDefaults()
 		serveRouter = string(resolved.Router)
 		serveArrival = resolved.Arrival.String()
 		serveReplicas = resolved.Replicas
+		serveFaultsStr = resolved.Faults.String()
+		serveResilience = resolved.ResilienceString()
 	}
-	base := pickBaseline(hist.History, *configName, *workers, *shards, topoName, string(policy), string(coordMode), *coordOverlap, reshardSpec.String(), faults.String(), *ckptInterval, serveRouter, serveArrival, serveReplicas)
+	base := pickBaseline(hist.History, *configName, *workers, *shards, topoName, string(policy), string(coordMode), *coordOverlap, reshardSpec.String(), faults.String(), *ckptInterval, serveRouter, serveArrival, serveReplicas, serveFaultsStr, serveResilience)
 	if base == nil {
 		extraArgs := ""
 		if *coordOverlap {
@@ -200,6 +256,21 @@ func main() {
 			extraArgs += fmt.Sprintf(" -serve -router %s -replicas %d", serveRouter, serveReplicas)
 			if *arrival != "" {
 				extraArgs += " -arrival " + *arrival
+			}
+			if *serveFail != "" {
+				extraArgs += " -serve-fail " + serveFaultsStr
+			}
+			if *deadline > 0 {
+				extraArgs += fmt.Sprintf(" -deadline %g", *deadline)
+			}
+			if retrySpec.Active() {
+				extraArgs += " -retry " + retrySpec.String()
+			}
+			if *hedge > 0 {
+				extraArgs += fmt.Sprintf(" -hedge %g", *hedge)
+			}
+			if admissionSpec.Active() {
+				extraArgs += " -admission " + admissionSpec.String()
 			}
 		}
 		fmt.Fprintf(os.Stderr,
@@ -305,6 +376,32 @@ func main() {
 			failed = true
 		}
 	}
+	// The fault-injected serving family gates availability and goodput as
+	// floors (lower is the regression), and the resilience counters
+	// exactly: retry scheduling, hedge arming, and admission shedding are
+	// all deterministic in the seed, so any drift means the machinery
+	// itself changed behaviour, not noise.
+	if base.Serve != "" && (base.ServeFaults != "" || base.ServeResilience != "") {
+		if floor := base.ServeAvailability / *coordFactor; best.ServeAvailability < floor {
+			fmt.Printf("benchgate: FAIL serving availability %.4f below %.4f (baseline / %.2f)\n",
+				best.ServeAvailability, floor, *coordFactor)
+			failed = true
+		}
+		if floor := base.ServeGoodput / *coordFactor; best.ServeGoodput < floor {
+			fmt.Printf("benchgate: FAIL serving goodput %.0f q/s below %.0f (baseline / %.2f)\n",
+				best.ServeGoodput, floor, *coordFactor)
+			failed = true
+		}
+		if best.ServeRetried != base.ServeRetried ||
+			best.ServeHedged != base.ServeHedged ||
+			best.ServeShed != base.ServeShed {
+			fmt.Printf("benchgate: FAIL resilience counters moved: retried %d->%d, hedged %d->%d, shed %d->%d (deterministic; gate is exact)\n",
+				base.ServeRetried, best.ServeRetried,
+				base.ServeHedged, best.ServeHedged,
+				base.ServeShed, best.ServeShed)
+			failed = true
+		}
+	}
 	// The modeled-vs-measured skew: the message plane's makespan must
 	// track the serial pricing model within the documented tolerance
 	// (DESIGN.md §12 — the plane legitimately undershoots because it
@@ -353,7 +450,7 @@ func main() {
 		}
 		// The win itself: the overlapped sweep's modeled wall must sit
 		// strictly below the matching non-overlap twin entry's.
-		twin := pickBaseline(hist.History, *configName, *workers, *shards, topoName, string(policy), string(coordMode), false, reshardSpec.String(), faults.String(), *ckptInterval, serveRouter, serveArrival, serveReplicas)
+		twin := pickBaseline(hist.History, *configName, *workers, *shards, topoName, string(policy), string(coordMode), false, reshardSpec.String(), faults.String(), *ckptInterval, serveRouter, serveArrival, serveReplicas, serveFaultsStr, serveResilience)
 		switch {
 		case twin == nil || twin.SimWallSeconds <= 0:
 			fmt.Fprintf(os.Stderr, "benchgate: no non-overlap twin entry in %s to verify the overlap win against; record one with the same shape minus -coord-overlap\n", *baseline)
@@ -392,7 +489,7 @@ func main() {
 // coordination metering the co-located sweep never executes, and the
 // batched/hier/approx protocol entries send a fraction of the exact
 // protocol's rounds.
-func pickBaseline(hist []bench.HotPathResult, config string, workers, shards int, topology, placement, coord string, coordOverlap bool, reshard, faults string, ckptInterval int, serveRouter, serveArrival string, serveReplicas int) *bench.HotPathResult {
+func pickBaseline(hist []bench.HotPathResult, config string, workers, shards int, topology, placement, coord string, coordOverlap bool, reshard, faults string, ckptInterval int, serveRouter, serveArrival string, serveReplicas int, serveFaults, serveResilience string) *bench.HotPathResult {
 	norm := func(s int) int {
 		if s <= 1 {
 			return 1
@@ -430,6 +527,7 @@ func pickBaseline(hist []bench.HotPathResult, config string, workers, shards int
 			e.Faults == faults && e.CkptInterval == ckptInterval &&
 			e.Serve == serveRouter && e.ServeArrival == serveArrival &&
 			e.ServeReplicas == serveReplicas &&
+			e.ServeFaults == serveFaults && e.ServeResilience == serveResilience &&
 			normTopo(e.Topology) == normTopo(topology) &&
 			(normTopo(e.Topology) == "" || normPlace(e.Placement) == normPlace(placement)) {
 			exact = e
@@ -467,6 +565,12 @@ func printDelta(base, best *bench.HotPathResult) {
 		{"serve_hit_rate", base.ServeHitRate, best.ServeHitRate, false},
 		{"serve_p99_ms", base.ServeP99Ms, best.ServeP99Ms, false},
 		{"serve_drops", float64(base.ServeDrops), float64(best.ServeDrops), true},
+		{"serve_availability", base.ServeAvailability, best.ServeAvailability, false},
+		{"serve_goodput", base.ServeGoodput, best.ServeGoodput, false},
+		{"serve_retried", float64(base.ServeRetried), float64(best.ServeRetried), true},
+		{"serve_hedged", float64(base.ServeHedged), float64(best.ServeHedged), true},
+		{"serve_shed", float64(base.ServeShed), float64(best.ServeShed), true},
+		{"serve_timed_out", float64(base.ServeTimedOut), float64(best.ServeTimedOut), true},
 	}
 	fmt.Printf("benchgate: full family delta (baseline %s):\n", base.Timestamp)
 	fmt.Printf("  %-24s %16s %16s %10s\n", "metric", "baseline", "measured", "ratio")

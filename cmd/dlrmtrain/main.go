@@ -13,6 +13,8 @@
 //	dlrmtrain -topology numa4 -reshard load:4 -class High   # load-triggered growth
 //	dlrmtrain -serve -replicas 4 -router hitaware -arrival poisson:2000 -class High
 //	dlrmtrain -serve -replicas 8 -router leastloaded -arrival flash:2000:8 -topology cluster2x2
+//	dlrmtrain -serve -serve-fail replica1@0.4 -retry 3:100 -deadline 20   # kill + failover
+//	dlrmtrain -serve -arrival flash:5000:10 -admission cheapest:0.5:degrade
 //
 // With -serve the command runs the online serving simulation instead of
 // training: -replicas scratchpad-holding workers answer an open-loop
@@ -62,7 +64,26 @@ func runServe(cfg scratchpipe.Config, class scratchpipe.Class) {
 	if rep.CoordTime > 0 {
 		fmt.Printf("  shard coordination: %.3f ms total across queries\n", rep.CoordTime*1e3)
 	}
+	// Resilience section: keyed off the options, not the report, so
+	// zero-fault runs without the new flags print byte-identically to
+	// the pre-fault serving tree.
+	resilient := cfg.Serve.Resilient()
+	if resilient {
+		fmt.Printf("  resilience:      availability %.4f%%, goodput %.0f q/s, drop rate %.2f%%\n",
+			rep.Availability*100, rep.Goodput, rep.DropRate()*100)
+		fmt.Printf("    outcomes: %d timed out, %d retried, %d hedged, %d shed, %d degraded\n",
+			rep.TimedOut, rep.Retried, rep.Hedged, rep.Shed, rep.Degraded)
+		if rep.RewarmFills > 0 {
+			fmt.Printf("    recovery: %d re-warm fills, %.3f ms re-warm stall\n",
+				rep.RewarmFills, rep.RewarmTime*1e3)
+		}
+	}
 	for i, w := range rep.Workers {
+		if resilient {
+			fmt.Printf("  worker %d (node %d): %d served, %d dropped (%.1f%% drop rate), hit rate %.1f%%, peak queue %d, downtime %.0f ms\n",
+				i, w.Node, w.Served, w.Drops, w.DropRate()*100, w.HitRate()*100, w.PeakDepth, w.Downtime*1e3)
+			continue
+		}
 		fmt.Printf("  worker %d (node %d): %d served, %d dropped, hit rate %.1f%%, peak queue %d\n",
 			i, w.Node, w.Served, w.Drops, w.HitRate()*100, w.PeakDepth)
 	}
@@ -95,6 +116,11 @@ func main() {
 	replicas := flag.Int("replicas", 4, "serving replica workers (with -serve)")
 	router := flag.String("router", "hitaware", "serving router policy: random|roundrobin|leastloaded|hitaware (with -serve)")
 	arrival := flag.String("arrival", "poisson:2000", "serving arrival process: poisson:<qps>, diurnal:<qps>[:<amp>], or flash:<qps>[:<mult>[:<at>:<dur>]] (with -serve)")
+	serveFail := flag.String("serve-fail", "", "serving fault schedule: replica<R>@<T>[-<T2>] and/or host<H>@<T>, times in virtual-clock seconds (with -serve; empty = no faults)")
+	deadline := flag.Float64("deadline", 0, "per-query deadline in ms; responses past it count as timed out (with -serve; 0 = none)")
+	retry := flag.String("retry", "", "client retry policy: <max>[:<backoff-ms>], exponential backoff to a different replica (with -serve; empty = no retries)")
+	hedge := flag.Float64("hedge", 0, "hedged-request delay in ms; a backup attempt fires on another replica if no response by then (with -serve; 0 = no hedging)")
+	admission := flag.String("admission", "", "admission control: newest|cheapest[:<threshold>][:degrade], or bare degrade (with -serve; empty = admit all)")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -177,14 +203,41 @@ func main() {
 	if err != nil {
 		fail("-arrival %q: want poisson:<qps>, diurnal:<qps>[:<amp>], or flash:<qps>[:<mult>[:<at>:<dur>]]", *arrival)
 	}
+	serveFaults, err := scratchpipe.ParseFaultPlan(*serveFail)
+	if err != nil {
+		fail("-serve-fail %q: %v", *serveFail, err)
+	}
+	retrySpec, err := scratchpipe.ParseRetry(*retry)
+	if err != nil {
+		fail("-retry %q: %v", *retry, err)
+	}
+	admissionSpec, err := scratchpipe.ParseAdmission(*admission)
+	if err != nil {
+		fail("-admission %q: %v", *admission, err)
+	}
+	if *deadline < 0 {
+		fail("-deadline %g: deadline must be >= 0 ms", *deadline)
+	}
+	if *hedge < 0 {
+		fail("-hedge %g: hedge delay must be >= 0 ms", *hedge)
+	}
 	if *serveMode {
 		if *replicas < 1 {
 			fail("-replicas %d: serving needs at least one replica", *replicas)
 		}
+		// Host-scoped serving faults need the multi-host placement graph;
+		// mirror the engine, which only sees a topology when it is real.
+		serveTopo := topo
+		if topo.NumNodes() <= 1 {
+			serveTopo = nil
+		}
+		if err := serveFaults.ValidateServe(*replicas, serveTopo); err != nil {
+			fail("-serve-fail %q: %v", *serveFail, err)
+		}
 	} else {
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "replicas", "router", "arrival":
+			case "replicas", "router", "arrival", "serve-fail", "deadline", "retry", "hedge", "admission":
 				fail("-%s only applies with -serve", f.Name)
 			}
 		})
@@ -231,6 +284,11 @@ func main() {
 			Router:    routerPolicy,
 			Arrival:   arrivalSpec,
 			CacheFrac: *cacheFrac,
+			Faults:    serveFaults,
+			Deadline:  *deadline * 1e-3,
+			Retry:     retrySpec,
+			Hedge:     *hedge * 1e-3,
+			Admission: admissionSpec,
 		}
 		// Serving is a pure simulation over ID metadata — real float32
 		// tables would only add allocation time (and at paper scale,

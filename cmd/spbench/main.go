@@ -9,10 +9,14 @@
 //	        [-topology T] [-placement P] [-coord M] [-coord-overlap]
 //	        [-reshard SPEC] [-fail PLAN] [-ckpt-interval N]
 //	        [-serve] [-replicas R] [-router P] [-arrival SPEC]
+//	        [-serve-fail PLAN] [-deadline MS] [-retry SPEC] [-hedge MS]
+//	        [-admission SPEC]
 //	spbench -json BENCH_hotpath.json [-quick] [-workers N] [-shards S]
 //	        [-topology T] [-placement P] [-coord M] [-coord-overlap]
 //	        [-reshard SPEC] [-fail PLAN] [-ckpt-interval N] [-note TEXT]
 //	        [-serve] [-replicas R] [-router P] [-arrival SPEC]
+//	        [-serve-fail PLAN] [-deadline MS] [-retry SPEC] [-hedge MS]
+//	        [-admission SPEC]
 //
 // With -quick the paper-scale tables (10M rows) shrink 50x, which changes
 // absolute hit rates slightly but preserves every qualitative shape; use it
@@ -63,7 +67,12 @@
 // (-arrival) behind the -router policy. The serving experiment sweeps
 // the full routing frontier; with -json the measurement records the
 // serving family's deterministic throughput/hit-rate/p99 instead of the
-// training sweep.
+// training sweep. -serve-fail injects replica/host kills into the
+// serving run ("replica1@0.4" kills replica 1 at t=0.4s; "host1@1"
+// takes down every replica placed on host 1), and -deadline/-retry/
+// -hedge/-admission configure the client and admission resilience
+// policies; the -json entry then also records availability, goodput,
+// and the retried/hedged/shed/timed-out counters.
 //
 // With -json the command runs the hot-path benchmark (one Figure 13
 // sweep) instead of printing tables, appends the wall-clock and allocator
@@ -119,6 +128,11 @@ func main() {
 	replicas := flag.Int("replicas", 4, "serving replica workers (with -serve)")
 	router := flag.String("router", "hitaware", "serving router policy: "+serve.PolicyNames+" (with -serve)")
 	arrival := flag.String("arrival", "", "serving arrival process: "+serve.ArrivalGrammar+" (with -serve; empty = poisson default)")
+	serveFail := flag.String("serve-fail", "", "serving fault schedule ("+serve.ServeFaultGrammar+"; with -serve; empty = no faults)")
+	deadline := flag.Float64("deadline", 0, "per-query serving deadline in ms (with -serve; 0 = none)")
+	retry := flag.String("retry", "", "serving client retry policy ("+serve.RetryGrammar+"; with -serve; empty = no retries)")
+	hedge := flag.Float64("hedge", 0, "serving hedged-request delay in ms (with -serve; 0 = no hedging)")
+	admission := flag.String("admission", "", "serving admission control ("+serve.AdmissionGrammar+"; with -serve; empty = admit all)")
 	jsonPath := flag.String("json", "", "run the hot-path benchmark and append the measurement to this JSON history file")
 	note := flag.String("note", "", "free-form note recorded with the -json measurement")
 	flag.Parse()
@@ -182,6 +196,39 @@ func main() {
 		fmt.Fprintf(os.Stderr, "spbench: -replicas %d: serving needs at least one replica\n", *replicas)
 		os.Exit(2)
 	}
+	serveFaults, err := hw.ParseFaultPlan(*serveFail)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spbench: -serve-fail %q: %v\n", *serveFail, err)
+		os.Exit(2)
+	}
+	retrySpec, err := serve.ParseRetry(*retry)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spbench: -retry %q: %v\n", *retry, err)
+		os.Exit(2)
+	}
+	admissionSpec, err := serve.ParseAdmission(*admission)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spbench: -admission %q: %v\n", *admission, err)
+		os.Exit(2)
+	}
+	if *deadline < 0 || *hedge < 0 {
+		fmt.Fprintf(os.Stderr, "spbench: -deadline/-hedge must be >= 0 ms\n")
+		os.Exit(2)
+	}
+	if !*serveMode && (serveFaults.Active() || retrySpec.Active() || admissionSpec.Active() || *deadline > 0 || *hedge > 0) {
+		fmt.Fprintf(os.Stderr, "spbench: -serve-fail/-deadline/-retry/-hedge/-admission only apply with -serve\n")
+		os.Exit(2)
+	}
+	if *serveMode {
+		serveTopo := topo
+		if topo.NumNodes() <= 1 {
+			serveTopo = nil
+		}
+		if err := serveFaults.ValidateServe(*replicas, serveTopo); err != nil {
+			fmt.Fprintf(os.Stderr, "spbench: -serve-fail %q: %v\n", *serveFail, err)
+			os.Exit(2)
+		}
+	}
 
 	cfg := bench.Default()
 	configName := "full"
@@ -210,9 +257,14 @@ func main() {
 	}
 	if *serveMode {
 		cfg.Serve = serve.Options{
-			Replicas: *replicas,
-			Router:   routerPolicy,
-			Arrival:  arrivalSpec,
+			Replicas:  *replicas,
+			Router:    routerPolicy,
+			Arrival:   arrivalSpec,
+			Faults:    serveFaults,
+			Deadline:  *deadline * 1e-3,
+			Retry:     retrySpec,
+			Hedge:     *hedge * 1e-3,
+			Admission: admissionSpec,
 		}
 	}
 
@@ -228,9 +280,15 @@ func main() {
 			os.Exit(1)
 		}
 		if res.Serve != "" {
-			fmt.Printf("hotpath serving (%s, %s router, %d replicas, arrival %s): %.2fs wall, %.0f q/s, %.1f%% hit rate, p99 %.3f ms, %d drops -> %s\n",
+			resil := ""
+			if res.ServeFaults != "" || res.ServeResilience != "" {
+				resil = fmt.Sprintf(", faults %q + %q: availability %.4f, goodput %.0f q/s, %d retried, %d hedged, %d shed, %d timed out",
+					res.ServeFaults, res.ServeResilience, res.ServeAvailability, res.ServeGoodput,
+					res.ServeRetried, res.ServeHedged, res.ServeShed, res.ServeTimedOut)
+			}
+			fmt.Printf("hotpath serving (%s, %s router, %d replicas, arrival %s): %.2fs wall, %.0f q/s, %.1f%% hit rate, p99 %.3f ms, %d drops%s -> %s\n",
 				configName, res.Serve, res.ServeReplicas, res.ServeArrival,
-				res.WallSeconds, res.ServeThroughput, res.ServeHitRate*100, res.ServeP99Ms, res.ServeDrops, *jsonPath)
+				res.WallSeconds, res.ServeThroughput, res.ServeHitRate*100, res.ServeP99Ms, res.ServeDrops, resil, *jsonPath)
 			return
 		}
 		shape := ""

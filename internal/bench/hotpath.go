@@ -101,6 +101,22 @@ type HotPathResult struct {
 	ServeHitRate    float64 `json:"serve_hit_rate,omitempty"`
 	ServeP99Ms      float64 `json:"serve_p99_ms,omitempty"`
 	ServeDrops      int64   `json:"serve_drops,omitempty"`
+	// ServeFaults/ServeResilience record the failure schedule
+	// (-serve-fail, canonical FaultPlan form) and the engaged
+	// client-resilience knobs (Options.ResilienceString) of a serving
+	// sweep: fault-injected entries are their own family, gated
+	// independently of fault-free serving baselines.
+	ServeFaults     string `json:"serve_faults,omitempty"`
+	ServeResilience string `json:"serve_resilience,omitempty"`
+	// ServeAvailability/ServeGoodput are the fault family's headline
+	// results; ServeRetried/ServeHedged/ServeShed/ServeTimedOut the
+	// deterministic resilience counters benchgate matches exactly.
+	ServeAvailability float64 `json:"serve_availability,omitempty"`
+	ServeGoodput      float64 `json:"serve_goodput,omitempty"`
+	ServeRetried      int64   `json:"serve_retried,omitempty"`
+	ServeHedged       int64   `json:"serve_hedged,omitempty"`
+	ServeShed         int64   `json:"serve_shed,omitempty"`
+	ServeTimedOut     int64   `json:"serve_timed_out,omitempty"`
 	// Iters is the measured iterations per data point.
 	Iters int `json:"iters"`
 	// WallSeconds is the real time of one full Figure 13 sweep.
@@ -231,28 +247,36 @@ func hotPathServe(cfg Config, configName string) (*HotPathResult, error) {
 		coordMode = string(mode)
 	}
 	return &HotPathResult{
-		Timestamp:        time.Now().UTC().Format(time.RFC3339),
-		Config:           configName,
-		Workers:          cfg.Workers,
-		Shards:           cfg.Shards,
-		Topology:         topoName,
-		Placement:        string(cfg.Placement),
-		CoordMode:        coordMode,
-		CoordRounds:      rep.CoordRounds,
-		CoordSeconds:     rep.CoordTime,
-		CoordWallSeconds: rep.CoordWallTime,
-		Serve:            string(rep.Router),
-		ServeArrival:     cfg.Serve.Arrival.String(),
-		ServeReplicas:    rep.Replicas,
-		ServeThroughput:  rep.Throughput,
-		ServeHitRate:     rep.HitRate(),
-		ServeP99Ms:       rep.Latency.P99 * 1e3,
-		ServeDrops:       rep.Drops,
-		GoMaxProcs:       runtime.GOMAXPROCS(0),
-		Iters:            cfg.Iters,
-		WallSeconds:      wall.Seconds(),
-		Allocs:           after.Mallocs - before.Mallocs,
-		AllocBytes:       after.TotalAlloc - before.TotalAlloc,
+		Timestamp:         time.Now().UTC().Format(time.RFC3339),
+		Config:            configName,
+		Workers:           cfg.Workers,
+		Shards:            cfg.Shards,
+		Topology:          topoName,
+		Placement:         string(cfg.Placement),
+		CoordMode:         coordMode,
+		CoordRounds:       rep.CoordRounds,
+		CoordSeconds:      rep.CoordTime,
+		CoordWallSeconds:  rep.CoordWallTime,
+		Serve:             string(rep.Router),
+		ServeArrival:      cfg.Serve.Arrival.String(),
+		ServeReplicas:     rep.Replicas,
+		ServeThroughput:   rep.Throughput,
+		ServeHitRate:      rep.HitRate(),
+		ServeP99Ms:        rep.Latency.P99 * 1e3,
+		ServeDrops:        rep.Drops,
+		ServeFaults:       cfg.Serve.Faults.String(),
+		ServeResilience:   cfg.Serve.ResilienceString(),
+		ServeAvailability: rep.Availability,
+		ServeGoodput:      rep.Goodput,
+		ServeRetried:      rep.Retried,
+		ServeHedged:       rep.Hedged,
+		ServeShed:         rep.Shed,
+		ServeTimedOut:     rep.TimedOut,
+		GoMaxProcs:        runtime.GOMAXPROCS(0),
+		Iters:             cfg.Iters,
+		WallSeconds:       wall.Seconds(),
+		Allocs:            after.Mallocs - before.Mallocs,
+		AllocBytes:        after.TotalAlloc - before.TotalAlloc,
 	}, nil
 }
 

@@ -20,6 +20,7 @@ package hw
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -42,6 +43,13 @@ const (
 	// while the host itself survives: the hierarchical protocols must
 	// re-elect before the next sweep.
 	FaultAggLoss
+	// FaultReplicaDown kills one serving replica at a virtual-clock
+	// time (optionally recovering later): its queue is flushed, its
+	// scratchpad state is lost, and recovery is priced as cold-cache
+	// re-warm. Replica events only make sense on the serving tier —
+	// Validate rejects them in training plans; ValidateServe checks
+	// them against the serving configuration.
+	FaultReplicaDown
 )
 
 // String returns the kind's short name.
@@ -55,6 +63,8 @@ func (k FaultKind) String() string {
 		return "link-degraded"
 	case FaultAggLoss:
 		return "agg-loss"
+	case FaultReplicaDown:
+		return "replica-down"
 	}
 	return fmt.Sprintf("fault(%d)", int(k))
 }
@@ -84,6 +94,14 @@ type FaultEvent struct {
 	Heal int64
 	// Factor is the FaultLinkDegraded multiplier (>1).
 	Factor float64
+	// Replica is the stricken serving replica (FaultReplicaDown only;
+	// zero-valued otherwise).
+	Replica int
+	// At/Until are the strike and recovery times of a FaultReplicaDown
+	// event in virtual-clock seconds (serving runs are timed, not
+	// iterated). Until zero means the replica never recovers. Both are
+	// zero-valued for iteration-scoped kinds.
+	At, Until float64
 }
 
 // String renders the event in the -fail grammar.
@@ -105,8 +123,24 @@ func (e FaultEvent) String() string {
 			s += fmt.Sprintf("-%d", e.Heal)
 		}
 		return s + fmt.Sprintf("x%g", e.Factor)
+	case FaultReplicaDown:
+		s := fmt.Sprintf("replica%d@%g", e.Replica, e.At)
+		if e.Until > 0 {
+			s += fmt.Sprintf("-%g", e.Until)
+		}
+		return s
 	}
 	return e.Kind.String()
+}
+
+// when is the event's schedule key: the strike iteration for
+// iteration-scoped kinds, the strike time for replica events (both are
+// "how far into the run", so one ascending order covers mixed plans).
+func (e FaultEvent) when() float64 {
+	if e.Kind == FaultReplicaDown {
+		return e.At
+	}
+	return float64(e.Iter)
 }
 
 // FaultPlan is a deterministic, replayable fault schedule: the events,
@@ -135,49 +169,57 @@ func (p FaultPlan) String() string {
 }
 
 // FaultGrammar documents the -fail event forms for usage errors.
-const FaultGrammar = "host<H>@<I>, agg<H>@<I>, link:host<A>-host<B>@<I>[-<J>], degrade:host<A>-host<B>@<I>[-<J>][x<F>]"
+const FaultGrammar = "host<H>@<I>, agg<H>@<I>, link:host<A>-host<B>@<I>[-<J>], degrade:host<A>-host<B>@<I>[-<J>][x<F>], replica<R>@<T>[-<T2>]"
 
 // ParseFaultPlan parses a comma-separated fault schedule, e.g.
 //
 //	host1@300,link:host0-host1@500
 //
-// Event forms (H, A, B are host indices; I the strike iteration):
+// Event forms (H, A, B are host indices; I the strike iteration; T, T2
+// virtual-clock seconds):
 //
 //	host<H>@<I>                          host H dies permanently
 //	agg<H>@<I>                           host H's aggregator is lost
 //	link:host<A>-host<B>@<I>[-<J>]       A-B links partition, heal at J
 //	degrade:host<A>-host<B>@<I>[-<J>][x<F>]  A-B links degrade by F
+//	replica<R>@<T>[-<T2>]                serving replica R dies at T s,
+//	                                     recovering cold at T2
 //
-// Events are sorted by iteration; "" parses as the empty (no-fault)
-// plan. Host existence is checked later against the run's topology by
-// Validate, so a plan can be parsed before the topology is chosen.
+// Events are sorted by schedule position; "" parses as the empty
+// (no-fault) plan. A malformed token is reported with its position and
+// the token itself, so a long schedule pinpoints the offender. Host and
+// replica existence are checked later against the run's configuration
+// by Validate / ValidateServe, so a plan can be parsed before the
+// topology is chosen.
 func ParseFaultPlan(s string) (FaultPlan, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
 		return FaultPlan{}, nil
 	}
 	var plan FaultPlan
-	for _, tok := range strings.Split(s, ",") {
+	for i, tok := range strings.Split(s, ",") {
 		tok = strings.TrimSpace(tok)
 		if tok == "" {
-			return FaultPlan{}, fmt.Errorf("hw: empty fault event in %q", s)
+			return FaultPlan{}, fmt.Errorf("hw: fault plan %q: event %d is empty", s, i+1)
 		}
 		e, err := parseFaultEvent(tok)
 		if err != nil {
-			return FaultPlan{}, err
+			return FaultPlan{}, fmt.Errorf("hw: fault plan: event %d %q: %v", i+1, tok, err)
 		}
 		plan.Events = append(plan.Events, e)
 	}
 	sort.SliceStable(plan.Events, func(i, j int) bool {
-		return plan.Events[i].Iter < plan.Events[j].Iter
+		return plan.Events[i].when() < plan.Events[j].when()
 	})
 	return plan, nil
 }
 
-// parseFaultEvent parses one event token of the -fail grammar.
+// parseFaultEvent parses one event token of the -fail grammar. Errors
+// are bare (no "hw:" prefix, no token echo) — ParseFaultPlan wraps them
+// with the token and its position in the plan.
 func parseFaultEvent(tok string) (FaultEvent, error) {
 	bad := func() (FaultEvent, error) {
-		return FaultEvent{}, fmt.Errorf("hw: bad fault event %q (want %s)", tok, FaultGrammar)
+		return FaultEvent{}, fmt.Errorf("want %s", FaultGrammar)
 	}
 	switch {
 	case strings.HasPrefix(tok, "link:"), strings.HasPrefix(tok, "degrade:"):
@@ -195,7 +237,7 @@ func parseFaultEvent(tok string) (FaultEvent, error) {
 			return bad()
 		}
 		if a == b {
-			return FaultEvent{}, fmt.Errorf("hw: fault event %q: link endpoints must differ", tok)
+			return FaultEvent{}, fmt.Errorf("link endpoints must differ")
 		}
 		if a > b {
 			a, b = b, a
@@ -210,7 +252,7 @@ func parseFaultEvent(tok string) (FaultEvent, error) {
 					return bad()
 				}
 				if e.Factor <= 1 {
-					return FaultEvent{}, fmt.Errorf("hw: fault event %q: degrade factor must exceed 1", tok)
+					return FaultEvent{}, fmt.Errorf("degrade factor must exceed 1")
 				}
 			}
 		}
@@ -225,7 +267,34 @@ func parseFaultEvent(tok string) (FaultEvent, error) {
 				return bad()
 			}
 			if e.Heal <= e.Iter {
-				return FaultEvent{}, fmt.Errorf("hw: fault event %q: heal iteration must follow the strike", tok)
+				return FaultEvent{}, fmt.Errorf("heal iteration must follow the strike")
+			}
+		}
+		return e, nil
+	case strings.HasPrefix(tok, "replica"):
+		body := strings.TrimPrefix(tok, "replica")
+		idx, when, ok := strings.Cut(body, "@")
+		if !ok {
+			return bad()
+		}
+		r, err := strconv.Atoi(idx)
+		if err != nil || r < 0 || idx != strconv.Itoa(r) {
+			return bad()
+		}
+		e := FaultEvent{Kind: FaultReplicaDown, Replica: r}
+		strike, heal, hasHeal := strings.Cut(when, "-")
+		if e.At, err = strconv.ParseFloat(strike, 64); err != nil {
+			return bad()
+		}
+		if e.At <= 0 {
+			return FaultEvent{}, fmt.Errorf("strike time must be positive seconds")
+		}
+		if hasHeal {
+			if e.Until, err = strconv.ParseFloat(heal, 64); err != nil {
+				return bad()
+			}
+			if e.Until <= e.At {
+				return FaultEvent{}, fmt.Errorf("recovery time must follow the strike")
 			}
 		}
 		return e, nil
@@ -267,6 +336,10 @@ func (p FaultPlan) Validate(topo *Topology) error {
 	has := func(h int) bool { _, ok := hosts[h]; return ok }
 	dead := make(map[int]struct{})
 	for _, e := range p.Events {
+		if e.Kind == FaultReplicaDown {
+			return fmt.Errorf("hw: fault event %s: replica events strike the serving tier; schedule them with -serve-fail under -serve (training plans take %s)",
+				e.String(), "host/agg/link/degrade events")
+		}
 		if !has(e.Host) {
 			return fmt.Errorf("hw: fault event %s: topology %q has no host %d",
 				e.String(), topo.Name, e.Host)
@@ -287,6 +360,56 @@ func (p FaultPlan) Validate(topo *Topology) error {
 	if len(dead) >= len(hosts) {
 		return fmt.Errorf("hw: fault plan %q kills all %d hosts; at least one must survive",
 			p.String(), len(hosts))
+	}
+	return nil
+}
+
+// ValidateServe reports a descriptive error when the plan cannot strike
+// a serving fleet of the given replica count: only replica and
+// host-down events make sense there (a host kill takes down every
+// replica homed on it), replica indices must exist, host events need a
+// topology that has the host, and one replica cannot be struck again
+// while it is already down. Host-down times are whole virtual-clock
+// seconds (the grammar's integer slot reinterpreted); overlapping
+// blackouts of the entire fleet are allowed — that is a scenario worth
+// measuring, not a configuration error.
+func (p FaultPlan) ValidateServe(replicas int, topo *Topology) error {
+	if !p.Active() {
+		return nil
+	}
+	hosts := make(map[int]struct{})
+	if topo != nil {
+		for _, n := range topo.Nodes {
+			hosts[n.Host] = struct{}{}
+		}
+	}
+	last := make(map[int]FaultEvent) // replica -> previous strike
+	for _, e := range p.Events {
+		switch e.Kind {
+		case FaultReplicaDown:
+			if e.Replica >= replicas {
+				return fmt.Errorf("hw: fault event %s: serving fleet has %d replicas (0..%d)",
+					e.String(), replicas, replicas-1)
+			}
+			if prev, ok := last[e.Replica]; ok {
+				if prev.Until == 0 || e.At < prev.Until {
+					return fmt.Errorf("hw: fault event %s: replica %d is already down (from %s)",
+						e.String(), e.Replica, prev.String())
+				}
+			}
+			last[e.Replica] = e
+		case FaultHostDown:
+			if topo == nil {
+				return fmt.Errorf("hw: fault event %s: host kills need a multi-host topology (-topology)", e.String())
+			}
+			if _, ok := hosts[e.Host]; !ok {
+				return fmt.Errorf("hw: fault event %s: topology %q has no host %d",
+					e.String(), topo.Name, e.Host)
+			}
+		default:
+			return fmt.Errorf("hw: fault event %s: only replica<R> and host<H> events strike the serving tier",
+				e.String())
+		}
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package hw
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -66,6 +67,71 @@ func TestParseFaultPlan(t *testing.T) {
 	}
 }
 
+// TestParseFaultPlanReplica pins the serving-tier replica event grammar:
+// fractional virtual-clock seconds, optional recovery, canonical String
+// round-trip, and mixed-plan sorting by schedule position.
+func TestParseFaultPlanReplica(t *testing.T) {
+	good := []struct {
+		in, canon string
+		plan      FaultPlan
+	}{
+		{"replica1@0.35", "replica1@0.35", FaultPlan{Events: []FaultEvent{
+			{Kind: FaultReplicaDown, Replica: 1, At: 0.35}}}},
+		{"replica0@0.35-0.85", "replica0@0.35-0.85", FaultPlan{Events: []FaultEvent{
+			{Kind: FaultReplicaDown, Replica: 0, At: 0.35, Until: 0.85}}}},
+		// Replica times and host iterations sort on one schedule axis.
+		{"replica2@5,replica0@0.5", "replica0@0.5,replica2@5", FaultPlan{Events: []FaultEvent{
+			{Kind: FaultReplicaDown, Replica: 0, At: 0.5},
+			{Kind: FaultReplicaDown, Replica: 2, At: 5}}}},
+		{"host1@3,replica0@0.5", "replica0@0.5,host1@3", FaultPlan{Events: []FaultEvent{
+			{Kind: FaultReplicaDown, Replica: 0, At: 0.5},
+			{Kind: FaultHostDown, Host: 1, Iter: 3}}}},
+	}
+	for _, tc := range good {
+		plan, err := ParseFaultPlan(tc.in)
+		if err != nil {
+			t.Fatalf("ParseFaultPlan(%q): %v", tc.in, err)
+		}
+		if !reflect.DeepEqual(plan, tc.plan) {
+			t.Fatalf("ParseFaultPlan(%q) = %+v, want %+v", tc.in, plan, tc.plan)
+		}
+		if got := plan.String(); got != tc.canon {
+			t.Fatalf("ParseFaultPlan(%q).String() = %q, want %q", tc.in, got, tc.canon)
+		}
+		if reparsed, err := ParseFaultPlan(plan.String()); err != nil || !reflect.DeepEqual(reparsed, plan) {
+			t.Fatalf("String round-trip of %q failed: %+v, %v", tc.in, reparsed, err)
+		}
+	}
+	for _, in := range []string{
+		"replica@0.5", "replica1", "replica1@", "replica1@0", "replica1@-2",
+		"replica-1@0.5", "replica01@0.5", "replica1@0.5-0.5", "replica1@0.5-0.2",
+		"replica1@abc", "replica1@0.5-xyz",
+	} {
+		if _, err := ParseFaultPlan(in); err == nil {
+			t.Fatalf("ParseFaultPlan(%q) accepted", in)
+		}
+	}
+}
+
+// TestParseFaultPlanErrorPosition: a malformed token in a long schedule
+// is reported with its 1-based position and the token itself.
+func TestParseFaultPlanErrorPosition(t *testing.T) {
+	_, err := ParseFaultPlan("host1@300,link:host0-host0@5,agg0@25")
+	if err == nil {
+		t.Fatal("bad middle token accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{"event 2", `"link:host0-host0@5"`} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not name %s", msg, want)
+		}
+	}
+	_, err = ParseFaultPlan("host1@300,,host0@400")
+	if err == nil || !strings.Contains(err.Error(), "event 2") {
+		t.Errorf("empty-token error %v does not carry its position", err)
+	}
+}
+
 // TestFaultPlanValidate: events addressed to absent hosts, duplicate
 // kills, and fleet-annihilating schedules are rejected against the
 // concrete topology; the empty plan passes everywhere, including nil.
@@ -98,6 +164,58 @@ func TestFaultPlanValidate(t *testing.T) {
 		if err := mustParse(s).Validate(topo); err == nil {
 			t.Fatalf("Validate(%q) accepted on %s", s, topo.Name)
 		}
+	}
+	// Replica events belong to the serving tier: training-plan Validate
+	// must turn them away and point at -serve-fail.
+	if err := mustParse("replica1@0.5").Validate(topo); err == nil ||
+		!strings.Contains(err.Error(), "-serve-fail") {
+		t.Fatalf("training Validate on replica event: %v, want -serve-fail redirect", err)
+	}
+}
+
+// TestFaultPlanValidateServe checks the serving-tier validation:
+// replica indices against the fleet size, re-strikes of a still-down
+// replica, host kills against the topology, and the rejection of
+// link/degrade/agg events that only make sense in training plans.
+func TestFaultPlanValidateServe(t *testing.T) {
+	topo := Cluster(2, 2)
+	mustParse := func(s string) FaultPlan {
+		t.Helper()
+		p, err := ParseFaultPlan(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	for _, s := range []string{
+		"replica0@0.5", "replica3@0.5-1.5", "replica0@0.5-1,replica0@2",
+		"replica0@0.5,replica1@0.5", // fleet-wide blackout is a scenario, not an error
+		"host1@2", "host0@1,replica3@0.5",
+	} {
+		if err := mustParse(s).ValidateServe(4, topo); err != nil {
+			t.Errorf("ValidateServe(%q): %v", s, err)
+		}
+	}
+	bad := []struct{ plan, why string }{
+		{"replica4@0.5", "replica index past the fleet"},
+		{"replica0@0.5,replica0@1", "re-strike while permanently down"},
+		{"replica0@0.5-2,replica0@1", "re-strike inside the outage"},
+		{"link:host0-host1@5", "link events are training-only"},
+		{"agg0@5", "agg events are training-only"},
+	}
+	for _, tc := range bad {
+		if err := mustParse(tc.plan).ValidateServe(4, topo); err == nil {
+			t.Errorf("ValidateServe(%q) accepted: %s", tc.plan, tc.why)
+		}
+	}
+	if err := mustParse("host1@2").ValidateServe(4, nil); err == nil {
+		t.Error("host kill accepted without a topology")
+	}
+	if err := mustParse("host7@2").ValidateServe(4, topo); err == nil {
+		t.Error("host kill on absent host accepted")
+	}
+	if err := (FaultPlan{}).ValidateServe(0, nil); err != nil {
+		t.Errorf("empty plan rejected: %v", err)
 	}
 }
 

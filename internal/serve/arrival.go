@@ -99,6 +99,9 @@ func (a ArrivalSpec) Validate() error {
 		if a.Dur < 0 || a.Dur > 1 {
 			return fmt.Errorf("serve: flash duration fraction %g out of (0,1]", a.Dur)
 		}
+		if d := a.withDefaults(); d.At+d.Dur > 1 {
+			return fmt.Errorf("serve: flash window %g+%g extends past the run horizon (at + dur must stay <= 1)", d.At, d.Dur)
+		}
 	default:
 		return fmt.Errorf("serve: unknown arrival shape %q (want %s)", a.Shape, ArrivalGrammar)
 	}

@@ -1,0 +1,535 @@
+// The resilient serving simulator: an event-driven twin of the fast
+// path in serve.go that adds replica failures, client retries/hedging,
+// deadlines, and admission control. Simulate switches here whenever any
+// of those knobs is engaged (Options.Resilient); with all of them off
+// the fast path runs instead and stays bit-identical to the
+// pre-resilience simulator.
+//
+// Determinism. The virtual clock advances through a single event heap
+// ordered by (time, kind, insertion sequence): kills and heals sort
+// before retries and hedges at the same instant, and arrivals are
+// merged in at heap-top time. Attempt outcomes are resolved eagerly at
+// dispatch — a worker's outage schedule is static, so an attempt whose
+// completion lands past the worker's next kill is doomed the moment it
+// enqueues and fails when the kill event flushes the queue. No PRNG is
+// consulted anywhere outside the router and the request stream, both of
+// which draw in the same order as the fast path.
+//
+// Client knowledge. The frontend reacts only to what a real client
+// could observe: a delivered response, a failure notification when a
+// replica dies with the query in its queue, and its own timers (backoff
+// and hedge delays, the deadline). A retry is scheduled only when no
+// other attempt of the query is outstanding; a response that will
+// arrive in the future never suppresses a hedge or retry firing now.
+
+package serve
+
+import (
+	"math"
+
+	"repro/internal/metrics"
+)
+
+// query is one client request's lifecycle across all its attempts.
+type query struct {
+	at   float64
+	ids  [][]int64
+	keys []int64
+	// bestDone is the earliest response delivery time across successful
+	// attempts (+Inf until one settles); winner the replica that
+	// delivered it.
+	bestDone float64
+	winner   int
+	// tried lists replicas this query has attempted (exclusion set for
+	// retries and hedges); retries counts the retry budget spent.
+	tried   []int
+	retries int
+	// resolved marks queries finalized before completion: shed by
+	// admission or dropped off a full queue.
+	resolved bool
+}
+
+// evKind orders same-instant events: infrastructure first (a kill at
+// time t flushes the queue before anything else lands at t), then
+// client timers.
+type evKind uint8
+
+const (
+	evKill evKind = iota
+	evHeal
+	evRetry
+	evHedge
+)
+
+// dispatchMode distinguishes the three ways a query reaches a replica.
+type dispatchMode uint8
+
+const (
+	modeFirst dispatchMode = iota
+	modeRetry
+	modeHedge
+)
+
+type event struct {
+	t    float64
+	kind evKind
+	seq  int64
+	w    int
+	q    *query
+}
+
+func eventLess(a, b event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	return a.seq < b.seq
+}
+
+// resilientSim is the per-run state of the event-driven simulator.
+type resilientSim struct {
+	f         *Fleet
+	rep       *Report
+	lat       metrics.Series
+	events    []event
+	seq       int64
+	queries   []*query
+	totalIDs  int
+	shedDepth int
+	good      int64
+	maxDone   float64
+}
+
+func (s *resilientSim) push(e event) {
+	e.seq = s.seq
+	s.seq++
+	s.events = append(s.events, e)
+	i := len(s.events) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(s.events[i], s.events[p]) {
+			break
+		}
+		s.events[i], s.events[p] = s.events[p], s.events[i]
+		i = p
+	}
+}
+
+func (s *resilientSim) pop() event {
+	top := s.events[0]
+	last := len(s.events) - 1
+	s.events[0] = s.events[last]
+	s.events = s.events[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(s.events) && eventLess(s.events[l], s.events[m]) {
+			m = l
+		}
+		if r < len(s.events) && eventLess(s.events[r], s.events[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s.events[i], s.events[m] = s.events[m], s.events[i]
+		i = m
+	}
+	return top
+}
+
+// simulateResilient plays the arrival vector with the failure model and
+// client resilience engaged.
+func (f *Fleet) simulateResilient(arrivals []float64) (*Report, error) {
+	s := &resilientSim{
+		f: f,
+		rep: &Report{
+			Router:   Policy(f.cfg.Router),
+			Replicas: f.cfg.Replicas,
+			Offered:  int64(len(arrivals)),
+		},
+		totalIDs: f.cfg.NumTables * f.cfg.Lookups,
+	}
+	if f.cfg.Admission.Policy != AdmitAll {
+		s.shedDepth = int(math.Ceil(f.cfg.Admission.Threshold * float64(f.cfg.QueueCap)))
+		if s.shedDepth < 1 {
+			s.shedDepth = 1
+		}
+		if s.shedDepth > f.cfg.QueueCap {
+			s.shedDepth = f.cfg.QueueCap
+		}
+	}
+	for _, wk := range f.workers {
+		for _, sp := range wk.downs {
+			s.push(event{t: sp.from, kind: evKill, w: wk.id})
+			if !math.IsInf(sp.to, 1) {
+				s.push(event{t: sp.to, kind: evHeal, w: wk.id})
+			}
+		}
+	}
+	i := 0
+	for i < len(arrivals) || len(s.events) > 0 {
+		if len(s.events) > 0 && (i >= len(arrivals) || s.events[0].t <= arrivals[i]) {
+			e := s.pop()
+			var err error
+			switch e.kind {
+			case evKill:
+				s.kill(e.w, e.t)
+			case evHeal:
+				err = s.heal(e.w)
+			case evRetry:
+				err = s.fireRetry(e.q, e.t)
+			case evHedge:
+				err = s.fireHedge(e.q, e.t)
+			}
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		at := arrivals[i]
+		i++
+		f.nextRequest()
+		q := &query{at: at, bestDone: math.Inf(1), winner: -1}
+		q.keys = append([]int64(nil), f.reqKeys...)
+		q.ids = make([][]int64, len(f.reqIDs))
+		for t := range f.reqIDs {
+			q.ids[t] = append([]int64(nil), f.reqIDs[t]...)
+		}
+		s.queries = append(s.queries, q)
+		if err := s.dispatch(q, at, modeFirst); err != nil {
+			return nil, err
+		}
+		// Arm the hedge timer once the primary attempt is in flight.
+		if f.cfg.Hedge > 0 && f.cfg.Replicas > 1 && !q.resolved && len(q.tried) > 0 {
+			ht := at + f.cfg.Hedge
+			if f.cfg.Deadline == 0 || ht < at+f.cfg.Deadline {
+				s.push(event{t: ht, kind: evHedge, q: q})
+			}
+		}
+	}
+	return s.finish(arrivals)
+}
+
+// linkHop prices the frontend-to-worker hop (IDs up, score back) and
+// books the routing-link counters, mirroring the fast path.
+func (s *resilientSim) linkHop(wk *worker) (linkUp, linkDown float64) {
+	f := s.f
+	if f.cfg.Topology != nil && wk.node != 0 {
+		link := f.cfg.Topology.Link(0, wk.node)
+		linkUp = link.TransferTime(idBytes(s.totalIDs))
+		linkDown = link.TransferTime(respBytes)
+		s.rep.CrossNode++
+		if wk.host != f.cfg.Topology.Nodes[0].Host {
+			s.rep.CrossHost++
+		}
+		s.rep.LinkTime += linkUp + linkDown
+	}
+	return
+}
+
+// settle resolves an enqueued attempt's fate eagerly: if its completion
+// beats the worker's next scheduled kill it delivers (first response
+// wins), otherwise the attempt is doomed and fails when the kill
+// flushes the queue.
+func (s *resilientSim) settle(q *query, wk *worker, t, done, linkDown float64) {
+	if done <= wk.nextKill(t) {
+		resp := done + linkDown
+		if resp < q.bestDone {
+			q.bestDone = resp
+			q.winner = wk.id
+		}
+	} else {
+		wk.doomed = append(wk.doomed, q)
+	}
+}
+
+// dispatch routes one attempt of q at time t. modeFirst runs the
+// admission controller and finalizes drops; modeRetry treats a full
+// queue or an empty fleet as another failed attempt; modeHedge gives up
+// silently (the primary is still in flight).
+func (s *resilientSim) dispatch(q *query, t float64, mode dispatchMode) error {
+	f := s.f
+	w := f.router.choose(q.keys, f.workers, t, q.tried)
+	if w < 0 && mode == modeRetry && len(q.tried) > 0 {
+		// Every untried replica is down; a desperate retry goes back to
+		// any live one.
+		w = f.router.choose(q.keys, f.workers, t, nil)
+	}
+	if w < 0 {
+		if mode != modeHedge {
+			s.attemptFailed(q, t)
+		}
+		return nil
+	}
+	wk := f.workers[w]
+	d := wk.depth(t)
+	adm := f.cfg.Admission
+	if mode == modeFirst && adm.Policy != AdmitAll && d >= s.shedDepth {
+		reject := true
+		if adm.Policy == AdmitCheapest {
+			// Cheapest-first: reject the cache-warm arrival (its rows
+			// stay resident; losing it costs least), admit the
+			// miss-heavy one.
+			est := f.router.estOverlap(w, q.keys)
+			reject = est*2 >= len(q.keys)
+		}
+		if reject {
+			if adm.Degrade {
+				s.degradedDispatch(q, wk, t)
+				return nil
+			}
+			q.resolved = true
+			s.rep.Shed++
+			return nil
+		}
+	}
+	if d >= f.cfg.QueueCap {
+		if adm.Degrade {
+			s.degradedDispatch(q, wk, t)
+			return nil
+		}
+		switch mode {
+		case modeFirst:
+			wk.drops++
+			s.rep.Drops++
+			q.resolved = true
+		case modeRetry:
+			q.tried = append(q.tried, w)
+			s.attemptFailed(q, t)
+		case modeHedge:
+			// The hedge found no room; the primary attempt stands.
+		}
+		return nil
+	}
+	linkUp, linkDown := s.linkHop(wk)
+	fills, evicts, coord, err := wk.plan(q.ids)
+	if err != nil {
+		return err
+	}
+	svc := f.ServiceTime(fills, s.totalIDs, coord)
+	enq := t + linkUp
+	start := enq
+	if wk.busyUntil > start {
+		start = wk.busyUntil
+	}
+	done := start + svc
+	wk.busyUntil = done
+	wk.comp = append(wk.comp, done)
+	if dd := len(wk.comp) - wk.head; dd > wk.peakDepth {
+		wk.peakDepth = dd
+	}
+	s.rep.Fills += int64(fills)
+	s.rep.Evictions += int64(evicts)
+	s.rep.CoordTime += coord
+	if wk.rewarm {
+		wk.rewarmFills += int64(fills)
+		wk.rewarmTime += f.fillDetour(fills)
+		if wk.residentRows() >= wk.rewarmTarget {
+			wk.rewarm = false
+		}
+	}
+	f.router.note(w, q.keys)
+	q.tried = append(q.tried, w)
+	s.settle(q, wk, t, done, linkDown)
+	return nil
+}
+
+// degradedDispatch answers q on wk's CPU fallback path: the host CPU is
+// a second server next to the GPU worker (own completion horizon, no
+// queue cap — admission already gated entry), so degraded-mode service
+// rides out a full GPU queue instead of dropping. The scratchpad is
+// untouched: no plan, no fills, no hit/miss accounting, and the
+// router's view learns nothing.
+func (s *resilientSim) degradedDispatch(q *query, wk *worker, t float64) {
+	linkUp, linkDown := s.linkHop(wk)
+	svc := s.f.DegradedServiceTime(s.totalIDs)
+	enq := t + linkUp
+	start := enq
+	if wk.cpuBusyUntil > start {
+		start = wk.cpuBusyUntil
+	}
+	done := start + svc
+	wk.cpuBusyUntil = done
+	wk.degraded++
+	s.rep.Degraded++
+	q.tried = append(q.tried, wk.id)
+	s.settle(q, wk, t, done, linkDown)
+}
+
+// attemptFailed reacts to a lost attempt at time t: when the query has
+// no response (delivered or pending from another outstanding attempt)
+// and retry budget remains inside the deadline, the next retry is
+// scheduled with exponential backoff. Queries that exhaust the budget
+// finalize as TimedOut.
+func (s *resilientSim) attemptFailed(q *query, t float64) {
+	if q.resolved || !math.IsInf(q.bestDone, 1) {
+		return
+	}
+	r := s.f.cfg.Retry
+	if q.retries >= r.Max {
+		return
+	}
+	q.retries++
+	delay := r.Backoff * float64(int64(1)<<(q.retries-1))
+	rt := t + delay
+	if d := s.f.cfg.Deadline; d > 0 && rt >= q.at+d {
+		return
+	}
+	s.push(event{t: rt, kind: evRetry, q: q})
+}
+
+// fireRetry redispatches q unless a response already arrived.
+func (s *resilientSim) fireRetry(q *query, t float64) error {
+	if q.resolved || q.bestDone <= t {
+		return nil
+	}
+	s.rep.Retried++
+	return s.dispatch(q, t, modeRetry)
+}
+
+// fireHedge duplicates q to the next-best untried replica unless a
+// response already arrived. First response wins; the loser's work stays
+// billed on whichever queue it occupies.
+func (s *resilientSim) fireHedge(q *query, t float64) error {
+	if q.resolved || q.bestDone <= t {
+		return nil
+	}
+	n := len(q.tried)
+	err := s.dispatch(q, t, modeHedge)
+	if len(q.tried) > n {
+		s.rep.Hedged++
+	}
+	return err
+}
+
+// kill takes worker w down at time t: the queue (GPU and CPU side) is
+// flushed, every in-flight attempt fails back to the client, the
+// scratchpad generation's statistics are banked and its state
+// discarded, and the router's view of the replica is invalidated.
+func (s *resilientSim) kill(w int, t float64) {
+	f := s.f
+	wk := f.workers[w]
+	wk.down = true
+	wk.depth(t) // retire completions delivered before the strike
+	wk.comp = wk.comp[:0]
+	wk.head = 0
+	wk.busyUntil = t
+	wk.cpuBusyUntil = t
+	wk.rewarmTarget = wk.residentRows()
+	wk.rewarm = false
+	for _, mgr := range wk.mgrs {
+		st := mgr.Stats()
+		wk.accHits += st.Hits
+		wk.accMisses += st.Misses
+		cs := mgr.CoordStats()
+		wk.accRounds += cs.Messages
+		wk.accWall += cs.WallSeconds + cs.WallHiddenSeconds
+	}
+	wk.mgrs = nil
+	f.router.invalidate(w)
+	doomed := wk.doomed
+	wk.doomed = nil
+	for _, q := range doomed {
+		s.attemptFailed(q, t)
+	}
+}
+
+// heal brings worker w back with a cold scratchpad: the rebuilt cache
+// re-warms through ordinary misses, tracked (and priced) as
+// RewarmFills/RewarmTime until residency is back to its pre-kill level.
+func (s *resilientSim) heal(w int) error {
+	wk := s.f.workers[w]
+	wk.down = false
+	if err := s.f.buildScratchpads(wk); err != nil {
+		return err
+	}
+	wk.rewarm = wk.rewarmTarget > 0
+	return nil
+}
+
+// finish classifies every query (conservation-exact), assembles the
+// per-worker reports, and computes the availability and goodput
+// figures.
+func (s *resilientSim) finish(arrivals []float64) (*Report, error) {
+	f, rep := s.f, s.rep
+	deadline := f.cfg.Deadline
+	for _, q := range s.queries {
+		if q.resolved {
+			continue // already counted as Shed or Drops
+		}
+		if math.IsInf(q.bestDone, 1) {
+			rep.TimedOut++
+			continue
+		}
+		rep.Served++
+		f.workers[q.winner].served++
+		l := q.bestDone - q.at
+		s.lat.Add(l)
+		if deadline == 0 || l <= deadline {
+			s.good++
+		}
+		if q.bestDone > s.maxDone {
+			s.maxDone = q.bestDone
+		}
+	}
+	rep.Duration = s.maxDone
+	if rep.Duration > 0 {
+		rep.Throughput = float64(rep.Served) / rep.Duration
+		rep.Goodput = float64(s.good) / rep.Duration
+	}
+	if n := len(arrivals); n > 0 && arrivals[n-1] > 0 {
+		rep.OfferedRate = float64(rep.Offered) / arrivals[n-1]
+	}
+	rep.Latency = s.lat.Summarize()
+	var downSum float64
+	for _, wk := range f.workers {
+		h, m := wk.accHits, wk.accMisses
+		rep.CoordRounds += wk.accRounds
+		rep.CoordWallTime += wk.accWall
+		for _, mgr := range wk.mgrs {
+			st := mgr.Stats()
+			h += st.Hits
+			m += st.Misses
+			cs := mgr.CoordStats()
+			rep.CoordRounds += cs.Messages
+			rep.CoordWallTime += cs.WallSeconds + cs.WallHiddenSeconds
+		}
+		wk.hits, wk.misses = h, m
+		rep.Hits += h
+		rep.Misses += m
+		rep.RewarmFills += wk.rewarmFills
+		rep.RewarmTime += wk.rewarmTime
+		var down float64
+		for _, sp := range wk.downs {
+			if sp.from >= rep.Duration {
+				break
+			}
+			to := sp.to
+			if to > rep.Duration {
+				to = rep.Duration
+			}
+			down += to - sp.from
+		}
+		downSum += down
+		rep.Workers = append(rep.Workers, WorkerReport{
+			Node: wk.node, Host: wk.host,
+			Served: wk.served, Drops: wk.drops,
+			Hits: wk.hits, Misses: wk.misses,
+			PeakDepth: wk.peakDepth,
+			Downtime:  down,
+			Degraded:  wk.degraded,
+		})
+	}
+	rep.Availability = 1
+	if rep.Duration > 0 && f.cfg.Replicas > 0 {
+		rep.Availability = 1 - downSum/(float64(f.cfg.Replicas)*rep.Duration)
+	}
+	if err := rep.checkConservation(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

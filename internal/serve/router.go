@@ -73,9 +73,13 @@ type router struct {
 	views  []*cacheView
 }
 
-func newRouter(policy Policy, replicas, viewCap int, seed int64) *router {
+// newRouter builds the routing state. Views are kept when the policy is
+// hit-aware (scoring needs them) or when needViews is set (the
+// cheapest-first admission controller estimates query cost from them
+// under any policy).
+func newRouter(policy Policy, replicas, viewCap int, seed int64, needViews bool) *router {
 	r := &router{policy: policy, rng: rand.New(rand.NewSource(seed))}
-	if policy == PolicyHitAware {
+	if policy == PolicyHitAware || needViews {
 		r.views = make([]*cacheView, replicas)
 		for i := range r.views {
 			r.views[i] = newCacheView(viewCap)
@@ -84,22 +88,70 @@ func newRouter(policy Policy, replicas, viewCap int, seed int64) *router {
 	return r
 }
 
-// pick selects the replica for a request arriving at time now. keys is
-// the request's embedding IDs in the router's composite (table, id) key
-// space, occurrence-ordered.
+// pick selects the replica for a request arriving at time now and
+// records the routing decision in the views. keys is the request's
+// embedding IDs in the router's composite (table, id) key space,
+// occurrence-ordered. This is the fast-path entry; the resilient
+// simulator calls choose/note separately so it can run the admission
+// decision between them.
 func (r *router) pick(keys []int64, workers []*worker, now float64) int {
+	w := r.choose(keys, workers, now, nil)
+	r.note(w, keys)
+	return w
+}
+
+// choose selects a replica without recording it: down replicas are
+// never eligible, nor is any index in excl (the workers a query already
+// tried — retries and hedges go elsewhere). Returns -1 when no replica
+// is eligible. With no replica down and no exclusions every policy
+// follows the exact pre-resilience decision sequence (same PRNG draws,
+// same depth probes), which is what keeps zero-fault runs
+// diff-identical.
+func (r *router) choose(keys []int64, workers []*worker, now float64, excl []int) int {
+	eligible := func(i int) bool {
+		if workers[i].down {
+			return false
+		}
+		for _, x := range excl {
+			if x == i {
+				return false
+			}
+		}
+		return true
+	}
 	switch r.policy {
 	case PolicyRandom:
-		return r.rng.Intn(len(workers))
+		if len(excl) == 0 && !anyDown(workers) {
+			return r.rng.Intn(len(workers))
+		}
+		var cand []int
+		for i := range workers {
+			if eligible(i) {
+				cand = append(cand, i)
+			}
+		}
+		if len(cand) == 0 {
+			return -1
+		}
+		return cand[r.rng.Intn(len(cand))]
 	case PolicyRoundRobin:
-		w := r.rr
-		r.rr = (r.rr + 1) % len(workers)
-		return w
+		for range workers {
+			w := r.rr
+			r.rr = (r.rr + 1) % len(workers)
+			if eligible(w) {
+				return w
+			}
+		}
+		return -1
 	case PolicyLeastLoaded:
-		best := 0
-		bestDepth := workers[0].depth(now)
-		for i := 1; i < len(workers); i++ {
-			if d := workers[i].depth(now); d < bestDepth {
+		best := -1
+		bestDepth := 0
+		for i := range workers {
+			if !eligible(i) {
+				continue
+			}
+			d := workers[i].depth(now)
+			if best < 0 || d < bestDepth {
 				best, bestDepth = i, d
 			}
 		}
@@ -112,16 +164,55 @@ func (r *router) pick(keys []int64, workers []*worker, now float64) int {
 		bestScore := 0.0
 		bestDepth := 0
 		for i, wk := range workers {
+			if !eligible(i) {
+				continue
+			}
 			d := wk.depth(now)
 			score := float64(r.views[i].overlap(keys)) - depthPenalty*float64(len(keys))*float64(d)
 			if best < 0 || score > bestScore || (score == bestScore && d < bestDepth) {
 				best, bestScore, bestDepth = i, score, d
 			}
 		}
-		r.views[best].insert(keys)
 		return best
 	}
 	return 0
+}
+
+// note records keys as routed to worker w in the router's cache views
+// (no-op without views or for w < 0).
+func (r *router) note(w int, keys []int64) {
+	if w >= 0 && r.views != nil {
+		r.views[w].insert(keys)
+	}
+}
+
+// estOverlap returns the router's occurrence-weighted estimate of how
+// many of keys are resident on worker w (0 without views) — the
+// cheapest-first admission controller's cost signal.
+func (r *router) estOverlap(w int, keys []int64) int {
+	if r.views == nil {
+		return 0
+	}
+	return r.views[w].overlap(keys)
+}
+
+// invalidate clears the router's cache view of worker w: the replica
+// died and its scratchpad with it, so the send-history view is stale in
+// full. The view re-learns from post-recovery routing.
+func (r *router) invalidate(w int) {
+	if r.views != nil {
+		r.views[w].reset()
+	}
+}
+
+// anyDown reports whether any worker is currently down.
+func anyDown(workers []*worker) bool {
+	for _, w := range workers {
+		if w.down {
+			return true
+		}
+	}
+	return false
 }
 
 // cacheView is the router's approximate model of one replica's cache
@@ -174,4 +265,13 @@ func (v *cacheView) insert(keys []int64) {
 		v.ring = append(v.ring[:0], v.ring[v.head:]...)
 		v.head = 0
 	}
+}
+
+// reset empties the view (the modeled replica lost its scratchpad).
+func (v *cacheView) reset() {
+	for k := range v.set {
+		delete(v.set, k)
+	}
+	v.ring = v.ring[:0]
+	v.head = 0
 }

@@ -39,7 +39,9 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -69,6 +71,25 @@ type Options struct {
 	// CacheFrac sizes each worker's per-table scratchpad as a fraction
 	// of the table (0 = the paper's 2%).
 	CacheFrac float64
+	// Faults schedules replica failures (-serve-fail): replica<R>@<T>[-<T2>]
+	// events in virtual-clock seconds plus host<H>@<S> kills that take
+	// down every replica homed on the host. A dead replica's queue is
+	// flushed, its scratchpad state is lost, and recovery is priced as
+	// cold-cache re-warm. The zero plan never perturbs a run.
+	Faults hw.FaultPlan
+	// Deadline is the per-query client deadline in seconds (0 = none).
+	// Responses arriving after it do not count toward goodput, and no
+	// retry is issued past it; queries that never complete are TimedOut.
+	Deadline float64
+	// Retry bounds client-side retries (with exponential backoff to a
+	// different replica) after a failed attempt. Zero = no retries.
+	Retry RetrySpec
+	// Hedge, when positive, duplicates a still-unanswered query to the
+	// next-best replica after this many seconds: first response wins,
+	// the loser's work is still billed. Zero = no hedging.
+	Hedge float64
+	// Admission sheds or degrades load before the queues overflow.
+	Admission AdmissionSpec
 }
 
 // Serving defaults.
@@ -80,6 +101,14 @@ const (
 
 // Active reports whether serving mode is on.
 func (o Options) Active() bool { return o.Replicas > 0 }
+
+// Resilient reports whether any failure-model or client-resilience knob
+// is engaged. When false, Simulate runs the exact pre-resilience fast
+// path, so zero-fault runs stay diff-identical to it.
+func (o Options) Resilient() bool {
+	return o.Faults.Active() || o.Deadline > 0 || o.Retry.Active() ||
+		o.Hedge > 0 || o.Admission.Active()
+}
 
 // WithDefaults returns the options with every unset knob filled in
 // (router, arrival process, request count, queue cap, cache fraction) —
@@ -102,6 +131,8 @@ func (o Options) WithDefaults() Options {
 	if o.CacheFrac == 0 {
 		o.CacheFrac = 0.02
 	}
+	o.Retry = o.Retry.withDefaults()
+	o.Admission = o.Admission.withDefaults()
 	return o
 }
 
@@ -131,6 +162,20 @@ func (o Options) Validate() error {
 	if o.CacheFrac < 0 || o.CacheFrac > 1 {
 		return fmt.Errorf("serve: CacheFrac %g out of [0,1]", o.CacheFrac)
 	}
+	if o.Deadline < 0 {
+		return fmt.Errorf("serve: Deadline %g < 0", o.Deadline)
+	}
+	if o.Hedge < 0 {
+		return fmt.Errorf("serve: Hedge %g < 0", o.Hedge)
+	}
+	if err := o.Retry.Validate(); err != nil {
+		return err
+	}
+	if err := o.Admission.Validate(); err != nil {
+		return err
+	}
+	// Fault-plan events are checked against the replica count and
+	// topology by Config.Validate (ValidateServe), once both are known.
 	return nil
 }
 
@@ -202,6 +247,11 @@ func (c Config) Validate() error {
 	if c.DenseTime < 0 {
 		return fmt.Errorf("serve: DenseTime %g < 0", c.DenseTime)
 	}
+	if c.Faults.Active() {
+		if err := c.Faults.ValidateServe(c.Replicas, c.Topology); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -223,6 +273,54 @@ type worker struct {
 	served, drops int64
 	hits, misses  int64
 	peakDepth     int
+
+	// Failure-model state (resilient path only; all zero otherwise).
+	// downs is the merged, ascending schedule of this replica's down
+	// intervals; cpuBusyUntil models the host CPU as a second server
+	// for degraded-mode queries; doomed holds the in-flight attempts
+	// the next kill will flush; the acc* fields bank the statistics of
+	// scratchpad generations discarded by kills.
+	downs        []downSpan
+	down         bool
+	cpuBusyUntil float64
+	doomed       []*query
+	degraded     int64
+	rewarm       bool
+	rewarmTarget int
+	rewarmFills  int64
+	rewarmTime   float64
+	accHits      int64
+	accMisses    int64
+	accRounds    int64
+	accWall      float64
+}
+
+// downSpan is one scheduled outage of a replica: [from, to) in
+// virtual-clock seconds, to = +Inf when it never recovers.
+type downSpan struct {
+	from, to float64
+}
+
+// nextKill returns the start of the first outage strictly after t
+// (+Inf when none remains). An attempt whose completion lands at or
+// before it survives; anything later dies with the queue flush.
+func (w *worker) nextKill(t float64) float64 {
+	for _, s := range w.downs {
+		if s.from > t {
+			return s.from
+		}
+	}
+	return math.Inf(1)
+}
+
+// residentRows sums the rows currently resident across the worker's
+// per-table scratchpads (the re-warm progress measure).
+func (w *worker) residentRows() int {
+	n := 0
+	for _, mgr := range w.mgrs {
+		n += mgr.Len()
+	}
+	return n
 }
 
 // depth returns the queue depth (in-service request included) at time t.
@@ -245,10 +343,12 @@ type Fleet struct {
 	reqRng  *rand.Rand
 	reqIDs  [][]int64
 	reqKeys []int64
+	slots   int
+	shards  int
 }
 
-// NewFleet builds the R workers (scratchpad managers, placements) and
-// the router for cfg.
+// NewFleet builds the R workers (scratchpad managers, placements), the
+// router, and the compiled per-replica outage schedule for cfg.
 func NewFleet(cfg Config) (*Fleet, error) {
 	cfg.Options = cfg.Options.WithDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -269,7 +369,8 @@ func NewFleet(cfg Config) (*Fleet, error) {
 		}
 		nodes = cfg.Topology.NumNodes()
 	}
-	f := &Fleet{cfg: cfg, reqRng: rand.New(rand.NewSource(cfg.Seed + 8000))}
+	f := &Fleet{cfg: cfg, slots: slots, shards: shards,
+		reqRng: rand.New(rand.NewSource(cfg.Seed + 8000))}
 	f.reqIDs = make([][]int64, cfg.NumTables)
 	for t := range f.reqIDs {
 		f.reqIDs[t] = make([]int64, cfg.Lookups)
@@ -280,36 +381,99 @@ func NewFleet(cfg Config) (*Fleet, error) {
 		if cfg.Topology != nil {
 			wk.host = cfg.Topology.Nodes[wk.node].Host
 		}
-		place, err := workerPlacement(cfg.Topology, wk.node, shards)
-		if err != nil {
+		if err := f.buildScratchpads(wk); err != nil {
 			return nil, err
-		}
-		for t := 0; t < cfg.NumTables; t++ {
-			spCfg := core.Config{
-				Slots:      slots,
-				Policy:     cache.LRU,
-				PolicySeed: cfg.Seed + int64(7000+w*cfg.NumTables+t),
-				PastWindow: 1,
-			}
-			spCfg.Reserve = core.WorstCaseReserve(spCfg, cfg.Lookups)
-			mgr, err := shard.New(shard.Config{
-				Scratchpad:   spCfg,
-				Shards:       shards,
-				Pool:         cfg.Pool,
-				Placement:    place,
-				Coord:        cfg.Coord,
-				CoordQuantum: cfg.CoordQuantum,
-				Elastic:      cfg.Elastic,
-			})
-			if err != nil {
-				return nil, err
-			}
-			wk.mgrs = append(wk.mgrs, mgr)
 		}
 		f.workers = append(f.workers, wk)
 	}
-	f.router = newRouter(Policy(cfg.Router), cfg.Replicas, slots*cfg.NumTables, cfg.Seed+8500)
+	f.compileOutages()
+	needViews := cfg.Admission.Policy == AdmitCheapest
+	f.router = newRouter(Policy(cfg.Router), cfg.Replicas, slots*cfg.NumTables, cfg.Seed+8500, needViews)
 	return f, nil
+}
+
+// buildScratchpads (re)builds wk's per-table shard managers cold. Used
+// at fleet construction and at replica recovery: a recovered replica
+// starts from an empty scratchpad and re-warms through ordinary misses
+// (the priced re-warm of DESIGN.md §13). The manager seeds are
+// deterministic in (worker, table), so a rebuilt replica replays the
+// same policy decisions a fresh one would.
+func (f *Fleet) buildScratchpads(wk *worker) error {
+	cfg := f.cfg
+	place, err := workerPlacement(cfg.Topology, wk.node, f.shards)
+	if err != nil {
+		return err
+	}
+	wk.mgrs = wk.mgrs[:0]
+	for t := 0; t < cfg.NumTables; t++ {
+		spCfg := core.Config{
+			Slots:      f.slots,
+			Policy:     cache.LRU,
+			PolicySeed: cfg.Seed + int64(7000+wk.id*cfg.NumTables+t),
+			PastWindow: 1,
+		}
+		spCfg.Reserve = core.WorstCaseReserve(spCfg, cfg.Lookups)
+		mgr, err := shard.New(shard.Config{
+			Scratchpad:   spCfg,
+			Shards:       f.shards,
+			Pool:         cfg.Pool,
+			Placement:    place,
+			Coord:        cfg.Coord,
+			CoordQuantum: cfg.CoordQuantum,
+			Elastic:      cfg.Elastic,
+		})
+		if err != nil {
+			return err
+		}
+		wk.mgrs = append(wk.mgrs, mgr)
+	}
+	wk.seq = 0
+	return nil
+}
+
+// compileOutages turns the validated fault plan into each worker's
+// merged down-interval schedule: replica events strike one worker, host
+// kills (times are whole virtual-clock seconds) strike every worker
+// homed on the host, overlaps merge.
+func (f *Fleet) compileOutages() {
+	if !f.cfg.Faults.Active() {
+		return
+	}
+	for _, e := range f.cfg.Faults.Events {
+		switch e.Kind {
+		case hw.FaultReplicaDown:
+			to := math.Inf(1)
+			if e.Until > 0 {
+				to = e.Until
+			}
+			wk := f.workers[e.Replica]
+			wk.downs = append(wk.downs, downSpan{from: e.At, to: to})
+		case hw.FaultHostDown:
+			for _, wk := range f.workers {
+				if wk.host == e.Host {
+					wk.downs = append(wk.downs, downSpan{from: float64(e.Iter), to: math.Inf(1)})
+				}
+			}
+		}
+	}
+	for _, wk := range f.workers {
+		if len(wk.downs) < 2 {
+			continue
+		}
+		sort.Slice(wk.downs, func(i, j int) bool { return wk.downs[i].from < wk.downs[j].from })
+		merged := wk.downs[:1]
+		for _, s := range wk.downs[1:] {
+			last := &merged[len(merged)-1]
+			if s.from <= last.to {
+				if s.to > last.to {
+					last.to = s.to
+				}
+				continue
+			}
+			merged = append(merged, s)
+		}
+		wk.downs = merged
+	}
 }
 
 // workerPlacement stripes a worker's shards across the nodes of its own
@@ -360,13 +524,42 @@ func (f *Fleet) ServiceTime(fills, totalIDs int, coord float64) float64 {
 	t := sys.PCIe.TransferTime(idBytes(totalIDs)) +
 		sys.GPU.RandomTime(float64(totalIDs)*16)
 	if fills > 0 {
-		t += sys.CPU.GatherTime(fills, dim) +
-			sys.PCIe.TransferTime(hw.EmbeddingBytes(fills, dim)) +
-			sys.GPU.ScatterWriteTime(fills, dim)
+		t += f.fillDetour(fills)
 	}
 	t += sys.GPU.GatherTime(totalIDs, dim) +
 		sys.GPU.ReduceTime(totalIDs, f.cfg.NumTables, dim)
 	return t + f.cfg.DenseTime + coord
+}
+
+// fillDetour prices the CPU-gather -> PCIe -> scratchpad-fill detour
+// for fills missed rows — the per-miss cost that also prices a
+// recovered replica's cold-cache re-warm (Report.RewarmTime).
+func (f *Fleet) fillDetour(fills int) float64 {
+	if fills <= 0 {
+		return 0
+	}
+	sys := f.cfg.System
+	dim := f.cfg.EmbeddingDim
+	return sys.CPU.GatherTime(fills, dim) +
+		sys.PCIe.TransferTime(hw.EmbeddingBytes(fills, dim)) +
+		sys.GPU.ScatterWriteTime(fills, dim)
+}
+
+// DegradedServiceTime prices one query on the CPU fallback path an
+// overloaded or recovering replica uses under AdmissionSpec.Degrade:
+// the host CPU gathers every row straight from the full embedding
+// tables in DRAM (no Hit-Map probe, no scratchpad fill) and pools
+// there, only the pooled vectors cross PCIe, and the dense forward
+// still runs on the GPU. The CPU's random-access gather over all
+// totalIDs rows is the priced latency penalty relative to the warm
+// scratchpad path.
+func (f *Fleet) DegradedServiceTime(totalIDs int) float64 {
+	sys := f.cfg.System
+	dim := f.cfg.EmbeddingDim
+	t := sys.CPU.GatherTime(totalIDs, dim) +
+		sys.CPU.ReduceTime(totalIDs, f.cfg.NumTables, dim) +
+		sys.PCIe.TransferTime(hw.EmbeddingBytes(f.cfg.NumTables, dim))
+	return t + f.cfg.DenseTime
 }
 
 // Run builds a fleet for cfg, generates the configured arrival vector,
@@ -382,8 +575,14 @@ func Run(cfg Config) (*Report, error) {
 
 // Simulate plays an ascending arrival-time vector through the fleet and
 // returns the report. Exposed separately from Run so tests can inject
-// hand-built arrival vectors.
+// hand-built arrival vectors. When any failure-model or resilience knob
+// is engaged (Options.Resilient) the event-driven simulator in
+// failure.go runs instead; otherwise this is the exact pre-resilience
+// hot loop, so zero-fault runs are bit-identical to it.
 func (f *Fleet) Simulate(arrivals []float64) (*Report, error) {
+	if f.cfg.Resilient() {
+		return f.simulateResilient(arrivals)
+	}
 	var lat metrics.Series
 	rep := &Report{
 		Router:   Policy(f.cfg.Router),
@@ -468,6 +667,13 @@ func (f *Fleet) Simulate(arrivals []float64) (*Report, error) {
 		rep.OfferedRate = float64(rep.Offered) / arrivals[n-1]
 	}
 	rep.Latency = lat.Summarize()
+	// No failure model engaged: the fleet was fully available and every
+	// served query counts as goodput.
+	rep.Availability = 1
+	rep.Goodput = rep.Throughput
+	if err := rep.checkConservation(); err != nil {
+		return nil, err
+	}
 	return rep, nil
 }
 
@@ -514,21 +720,50 @@ type Report struct {
 	// Router/Replicas echo the deployment shape.
 	Router   Policy
 	Replicas int
-	// Offered counts generated queries; Served the admitted ones;
-	// Drops the arrivals bounced off full queues.
+	// Offered counts generated queries; Served the ones that completed
+	// and delivered a response (degraded CPU-path completions
+	// included); Drops the arrivals bounced off full queues. Together
+	// with Shed and TimedOut these satisfy the conservation invariant
+	// Offered = Served + Shed + Drops + TimedOut, exactly — every
+	// generated query is accounted to exactly one outcome
+	// (checkConservation enforces it on every report).
 	Offered, Served, Drops int64
+	// Shed counts queries the admission controller rejected (distinct
+	// from queue-cap Drops); TimedOut the queries that never delivered
+	// a response (all attempts lost to failures, or nothing completed
+	// within the client deadline). Retried and Hedged count the extra
+	// attempts the client issued; Degraded the Served subset answered
+	// by the CPU fallback path.
+	Shed, TimedOut  int64
+	Retried, Hedged int64
+	Degraded        int64
 	// Duration is the simulated span from the first arrival to the
-	// last completion; Throughput is Served/Duration and OfferedRate
-	// the arrival process's realized rate.
+	// last completion; Throughput is Served/Duration, Goodput the
+	// within-deadline fraction of it (equal when no deadline is set),
+	// and OfferedRate the arrival process's realized rate.
 	Duration    float64
 	Throughput  float64
+	Goodput     float64
 	OfferedRate float64
+	// Availability is 1 minus the fleet's replica-downtime fraction
+	// (summed downtime over Replicas x Duration); exactly 1 for
+	// fault-free runs.
+	Availability float64
+	// RewarmFills/RewarmTime count and price the cold-cache re-warm of
+	// recovered replicas: the fills (and their CPU->PCIe->scratchpad
+	// detour seconds) a recovered replica pays until its scratchpad is
+	// back to its pre-kill residency.
+	RewarmFills int64
+	RewarmTime  float64
 	// Hits/Misses are occurrence-level scratchpad statistics summed
 	// over all workers and tables; Fills/Evictions count row movements.
 	Hits, Misses     int64
 	Fills, Evictions int64
-	// Latency digests per-query end-to-end latency (queueing + service
-	// + routing links): P50/P95/P99 are the serving tail metrics.
+	// Latency digests end-to-end latency (queueing + service + routing
+	// links) over served queries only — shed, dropped, and timed-out
+	// queries never deliver a response and are invisible here (see
+	// DropRate for the complementary loss signal). P50/P95/P99 are the
+	// serving tail metrics.
 	Latency metrics.Summary
 	// CoordTime totals the cross-shard Plan coordination latency paid
 	// inside service times (zero for unsharded or co-located workers).
@@ -558,6 +793,12 @@ type WorkerReport struct {
 	Hits, Misses int64
 	// PeakDepth is the replica's queue high-water mark.
 	PeakDepth int
+	// Downtime is this replica's scheduled outage overlap with the run,
+	// in seconds (zero without a fault plan).
+	Downtime float64
+	// Degraded counts the queries this replica answered on the CPU
+	// fallback path (a subset of Served).
+	Degraded int64
 }
 
 // HitRate returns the fleet's occurrence-level cache hit rate.
@@ -576,4 +817,40 @@ func (w WorkerReport) HitRate() float64 {
 		return 0
 	}
 	return float64(w.Hits) / float64(total)
+}
+
+// DropRate returns the fraction of generated queries that never
+// delivered a response (queue-cap drops, admission sheds, and
+// timeouts over Offered) — the loss signal the served-only latency
+// percentiles cannot show.
+func (r Report) DropRate() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.Drops+r.Shed+r.TimedOut) / float64(r.Offered)
+}
+
+// DropRate returns the fraction of queries routed to this replica that
+// bounced off its full queue (Drops over Served+Drops). Latency
+// percentiles digest served queries only, so a replica can post a
+// pristine p99 while bouncing half its arrivals — this is the
+// complementary per-replica signal.
+func (w WorkerReport) DropRate() float64 {
+	total := w.Served + w.Drops
+	if total == 0 {
+		return 0
+	}
+	return float64(w.Drops) / float64(total)
+}
+
+// checkConservation enforces the query-conservation invariant: every
+// offered query lands in exactly one of Served, Shed, Drops, TimedOut.
+// A violation is a simulator bug, surfaced as an error rather than a
+// silently wrong report.
+func (r *Report) checkConservation() error {
+	if got := r.Served + r.Shed + r.Drops + r.TimedOut; got != r.Offered {
+		return fmt.Errorf("serve: conservation violated: served %d + shed %d + drops %d + timed-out %d = %d != offered %d",
+			r.Served, r.Shed, r.Drops, r.TimedOut, got, r.Offered)
+	}
+	return nil
 }

@@ -170,8 +170,9 @@ type EvacStats = shard.EvacStats
 // ParseFaultPlan parses the -fail flag grammar: "" (no faults), or a
 // comma-separated schedule like "host1@300,link:host0-host1@500-600",
 // with event forms host<H>@<I>, agg<H>@<I>,
-// link:host<A>-host<B>@<I>[-<J>], and
-// degrade:host<A>-host<B>@<I>[-<J>][x<F>].
+// link:host<A>-host<B>@<I>[-<J>],
+// degrade:host<A>-host<B>@<I>[-<J>][x<F>], and — for serving plans
+// (-serve-fail) — replica<R>@<T>[-<T2>] in virtual-clock seconds.
 func ParseFaultPlan(s string) (FaultPlan, error) { return hw.ParseFaultPlan(s) }
 
 // ServeOptions configures the online serving simulation (see
@@ -207,6 +208,43 @@ func ParseArrival(s string) (ArrivalSpec, error) { return serve.ParseArrival(s) 
 // field docs). The zero value is valid: serving-off runs carry it
 // zero-valued, never nil.
 type ServeReport = serve.Report
+
+// RetrySpec bounds a serving client's retries after a failed attempt
+// (see serve.RetrySpec): up to Max redispatches with exponential
+// backoff to a replica the query has not tried. The zero spec disables
+// retries.
+type RetrySpec = serve.RetrySpec
+
+// ParseRetry parses the -retry flag grammar: "<max>[:<backoff-ms>]",
+// e.g. "2" or "3:0.25". "" parses to the inactive zero spec.
+func ParseRetry(s string) (RetrySpec, error) { return serve.ParseRetry(s) }
+
+// AdmissionSpec configures the serving frontend's admission controller
+// (see serve.AdmissionSpec): shed by policy past a queue-depth
+// threshold, optionally degrading rejections onto the CPU fallback
+// path instead of losing them. The zero spec admits everything.
+type AdmissionSpec = serve.AdmissionSpec
+
+// AdmissionPolicy names an admission-controller shedding rule.
+type AdmissionPolicy = serve.AdmissionPolicy
+
+// Admission-controller shedding rules for AdmissionSpec.Policy.
+const (
+	// AdmitAll admits every arrival (queue caps still drop).
+	AdmitAll = serve.AdmitAll
+	// AdmitNewest sheds the incoming query once the chosen replica's
+	// queue passes the admission threshold.
+	AdmitNewest = serve.AdmitNewest
+	// AdmitCheapest sheds past the threshold only when the query looks
+	// cache-cheap on the router's view (mostly-warm queries lose the
+	// least locality by being turned away).
+	AdmitCheapest = serve.AdmitCheapest
+)
+
+// ParseAdmission parses the -admission flag grammar:
+// "newest|cheapest[:<threshold>][:degrade]", or the bare "degrade".
+// "" parses to the inactive zero spec.
+func ParseAdmission(s string) (AdmissionSpec, error) { return serve.ParseAdmission(s) }
 
 // PolicyKind selects the scratchpad replacement policy.
 type PolicyKind = cache.PolicyKind
