@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race examples bench hotpath benchgate fmtcheck doccheck
+.PHONY: check vet build test race examples bench hotpath benchgate fmtcheck doccheck fuzzsmoke
 
 check: vet build test race examples doccheck
 
@@ -44,6 +44,18 @@ race:
 		./internal/engine/ ./internal/trace/ ./internal/bench/ \
 		./internal/hw/ ./internal/checkpoint/ ./internal/serve/ \
 		./internal/msgplane/ ./scratchpipe/
+
+# Short fuzzing pass over every flag-grammar parser (the checked-in
+# corpora under */testdata/fuzz/ run as plain tests in `make test`;
+# this target actually mutates). Each target asserts no-panic and the
+# canonical parse/print fixpoint the benchmark baselines match on.
+# FUZZTIME scales the budget (CI smoke keeps it short).
+FUZZTIME ?= 10s
+fuzzsmoke:
+	$(GO) test -run='^$$' -fuzz=FuzzParseFaultPlan -fuzztime=$(FUZZTIME) ./internal/hw/
+	$(GO) test -run='^$$' -fuzz=FuzzParseArrival -fuzztime=$(FUZZTIME) ./internal/serve/
+	$(GO) test -run='^$$' -fuzz=FuzzParseBatch -fuzztime=$(FUZZTIME) ./internal/serve/
+	$(GO) test -run='^$$' -fuzz=FuzzParseReshardSpec -fuzztime=$(FUZZTIME) ./internal/engine/
 
 # Fails on dangling intra-repo documentation references: any *.md that
 # names a file, directory, or package path that no longer exists (see

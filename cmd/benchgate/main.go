@@ -14,7 +14,7 @@
 //	          [-reshard SPEC] [-fail PLAN] [-ckpt-interval N]
 //	          [-serve] [-router P] [-replicas R] [-arrival SPEC]
 //	          [-serve-fail PLAN] [-deadline MS] [-retry SPEC] [-hedge MS]
-//	          [-admission SPEC]
+//	          [-admission SPEC] [-serve-batch SPEC]
 //
 // The gate measures with Workers=1 and Shards=1 by default so allocation
 // counts are deterministic and wall time does not depend on the CI
@@ -47,7 +47,10 @@
 // hedged/shed counters must match the baseline exactly — they are
 // deterministic in the seed, so any drift means the resilience
 // machinery (retry scheduling, hedge arming, admission shedding)
-// changed behaviour.
+// changed behaviour. Passing -serve-batch gates the batched serving
+// family: the batch-launch count and batched-query count must match
+// the baseline exactly — batch formation is deterministic in the
+// seed, so any drift means the batcher's scheduling changed.
 //
 // Entries that recorded a measured coordination wall additionally gate
 // the modeled-vs-measured skew |coord_seconds - coord_wall_seconds| /
@@ -108,6 +111,7 @@ func main() {
 	retry := flag.String("retry", "", "serving client retry policy ("+serve.RetryGrammar+"; with -serve; empty = no retries)")
 	hedge := flag.Float64("hedge", 0, "serving hedged-request delay in ms (with -serve; 0 = no hedging)")
 	admission := flag.String("admission", "", "serving admission control ("+serve.AdmissionGrammar+"; with -serve; empty = admit all)")
+	serveBatch := flag.String("serve-batch", "", "replica-side request batching ("+serve.BatchGrammar+"; with -serve; empty or 1 = no batching)")
 	flag.Parse()
 
 	if *shards < 1 {
@@ -183,6 +187,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: -admission %q: %v\n", *admission, err)
 		os.Exit(2)
 	}
+	batchSpec, err := serve.ParseBatch(*serveBatch)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: -serve-batch %q: %v\n", *serveBatch, err)
+		os.Exit(2)
+	}
 	if *deadline < 0 || *hedge < 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: -deadline/-hedge must be >= 0 ms\n")
 		os.Exit(2)
@@ -225,10 +234,11 @@ func main() {
 			Retry:     retrySpec,
 			Hedge:     *hedge * 1e-3,
 			Admission: admissionSpec,
+			Batch:     batchSpec,
 		}
 	}
 	serveRouter, serveArrival, serveReplicas := "", "", 0
-	serveFaultsStr, serveResilience := "", ""
+	serveFaultsStr, serveResilience, serveBatchStr := "", "", ""
 	if *serveMode {
 		resolved := serveOpts.WithDefaults()
 		serveRouter = string(resolved.Router)
@@ -236,8 +246,9 @@ func main() {
 		serveReplicas = resolved.Replicas
 		serveFaultsStr = resolved.Faults.String()
 		serveResilience = resolved.ResilienceString()
+		serveBatchStr = resolved.Batch.String()
 	}
-	base := pickBaseline(hist.History, *configName, *workers, *shards, topoName, string(policy), string(coordMode), *coordOverlap, reshardSpec.String(), faults.String(), *ckptInterval, serveRouter, serveArrival, serveReplicas, serveFaultsStr, serveResilience)
+	base := pickBaseline(hist.History, *configName, *workers, *shards, topoName, string(policy), string(coordMode), *coordOverlap, reshardSpec.String(), faults.String(), *ckptInterval, serveRouter, serveArrival, serveReplicas, serveFaultsStr, serveResilience, serveBatchStr)
 	if base == nil {
 		extraArgs := ""
 		if *coordOverlap {
@@ -271,6 +282,9 @@ func main() {
 			}
 			if admissionSpec.Active() {
 				extraArgs += " -admission " + admissionSpec.String()
+			}
+			if batchSpec.Enabled() {
+				extraArgs += " -serve-batch " + batchSpec.String()
 			}
 		}
 		fmt.Fprintf(os.Stderr,
@@ -376,6 +390,27 @@ func main() {
 			failed = true
 		}
 	}
+	// The batched serving family additionally matches the batcher's
+	// counters exactly: batch formation is deterministic in the seed, so
+	// a moved launch count or occupancy means the batch scheduler itself
+	// changed behaviour — exactly the silent drift this gate exists to
+	// catch, since throughput can stay flat while batching degrades.
+	if base.Serve != "" && base.ServeBatch != "" {
+		if best.ServeBatch != base.ServeBatch {
+			fmt.Printf("benchgate: FAIL serve batch spec %q != baseline %q\n",
+				best.ServeBatch, base.ServeBatch)
+			failed = true
+		}
+		if best.ServeBatches != base.ServeBatches ||
+			best.ServeBatchedQueries != base.ServeBatchedQueries ||
+			best.ServeMaxBatch != base.ServeMaxBatch {
+			fmt.Printf("benchgate: FAIL batch counters moved: batches %d->%d, batched queries %d->%d, max batch %d->%d (deterministic; gate is exact)\n",
+				base.ServeBatches, best.ServeBatches,
+				base.ServeBatchedQueries, best.ServeBatchedQueries,
+				base.ServeMaxBatch, best.ServeMaxBatch)
+			failed = true
+		}
+	}
 	// The fault-injected serving family gates availability and goodput as
 	// floors (lower is the regression), and the resilience counters
 	// exactly: retry scheduling, hedge arming, and admission shedding are
@@ -450,7 +485,7 @@ func main() {
 		}
 		// The win itself: the overlapped sweep's modeled wall must sit
 		// strictly below the matching non-overlap twin entry's.
-		twin := pickBaseline(hist.History, *configName, *workers, *shards, topoName, string(policy), string(coordMode), false, reshardSpec.String(), faults.String(), *ckptInterval, serveRouter, serveArrival, serveReplicas, serveFaultsStr, serveResilience)
+		twin := pickBaseline(hist.History, *configName, *workers, *shards, topoName, string(policy), string(coordMode), false, reshardSpec.String(), faults.String(), *ckptInterval, serveRouter, serveArrival, serveReplicas, serveFaultsStr, serveResilience, serveBatchStr)
 		switch {
 		case twin == nil || twin.SimWallSeconds <= 0:
 			fmt.Fprintf(os.Stderr, "benchgate: no non-overlap twin entry in %s to verify the overlap win against; record one with the same shape minus -coord-overlap\n", *baseline)
@@ -489,7 +524,7 @@ func main() {
 // coordination metering the co-located sweep never executes, and the
 // batched/hier/approx protocol entries send a fraction of the exact
 // protocol's rounds.
-func pickBaseline(hist []bench.HotPathResult, config string, workers, shards int, topology, placement, coord string, coordOverlap bool, reshard, faults string, ckptInterval int, serveRouter, serveArrival string, serveReplicas int, serveFaults, serveResilience string) *bench.HotPathResult {
+func pickBaseline(hist []bench.HotPathResult, config string, workers, shards int, topology, placement, coord string, coordOverlap bool, reshard, faults string, ckptInterval int, serveRouter, serveArrival string, serveReplicas int, serveFaults, serveResilience, serveBatch string) *bench.HotPathResult {
 	norm := func(s int) int {
 		if s <= 1 {
 			return 1
@@ -528,6 +563,7 @@ func pickBaseline(hist []bench.HotPathResult, config string, workers, shards int
 			e.Serve == serveRouter && e.ServeArrival == serveArrival &&
 			e.ServeReplicas == serveReplicas &&
 			e.ServeFaults == serveFaults && e.ServeResilience == serveResilience &&
+			e.ServeBatch == serveBatch &&
 			normTopo(e.Topology) == normTopo(topology) &&
 			(normTopo(e.Topology) == "" || normPlace(e.Placement) == normPlace(placement)) {
 			exact = e
@@ -571,6 +607,9 @@ func printDelta(base, best *bench.HotPathResult) {
 		{"serve_hedged", float64(base.ServeHedged), float64(best.ServeHedged), true},
 		{"serve_shed", float64(base.ServeShed), float64(best.ServeShed), true},
 		{"serve_timed_out", float64(base.ServeTimedOut), float64(best.ServeTimedOut), true},
+		{"serve_batches", float64(base.ServeBatches), float64(best.ServeBatches), true},
+		{"serve_batched_queries", float64(base.ServeBatchedQueries), float64(best.ServeBatchedQueries), true},
+		{"serve_max_batch", float64(base.ServeMaxBatch), float64(best.ServeMaxBatch), true},
 	}
 	fmt.Printf("benchgate: full family delta (baseline %s):\n", base.Timestamp)
 	fmt.Printf("  %-24s %16s %16s %10s\n", "metric", "baseline", "measured", "ratio")

@@ -57,6 +57,16 @@ func runServe(cfg scratchpipe.Config, class scratchpipe.Class) {
 		rep.HitRate()*100, rep.Fills, rep.Evictions)
 	fmt.Printf("  latency:         p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, max %.3f ms\n",
 		rep.Latency.P50*1e3, rep.Latency.P95*1e3, rep.Latency.P99*1e3, rep.Latency.Max*1e3)
+	// Batching section: keyed off the option, so unbatched runs print
+	// byte-identically to the pre-batching serving tree.
+	if cfg.Serve.Batch.Enabled() {
+		occ := 0.0
+		if rep.Batches > 0 {
+			occ = float64(rep.BatchedQueries) / float64(rep.Batches)
+		}
+		fmt.Printf("  batching:        cap %d, %d batches launched, avg %.2f queries/batch (max %d)\n",
+			cfg.Serve.Batch.Cap, rep.Batches, occ, rep.MaxBatch)
+	}
 	if rep.CrossNode > 0 {
 		fmt.Printf("  routing links:   %d cross-node queries (%d cross-host), %.3f ms link time\n",
 			rep.CrossNode, rep.CrossHost, rep.LinkTime*1e3)
@@ -73,6 +83,10 @@ func runServe(cfg scratchpipe.Config, class scratchpipe.Class) {
 			rep.Availability*100, rep.Goodput, rep.DropRate()*100)
 		fmt.Printf("    outcomes: %d timed out, %d retried, %d hedged, %d shed, %d degraded\n",
 			rep.TimedOut, rep.Retried, rep.Hedged, rep.Shed, rep.Degraded)
+		if rep.DegradedLatency.Count > 0 {
+			fmt.Printf("    degraded latency: p50 %.3f ms, p99 %.3f ms over %d CPU-path completions (GPU-path percentiles above exclude them)\n",
+				rep.DegradedLatency.P50*1e3, rep.DegradedLatency.P99*1e3, rep.DegradedLatency.Count)
+		}
 		if rep.RewarmFills > 0 {
 			fmt.Printf("    recovery: %d re-warm fills, %.3f ms re-warm stall\n",
 				rep.RewarmFills, rep.RewarmTime*1e3)
@@ -114,13 +128,14 @@ func main() {
 	functional := flag.Bool("functional", true, "execute real float32 training")
 	serveMode := flag.Bool("serve", false, "run the online serving simulation instead of training")
 	replicas := flag.Int("replicas", 4, "serving replica workers (with -serve)")
-	router := flag.String("router", "hitaware", "serving router policy: random|roundrobin|leastloaded|hitaware (with -serve)")
+	router := flag.String("router", "hitaware", "serving router policy: random|roundrobin|leastloaded|hitaware|hitaware-telemetry (with -serve)")
 	arrival := flag.String("arrival", "poisson:2000", "serving arrival process: poisson:<qps>, diurnal:<qps>[:<amp>], or flash:<qps>[:<mult>[:<at>:<dur>]] (with -serve)")
 	serveFail := flag.String("serve-fail", "", "serving fault schedule: replica<R>@<T>[-<T2>] and/or host<H>@<T>, times in virtual-clock seconds (with -serve; empty = no faults)")
 	deadline := flag.Float64("deadline", 0, "per-query deadline in ms; responses past it count as timed out (with -serve; 0 = none)")
 	retry := flag.String("retry", "", "client retry policy: <max>[:<backoff-ms>], exponential backoff to a different replica (with -serve; empty = no retries)")
 	hedge := flag.Float64("hedge", 0, "hedged-request delay in ms; a backup attempt fires on another replica if no response by then (with -serve; 0 = no hedging)")
 	admission := flag.String("admission", "", "admission control: newest|cheapest[:<threshold>][:degrade], or bare degrade (with -serve; empty = admit all)")
+	serveBatch := flag.String("serve-batch", "", "replica-side request batching: <cap>[:<delay-ms>], e.g. 8 or 8:0.25 (with -serve; empty or 1 = no batching)")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -197,7 +212,7 @@ func main() {
 	// -serve, and each gets the same early one-line rejection treatment.
 	routerPolicy, err := scratchpipe.ParseRouterPolicy(*router)
 	if err != nil {
-		fail("-router %q: want random, roundrobin, leastloaded, or hitaware", *router)
+		fail("-router %q: want random, roundrobin, leastloaded, hitaware, or hitaware-telemetry", *router)
 	}
 	arrivalSpec, err := scratchpipe.ParseArrival(*arrival)
 	if err != nil {
@@ -214,6 +229,10 @@ func main() {
 	admissionSpec, err := scratchpipe.ParseAdmission(*admission)
 	if err != nil {
 		fail("-admission %q: %v", *admission, err)
+	}
+	batchSpec, err := scratchpipe.ParseBatch(*serveBatch)
+	if err != nil {
+		fail("-serve-batch %q: %v", *serveBatch, err)
 	}
 	if *deadline < 0 {
 		fail("-deadline %g: deadline must be >= 0 ms", *deadline)
@@ -237,7 +256,7 @@ func main() {
 	} else {
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "replicas", "router", "arrival", "serve-fail", "deadline", "retry", "hedge", "admission":
+			case "replicas", "router", "arrival", "serve-fail", "deadline", "retry", "hedge", "admission", "serve-batch":
 				fail("-%s only applies with -serve", f.Name)
 			}
 		})
@@ -289,6 +308,7 @@ func main() {
 			Retry:     retrySpec,
 			Hedge:     *hedge * 1e-3,
 			Admission: admissionSpec,
+			Batch:     batchSpec,
 		}
 		// Serving is a pure simulation over ID metadata — real float32
 		// tables would only add allocation time (and at paper scale,

@@ -133,6 +133,7 @@ func main() {
 	retry := flag.String("retry", "", "serving client retry policy ("+serve.RetryGrammar+"; with -serve; empty = no retries)")
 	hedge := flag.Float64("hedge", 0, "serving hedged-request delay in ms (with -serve; 0 = no hedging)")
 	admission := flag.String("admission", "", "serving admission control ("+serve.AdmissionGrammar+"; with -serve; empty = admit all)")
+	serveBatch := flag.String("serve-batch", "", "replica-side request batching ("+serve.BatchGrammar+"; with -serve; empty or 1 = no batching)")
 	jsonPath := flag.String("json", "", "run the hot-path benchmark and append the measurement to this JSON history file")
 	note := flag.String("note", "", "free-form note recorded with the -json measurement")
 	flag.Parse()
@@ -211,12 +212,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "spbench: -admission %q: %v\n", *admission, err)
 		os.Exit(2)
 	}
+	batchSpec, err := serve.ParseBatch(*serveBatch)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spbench: -serve-batch %q: %v\n", *serveBatch, err)
+		os.Exit(2)
+	}
 	if *deadline < 0 || *hedge < 0 {
 		fmt.Fprintf(os.Stderr, "spbench: -deadline/-hedge must be >= 0 ms\n")
 		os.Exit(2)
 	}
-	if !*serveMode && (serveFaults.Active() || retrySpec.Active() || admissionSpec.Active() || *deadline > 0 || *hedge > 0) {
-		fmt.Fprintf(os.Stderr, "spbench: -serve-fail/-deadline/-retry/-hedge/-admission only apply with -serve\n")
+	if !*serveMode && (serveFaults.Active() || retrySpec.Active() || admissionSpec.Active() || *deadline > 0 || *hedge > 0 || batchSpec.Enabled()) {
+		fmt.Fprintf(os.Stderr, "spbench: -serve-fail/-deadline/-retry/-hedge/-admission/-serve-batch only apply with -serve\n")
 		os.Exit(2)
 	}
 	if *serveMode {
@@ -265,6 +271,7 @@ func main() {
 			Retry:     retrySpec,
 			Hedge:     *hedge * 1e-3,
 			Admission: admissionSpec,
+			Batch:     batchSpec,
 		}
 	}
 
@@ -280,15 +287,20 @@ func main() {
 			os.Exit(1)
 		}
 		if res.Serve != "" {
+			batchInfo := ""
+			if res.ServeBatch != "" {
+				batchInfo = fmt.Sprintf(", batch cap %s: %d batches (max %d)",
+					res.ServeBatch, res.ServeBatches, res.ServeMaxBatch)
+			}
 			resil := ""
 			if res.ServeFaults != "" || res.ServeResilience != "" {
 				resil = fmt.Sprintf(", faults %q + %q: availability %.4f, goodput %.0f q/s, %d retried, %d hedged, %d shed, %d timed out",
 					res.ServeFaults, res.ServeResilience, res.ServeAvailability, res.ServeGoodput,
 					res.ServeRetried, res.ServeHedged, res.ServeShed, res.ServeTimedOut)
 			}
-			fmt.Printf("hotpath serving (%s, %s router, %d replicas, arrival %s): %.2fs wall, %.0f q/s, %.1f%% hit rate, p99 %.3f ms, %d drops%s -> %s\n",
+			fmt.Printf("hotpath serving (%s, %s router, %d replicas, arrival %s): %.2fs wall, %.0f q/s, %.1f%% hit rate, p99 %.3f ms, %d drops%s%s -> %s\n",
 				configName, res.Serve, res.ServeReplicas, res.ServeArrival,
-				res.WallSeconds, res.ServeThroughput, res.ServeHitRate*100, res.ServeP99Ms, res.ServeDrops, resil, *jsonPath)
+				res.WallSeconds, res.ServeThroughput, res.ServeHitRate*100, res.ServeP99Ms, res.ServeDrops, batchInfo, resil, *jsonPath)
 			return
 		}
 		shape := ""

@@ -117,6 +117,17 @@ type HotPathResult struct {
 	ServeHedged       int64   `json:"serve_hedged,omitempty"`
 	ServeShed         int64   `json:"serve_shed,omitempty"`
 	ServeTimedOut     int64   `json:"serve_timed_out,omitempty"`
+	// ServeBatch records the replica-side batching knob in canonical
+	// BatchSpec form (empty = unbatched): batched entries are their own
+	// family, gated independently of unbatched serving baselines.
+	// ServeBatches/ServeBatchedQueries/ServeMaxBatch are the batcher's
+	// deterministic counters, which benchgate matches exactly so a
+	// scheduling regression that silently changes batch formation is
+	// caught even when throughput barely moves.
+	ServeBatch          string `json:"serve_batch,omitempty"`
+	ServeBatches        int64  `json:"serve_batches,omitempty"`
+	ServeBatchedQueries int64  `json:"serve_batched_queries,omitempty"`
+	ServeMaxBatch       int    `json:"serve_max_batch,omitempty"`
 	// Iters is the measured iterations per data point.
 	Iters int `json:"iters"`
 	// WallSeconds is the real time of one full Figure 13 sweep.
@@ -247,36 +258,40 @@ func hotPathServe(cfg Config, configName string) (*HotPathResult, error) {
 		coordMode = string(mode)
 	}
 	return &HotPathResult{
-		Timestamp:         time.Now().UTC().Format(time.RFC3339),
-		Config:            configName,
-		Workers:           cfg.Workers,
-		Shards:            cfg.Shards,
-		Topology:          topoName,
-		Placement:         string(cfg.Placement),
-		CoordMode:         coordMode,
-		CoordRounds:       rep.CoordRounds,
-		CoordSeconds:      rep.CoordTime,
-		CoordWallSeconds:  rep.CoordWallTime,
-		Serve:             string(rep.Router),
-		ServeArrival:      cfg.Serve.Arrival.String(),
-		ServeReplicas:     rep.Replicas,
-		ServeThroughput:   rep.Throughput,
-		ServeHitRate:      rep.HitRate(),
-		ServeP99Ms:        rep.Latency.P99 * 1e3,
-		ServeDrops:        rep.Drops,
-		ServeFaults:       cfg.Serve.Faults.String(),
-		ServeResilience:   cfg.Serve.ResilienceString(),
-		ServeAvailability: rep.Availability,
-		ServeGoodput:      rep.Goodput,
-		ServeRetried:      rep.Retried,
-		ServeHedged:       rep.Hedged,
-		ServeShed:         rep.Shed,
-		ServeTimedOut:     rep.TimedOut,
-		GoMaxProcs:        runtime.GOMAXPROCS(0),
-		Iters:             cfg.Iters,
-		WallSeconds:       wall.Seconds(),
-		Allocs:            after.Mallocs - before.Mallocs,
-		AllocBytes:        after.TotalAlloc - before.TotalAlloc,
+		Timestamp:           time.Now().UTC().Format(time.RFC3339),
+		Config:              configName,
+		Workers:             cfg.Workers,
+		Shards:              cfg.Shards,
+		Topology:            topoName,
+		Placement:           string(cfg.Placement),
+		CoordMode:           coordMode,
+		CoordRounds:         rep.CoordRounds,
+		CoordSeconds:        rep.CoordTime,
+		CoordWallSeconds:    rep.CoordWallTime,
+		Serve:               string(rep.Router),
+		ServeArrival:        cfg.Serve.Arrival.String(),
+		ServeReplicas:       rep.Replicas,
+		ServeThroughput:     rep.Throughput,
+		ServeHitRate:        rep.HitRate(),
+		ServeP99Ms:          rep.Latency.P99 * 1e3,
+		ServeDrops:          rep.Drops,
+		ServeFaults:         cfg.Serve.Faults.String(),
+		ServeResilience:     cfg.Serve.ResilienceString(),
+		ServeAvailability:   rep.Availability,
+		ServeGoodput:        rep.Goodput,
+		ServeRetried:        rep.Retried,
+		ServeHedged:         rep.Hedged,
+		ServeShed:           rep.Shed,
+		ServeTimedOut:       rep.TimedOut,
+		ServeBatch:          rep.Batch.String(),
+		ServeBatches:        rep.Batches,
+		ServeBatchedQueries: rep.BatchedQueries,
+		ServeMaxBatch:       rep.MaxBatch,
+		GoMaxProcs:          runtime.GOMAXPROCS(0),
+		Iters:               cfg.Iters,
+		WallSeconds:         wall.Seconds(),
+		Allocs:              after.Mallocs - before.Mallocs,
+		AllocBytes:          after.TotalAlloc - before.TotalAlloc,
 	}, nil
 }
 

@@ -1,0 +1,52 @@
+package engine
+
+import "testing"
+
+// FuzzParseReshardSpec drives the -reshard grammar with arbitrary
+// input. Properties (see hw.FuzzParseFaultPlan for the rationale —
+// benchmark baselines match on the canonical form):
+//
+//  1. No input panics the parser.
+//  2. Any accepted spec validates, and its String() form reparses to
+//     the same canonical string (steps in schedule order, the load
+//     clause last).
+func FuzzParseReshardSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"200:4",
+		"200:4,500:8",
+		"load:8",
+		"load:8:2.5",
+		"200:4,load:8",
+		"load:8,200:4",
+		"500:8,200:4",
+		"load:8,load:4",
+		"200:0",
+		"load:1",
+		"load:8:0.5",
+		"-1:4",
+		"200:4:9",
+		"200",
+		",",
+		" 200:4 , 500:8 ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseReshardSpec(s)
+		if err != nil {
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("accepted spec %q fails Validate: %v", s, err)
+		}
+		canon := spec.String()
+		again, err := ParseReshardSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted spec %q does not reparse: %v", canon, s, err)
+		}
+		if got := again.String(); got != canon {
+			t.Fatalf("canonical form is not a fixpoint: %q -> %q -> %q", s, canon, got)
+		}
+	})
+}

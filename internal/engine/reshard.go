@@ -21,6 +21,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -107,7 +108,7 @@ func (s ReshardSpec) Validate() error {
 	if s.LoadMax < 0 || s.LoadMax == 1 {
 		return fmt.Errorf("engine: reshard load cap %d (want 0 to disable or >= 2)", s.LoadMax)
 	}
-	if s.LoadThresh < 0 || (s.LoadThresh > 0 && s.LoadThresh <= 1) {
+	if math.IsNaN(s.LoadThresh) || math.IsInf(s.LoadThresh, 0) || s.LoadThresh < 0 || (s.LoadThresh > 0 && s.LoadThresh <= 1) {
 		return fmt.Errorf("engine: reshard load threshold %g (want 0 for the default or > 1)", s.LoadThresh)
 	}
 	return nil

@@ -11,9 +11,19 @@ import (
 // per-training-iteration bookkeeping, while serving's launch overheads
 // are already charged per-kernel inside serve.ServiceTime.
 func inferenceDenseTime(env *Env) float64 {
+	return inferenceDenseBatchTime(env, 1)
+}
+
+// inferenceDenseBatchTime prices the dense forward at serving batch
+// size n on the MLP roofline: FLOPs and activation bytes scale with n,
+// the weight-read bytes and the kernel launch are paid once — so the
+// marginal cost of the n-th query is strictly below the first's, the
+// amortization replica-side batching (serve.BatchSpec) exists to
+// capture.
+func inferenceDenseBatchTime(env *Env, n int) float64 {
 	cfg := env.Cfg.Model
-	flops := mlpFlopsPerIteration(cfg) / 3 / float64(cfg.BatchSize)
-	acts := mlpActivationFloats(cfg) / float64(cfg.BatchSize)
+	flops := mlpFlopsPerIteration(cfg) / 3 / float64(cfg.BatchSize) * float64(n)
+	acts := mlpActivationFloats(cfg) / float64(cfg.BatchSize) * float64(n)
 	bytes := 2 * 4 * (mlpParamCount(cfg) + acts)
 	return env.Cfg.System.GPU.MatmulTime(flops, bytes)
 }
@@ -40,6 +50,7 @@ func RunServe(env *Env) (*serve.Report, error) {
 		CoordQuantum: cfg.CoordQuantum,
 		Elastic:      cfg.Reshard.Active(),
 		DenseTime:    inferenceDenseTime(env),
+		DenseBatch:   func(n int) float64 { return inferenceDenseBatchTime(env, n) },
 		Pool:         env.Pool,
 	})
 }

@@ -19,6 +19,7 @@ package hw
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -251,8 +252,8 @@ func parseFaultEvent(tok string) (FaultEvent, error) {
 					factor != fmt.Sprintf("%g", e.Factor) {
 					return bad()
 				}
-				if e.Factor <= 1 {
-					return FaultEvent{}, fmt.Errorf("degrade factor must exceed 1")
+				if !(e.Factor > 1) || math.IsInf(e.Factor, 0) {
+					return FaultEvent{}, fmt.Errorf("degrade factor must be finite and exceed 1")
 				}
 			}
 		}
@@ -286,15 +287,15 @@ func parseFaultEvent(tok string) (FaultEvent, error) {
 		if e.At, err = strconv.ParseFloat(strike, 64); err != nil {
 			return bad()
 		}
-		if e.At <= 0 {
-			return FaultEvent{}, fmt.Errorf("strike time must be positive seconds")
+		if !(e.At > 0) || math.IsInf(e.At, 0) {
+			return FaultEvent{}, fmt.Errorf("strike time must be positive finite seconds")
 		}
 		if hasHeal {
 			if e.Until, err = strconv.ParseFloat(heal, 64); err != nil {
 				return bad()
 			}
-			if e.Until <= e.At {
-				return FaultEvent{}, fmt.Errorf("recovery time must follow the strike")
+			if !(e.Until > e.At) || math.IsInf(e.Until, 0) {
+				return FaultEvent{}, fmt.Errorf("recovery time must be finite and follow the strike")
 			}
 		}
 		return e, nil

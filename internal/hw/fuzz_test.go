@@ -1,0 +1,52 @@
+package hw
+
+import "testing"
+
+// FuzzParseFaultPlan drives the -fail grammar with arbitrary input.
+// Two properties, both unconditional:
+//
+//  1. No input panics the parser (it must reject with an error, never
+//     crash — the flag value comes straight from the command line).
+//  2. Canonical fixpoint: any accepted plan re-rendered by String()
+//     must reparse, and the reparse must render the same string. The
+//     benchmark history matches baselines on the canonical form, so a
+//     parse/print drift would silently detach entries from their
+//     families.
+func FuzzParseFaultPlan(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"host1@300",
+		"agg0@50",
+		"host1@300,link:host0-host1@500",
+		"link:host0-host1@500-900",
+		"degrade:host0-host1@100-200x8",
+		"degrade:host1-host0@100",
+		"replica1@0.4",
+		"replica2@0.4-0.9,replica0@0.1",
+		"host1@300,host1@300",
+		"link:host2-host2@10",
+		"replica-1@0.5",
+		"host1@0",
+		"degrade:host0-host1@5x0.5",
+		"replica0@",
+		",",
+		"host1@300,",
+		"replica0@1e-3-2e-3",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		plan, err := ParseFaultPlan(s)
+		if err != nil {
+			return
+		}
+		canon := plan.String()
+		again, err := ParseFaultPlan(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted plan %q does not reparse: %v", canon, s, err)
+		}
+		if got := again.String(); got != canon {
+			t.Fatalf("canonical form is not a fixpoint: %q -> %q -> %q", s, canon, got)
+		}
+	})
+}

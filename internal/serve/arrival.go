@@ -80,6 +80,13 @@ func (a ArrivalSpec) withDefaults() ArrivalSpec {
 
 // Validate reports a descriptive error for an unusable spec.
 func (a ArrivalSpec) Validate() error {
+	// Guard every numeric field against NaN/Inf first: ParseFloat accepts
+	// both spellings, and the comparisons below silently pass NaN.
+	for _, v := range []float64{a.Rate, a.Amp, a.Mult, a.At, a.Dur} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("serve: arrival parameter %g is not finite", v)
+		}
+	}
 	if a.Rate <= 0 {
 		return fmt.Errorf("serve: arrival rate %g <= 0", a.Rate)
 	}

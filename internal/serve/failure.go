@@ -37,9 +37,11 @@ type query struct {
 	keys []int64
 	// bestDone is the earliest response delivery time across successful
 	// attempts (+Inf until one settles); winner the replica that
-	// delivered it.
-	bestDone float64
-	winner   int
+	// delivered it; winnerDeg whether that winning attempt ran on the
+	// CPU fallback path (its latency reports in DegradedLatency).
+	bestDone  float64
+	winner    int
+	winnerDeg bool
 	// tried lists replicas this query has attempted (exclusion set for
 	// retries and hedges); retries counts the retry budget spent.
 	tried   []int
@@ -50,13 +52,15 @@ type query struct {
 }
 
 // evKind orders same-instant events: infrastructure first (a kill at
-// time t flushes the queue before anything else lands at t), then
-// client timers.
+// time t flushes the queue before anything else lands at t), then batch
+// launches (a same-instant retry lands after the launch and waits for
+// the next batch), then client timers.
 type evKind uint8
 
 const (
 	evKill evKind = iota
 	evHeal
+	evBatch
 	evRetry
 	evHedge
 )
@@ -93,6 +97,7 @@ type resilientSim struct {
 	f         *Fleet
 	rep       *Report
 	lat       metrics.Series
+	degLat    metrics.Series
 	events    []event
 	seq       int64
 	queries   []*query
@@ -100,6 +105,12 @@ type resilientSim struct {
 	shedDepth int
 	good      int64
 	maxDone   float64
+	// batchIDs is the reusable per-table concatenation buffer the
+	// batched path plans through (nil when batching is off).
+	batchIDs [][]int64
+	// batchSeen is the reusable composite-key set that counts a batch's
+	// distinct keys (shared keys are probed once).
+	batchSeen map[int64]struct{}
 }
 
 func (s *resilientSim) push(e event) {
@@ -149,9 +160,17 @@ func (f *Fleet) simulateResilient(arrivals []float64) (*Report, error) {
 		rep: &Report{
 			Router:   Policy(f.cfg.Router),
 			Replicas: f.cfg.Replicas,
+			Batch:    f.cfg.Batch.canonical(),
 			Offered:  int64(len(arrivals)),
 		},
 		totalIDs: f.cfg.NumTables * f.cfg.Lookups,
+	}
+	if f.cfg.Batch.Enabled() {
+		s.batchIDs = make([][]int64, f.cfg.NumTables)
+		for t := range s.batchIDs {
+			s.batchIDs[t] = make([]int64, 0, f.cfg.Lookups*f.cfg.Batch.Cap)
+		}
+		s.batchSeen = make(map[int64]struct{}, s.totalIDs*f.cfg.Batch.Cap)
 	}
 	if f.cfg.Admission.Policy != AdmitAll {
 		s.shedDepth = int(math.Ceil(f.cfg.Admission.Threshold * float64(f.cfg.QueueCap)))
@@ -180,6 +199,8 @@ func (f *Fleet) simulateResilient(arrivals []float64) (*Report, error) {
 				s.kill(e.w, e.t)
 			case evHeal:
 				err = s.heal(e.w)
+			case evBatch:
+				err = s.fireBatch(e.w, e.t)
 			case evRetry:
 				err = s.fireRetry(e.q, e.t)
 			case evHedge:
@@ -234,13 +255,15 @@ func (s *resilientSim) linkHop(wk *worker) (linkUp, linkDown float64) {
 // settle resolves an enqueued attempt's fate eagerly: if its completion
 // beats the worker's next scheduled kill it delivers (first response
 // wins), otherwise the attempt is doomed and fails when the kill
-// flushes the queue.
-func (s *resilientSim) settle(q *query, wk *worker, t, done, linkDown float64) {
+// flushes the queue. degraded marks a CPU-fallback attempt, so a win
+// reports its latency in the degraded percentile block.
+func (s *resilientSim) settle(q *query, wk *worker, t, done, linkDown float64, degraded bool) {
 	if done <= wk.nextKill(t) {
 		resp := done + linkDown
 		if resp < q.bestDone {
 			q.bestDone = resp
 			q.winner = wk.id
+			q.winnerDeg = degraded
 		}
 	} else {
 		wk.doomed = append(wk.doomed, q)
@@ -305,11 +328,16 @@ func (s *resilientSim) dispatch(q *query, t float64, mode dispatchMode) error {
 		}
 		return nil
 	}
+	if f.cfg.Batch.Enabled() {
+		s.enqueueBatch(q, wk, t)
+		return nil
+	}
 	linkUp, linkDown := s.linkHop(wk)
 	fills, evicts, coord, err := wk.plan(q.ids)
 	if err != nil {
 		return err
 	}
+	f.maybePublish(wk, t)
 	svc := f.ServiceTime(fills, s.totalIDs, coord)
 	enq := t + linkUp
 	start := enq
@@ -334,7 +362,161 @@ func (s *resilientSim) dispatch(q *query, t float64, mode dispatchMode) error {
 	}
 	f.router.note(w, q.keys)
 	q.tried = append(q.tried, w)
-	s.settle(q, wk, t, done, linkDown)
+	s.settle(q, wk, t, done, linkDown, false)
+	return nil
+}
+
+// enqueueBatch parks one attempt of q in wk's batch queue: the routing
+// link is paid now (the IDs travel to the replica at dispatch), the
+// scratchpad is planned at launch. The router's view learns the keys at
+// dispatch, exactly as the unbatched path does.
+func (s *resilientSim) enqueueBatch(q *query, wk *worker, t float64) {
+	linkUp, linkDown := s.linkHop(wk)
+	s.f.router.note(wk.id, q.keys)
+	q.tried = append(q.tried, wk.id)
+	wk.pending = append(wk.pending, pendingReq{q: q, enq: t + linkUp, linkDown: linkDown})
+	if d := len(wk.comp) - wk.head + len(wk.pending); d > wk.peakDepth {
+		wk.peakDepth = d
+	}
+	s.scheduleBatch(wk, t)
+}
+
+// batchReady returns the earliest time wk's head batch may launch,
+// ignoring the busy horizon: the moment the cap-th member is aboard, or
+// the first member's enqueue plus the hold delay for an undersized
+// batch.
+func (s *resilientSim) batchReady(wk *worker, now float64) float64 {
+	capN := s.f.cfg.Batch.Cap
+	if len(wk.pending) >= capN {
+		ready := now
+		for _, p := range wk.pending[:capN] {
+			if p.enq > ready {
+				ready = p.enq
+			}
+		}
+		return ready
+	}
+	return wk.pending[0].enq + s.f.cfg.Batch.Delay
+}
+
+// scheduleBatch (re)arms wk's batch-launch event at the earliest launch
+// time consistent with the batching rule and the busy horizon. Events
+// are never retracted: a stale earlier event re-evaluates and re-arms,
+// a later one is subsumed by the earlier arming.
+func (s *resilientSim) scheduleBatch(wk *worker, now float64) {
+	if wk.down || len(wk.pending) == 0 {
+		return
+	}
+	at := s.batchReady(wk, now)
+	if wk.busyUntil > at {
+		at = wk.busyUntil
+	}
+	if at < now {
+		at = now
+	}
+	if at < wk.batchPlanned {
+		wk.batchPlanned = at
+		s.push(event{t: at, kind: evBatch, w: wk.id})
+	}
+}
+
+// fireBatch handles a batch-launch event on worker w: launch if the
+// batch is ready and the worker free, otherwise re-arm for the earliest
+// time it will be.
+func (s *resilientSim) fireBatch(w int, t float64) error {
+	wk := s.f.workers[w]
+	if t >= wk.batchPlanned {
+		wk.batchPlanned = math.Inf(1)
+	}
+	if wk.down || len(wk.pending) == 0 {
+		return nil
+	}
+	at := s.batchReady(wk, t)
+	if wk.busyUntil > at {
+		at = wk.busyUntil
+	}
+	if at > t {
+		if at < wk.batchPlanned {
+			wk.batchPlanned = at
+			s.push(event{t: at, kind: evBatch, w: w})
+		}
+		return nil
+	}
+	if err := s.launchBatch(wk, t); err != nil {
+		return err
+	}
+	// Leftover members (beyond the cap, or enqueued mid-decision) re-arm
+	// behind the new busy horizon.
+	s.scheduleBatch(wk, t)
+	return nil
+}
+
+// launchBatch services wk's head batch at time t: up to Cap members
+// whose IDs have arrived are planned through the scratchpad as one
+// deduplicated batch (one Plan per table over the concatenated IDs) and
+// priced by BatchServiceTime; every member completes at the batch's
+// end and settles against the kill schedule — a kill mid-batch dooms
+// the whole batch to client-visible failures.
+func (s *resilientSim) launchBatch(wk *worker, t float64) error {
+	f := s.f
+	start := t
+	if wk.busyUntil > start {
+		start = wk.busyUntil
+	}
+	n := 0
+	for n < len(wk.pending) && n < f.cfg.Batch.Cap && wk.pending[n].enq <= start {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	members := wk.pending[:n]
+	for t := range s.batchIDs {
+		s.batchIDs[t] = s.batchIDs[t][:0]
+	}
+	clear(s.batchSeen)
+	unique := 0
+	for _, p := range members {
+		for t := range p.q.ids {
+			s.batchIDs[t] = append(s.batchIDs[t], p.q.ids[t]...)
+		}
+		for _, k := range p.q.keys {
+			if _, ok := s.batchSeen[k]; !ok {
+				s.batchSeen[k] = struct{}{}
+				unique++
+			}
+		}
+	}
+	fills, evicts, coord, err := wk.plan(s.batchIDs)
+	if err != nil {
+		return err
+	}
+	f.maybePublish(wk, t)
+	svc := f.BatchServiceTime(fills, unique, n*s.totalIDs, n, coord)
+	done := start + svc
+	wk.busyUntil = done
+	for range members {
+		wk.comp = append(wk.comp, done)
+	}
+	s.rep.Fills += int64(fills)
+	s.rep.Evictions += int64(evicts)
+	s.rep.CoordTime += coord
+	if wk.rewarm {
+		wk.rewarmFills += int64(fills)
+		wk.rewarmTime += f.fillDetour(fills)
+		if wk.residentRows() >= wk.rewarmTarget {
+			wk.rewarm = false
+		}
+	}
+	wk.batches++
+	wk.batchedQueries += int64(n)
+	if n > wk.maxBatch {
+		wk.maxBatch = n
+	}
+	for _, p := range members {
+		s.settle(p.q, wk, t, done, p.linkDown, false)
+	}
+	wk.pending = append(wk.pending[:0], wk.pending[n:]...)
 	return nil
 }
 
@@ -357,7 +539,7 @@ func (s *resilientSim) degradedDispatch(q *query, wk *worker, t float64) {
 	wk.degraded++
 	s.rep.Degraded++
 	q.tried = append(q.tried, wk.id)
-	s.settle(q, wk, t, done, linkDown)
+	s.settle(q, wk, t, done, linkDown, true)
 }
 
 // attemptFailed reacts to a lost attempt at time t: when the query has
@@ -436,6 +618,16 @@ func (s *resilientSim) kill(w int, t float64) {
 	for _, q := range doomed {
 		s.attemptFailed(q, t)
 	}
+	// A kill mid-batch flushes the whole batch: members still waiting
+	// for a launch fail back to the client exactly like the doomed
+	// in-flight attempts above (retries and hedges re-enter the batcher
+	// on another replica).
+	pend := wk.pending
+	wk.pending = wk.pending[:0]
+	wk.batchPlanned = math.Inf(1)
+	for _, p := range pend {
+		s.attemptFailed(p.q, t)
+	}
 }
 
 // heal brings worker w back with a cold scratchpad: the rebuilt cache
@@ -468,7 +660,11 @@ func (s *resilientSim) finish(arrivals []float64) (*Report, error) {
 		rep.Served++
 		f.workers[q.winner].served++
 		l := q.bestDone - q.at
-		s.lat.Add(l)
+		if q.winnerDeg {
+			s.degLat.Add(l)
+		} else {
+			s.lat.Add(l)
+		}
 		if deadline == 0 || l <= deadline {
 			s.good++
 		}
@@ -485,6 +681,7 @@ func (s *resilientSim) finish(arrivals []float64) (*Report, error) {
 		rep.OfferedRate = float64(rep.Offered) / arrivals[n-1]
 	}
 	rep.Latency = s.lat.Summarize()
+	rep.DegradedLatency = s.degLat.Summarize()
 	var downSum float64
 	for _, wk := range f.workers {
 		h, m := wk.accHits, wk.accMisses
@@ -503,6 +700,11 @@ func (s *resilientSim) finish(arrivals []float64) (*Report, error) {
 		rep.Misses += m
 		rep.RewarmFills += wk.rewarmFills
 		rep.RewarmTime += wk.rewarmTime
+		rep.Batches += wk.batches
+		rep.BatchedQueries += wk.batchedQueries
+		if wk.maxBatch > rep.MaxBatch {
+			rep.MaxBatch = wk.maxBatch
+		}
 		var down float64
 		for _, sp := range wk.downs {
 			if sp.from >= rep.Duration {
@@ -522,6 +724,7 @@ func (s *resilientSim) finish(arrivals []float64) (*Report, error) {
 			PeakDepth: wk.peakDepth,
 			Downtime:  down,
 			Degraded:  wk.degraded,
+			Batches:   wk.batches,
 		})
 	}
 	rep.Availability = 1

@@ -1,0 +1,93 @@
+package serve
+
+import "testing"
+
+// FuzzParseArrival drives the -arrival grammar with arbitrary input.
+// Properties (see FuzzParseFaultPlan for the rationale — benchmark
+// baselines match on the canonical form):
+//
+//  1. No input panics the parser.
+//  2. Any accepted spec validates, and its String() form reparses to
+//     the same canonical string (defaults materialize exactly once:
+//     "flash:2000" and its expansion "flash:2000:8:0.5:0.1" are the
+//     same spec, and the expansion is the fixpoint).
+func FuzzParseArrival(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"poisson:2000",
+		"poisson:2e3",
+		"diurnal:3000",
+		"diurnal:3000:0.7",
+		"flash:2000",
+		"flash:2000:8",
+		"flash:2000:8:0.5:0.1",
+		"flash:20000:10:0.3:0.2",
+		"poisson:-5",
+		"poisson:0",
+		"diurnal:1000:1.5",
+		"flash:1000:0.5",
+		"flash:1000:8:0.9:0.5",
+		"flash:1000:8:0.5",
+		"poisson:1000:extra",
+		"burst:1000",
+		"poisson:",
+		":",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseArrival(s)
+		if err != nil {
+			return
+		}
+		if !spec.Active() {
+			// Only the empty string parses to the inactive zero spec.
+			if s != "" {
+				t.Fatalf("non-empty input %q parsed to an inactive spec", s)
+			}
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("accepted spec %q fails Validate: %v", s, err)
+		}
+		canon := spec.String()
+		again, err := ParseArrival(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted spec %q does not reparse: %v", canon, s, err)
+		}
+		if got := again.String(); got != canon {
+			t.Fatalf("canonical form is not a fixpoint: %q -> %q -> %q", s, canon, got)
+		}
+	})
+}
+
+// FuzzParseBatch drives the -serve-batch grammar: no panic, and any
+// accepted spec's canonical form ("" for no-op caps, "<cap>" or
+// "<cap>:<delay-ms>" otherwise) is a parse/print fixpoint. A cap of 1
+// must canonicalize to the zero spec — that equivalence is what the
+// byte-identity discipline (-serve-batch 1 == flag absent) hangs on.
+func FuzzParseBatch(f *testing.F) {
+	for _, seed := range []string{
+		"", "1", "8", "8:0.25", "1:0", "16:1e-3", "0", "2:-1", "8:",
+		":", "8:0.25:9", "notanumber",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseBatch(s)
+		if err != nil {
+			return
+		}
+		if !spec.Enabled() && spec != (BatchSpec{}) {
+			t.Fatalf("accepted no-op spec %q is not the zero spec: %+v", s, spec)
+		}
+		canon := spec.String()
+		again, err := ParseBatch(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted spec %q does not reparse: %v", canon, s, err)
+		}
+		if got := again.String(); got != canon {
+			t.Fatalf("canonical form is not a fixpoint: %q -> %q -> %q", s, canon, got)
+		}
+	})
+}

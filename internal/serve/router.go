@@ -29,13 +29,24 @@ const (
 	// queue-depth penalty; ties break toward the shallower queue, then
 	// the lower index.
 	PolicyHitAware Policy = "hitaware"
+	// PolicyTelemetry is the hit-aware successor that replaces the
+	// router's send-history cache view with replica-published
+	// telemetry: each worker reports a decayed per-table hit rate as it
+	// plans (at most every TelemetryInterval of virtual time), and the
+	// router scores replicas by the expected hit occurrences that view
+	// predicts for the query, minus the same queue-depth penalty.
+	// Snapshots older than TelemetryStaleness score zero, and a down
+	// replica publishes nothing — its view is cleared on the kill, so
+	// the router never routes toward a warmth that died with the
+	// scratchpad.
+	PolicyTelemetry Policy = "hitaware-telemetry"
 )
 
 // Policies lists every routing policy in escalation order.
 var Policies = []Policy{PolicyRandom, PolicyRoundRobin, PolicyLeastLoaded, PolicyHitAware}
 
 // PolicyNames lists the parseable policies for usage errors.
-const PolicyNames = "random, roundrobin, leastloaded, hitaware"
+const PolicyNames = "random, roundrobin, leastloaded, hitaware, hitaware-telemetry"
 
 // ParsePolicy resolves a routing policy name ("" selects hitaware).
 func ParsePolicy(s string) (Policy, error) {
@@ -48,9 +59,27 @@ func ParsePolicy(s string) (Policy, error) {
 		return PolicyRoundRobin, nil
 	case PolicyLeastLoaded:
 		return PolicyLeastLoaded, nil
+	case PolicyTelemetry:
+		return PolicyTelemetry, nil
 	}
 	return "", fmt.Errorf("serve: unknown router policy %q (want %s)", s, PolicyNames)
 }
+
+// Telemetry calibration for PolicyTelemetry.
+const (
+	// TelemetryDecay is the weight of the newest per-table hit-rate
+	// sample in a worker's exponentially decayed estimate.
+	TelemetryDecay = 0.25
+	// TelemetryInterval is the minimum virtual time between a worker's
+	// telemetry publications — the staleness the router tolerates by
+	// design (a busier publication schedule would just be the oracle).
+	TelemetryInterval = 1e-3
+	// TelemetryStaleness bounds how old a published snapshot may be
+	// before the router treats the replica as unknown (scores zero).
+	// An idle replica stops publishing, ages out, draws a query, and
+	// publishes again — the loop that keeps the view live.
+	TelemetryStaleness = 50e-3
+)
 
 // depthPenalty converts queue depth into overlap-score units, in
 // multiples of the query's own occurrence count: each queued request
@@ -71,12 +100,22 @@ type router struct {
 	rng    *rand.Rand
 	rr     int
 	views  []*cacheView
+	telem  []telemSnapshot
+}
+
+// telemSnapshot is the router's copy of one replica's last published
+// telemetry: the decayed per-table hit rates and the publication time.
+type telemSnapshot struct {
+	rates []float64
+	at    float64
+	ok    bool
 }
 
 // newRouter builds the routing state. Views are kept when the policy is
 // hit-aware (scoring needs them) or when needViews is set (the
 // cheapest-first admission controller estimates query cost from them
-// under any policy).
+// under any policy); the telemetry policy allocates the published-view
+// slots instead.
 func newRouter(policy Policy, replicas, viewCap int, seed int64, needViews bool) *router {
 	r := &router{policy: policy, rng: rand.New(rand.NewSource(seed))}
 	if policy == PolicyHitAware || needViews {
@@ -85,7 +124,41 @@ func newRouter(policy Policy, replicas, viewCap int, seed int64, needViews bool)
 			r.views[i] = newCacheView(viewCap)
 		}
 	}
+	if policy == PolicyTelemetry {
+		r.telem = make([]telemSnapshot, replicas)
+	}
 	return r
+}
+
+// publish installs worker w's decayed per-table hit rates as its
+// current telemetry snapshot, timestamped now.
+func (r *router) publish(w int, rates []float64, now float64) {
+	if r.telem == nil {
+		return
+	}
+	snap := &r.telem[w]
+	if snap.rates == nil {
+		snap.rates = make([]float64, len(rates))
+	}
+	copy(snap.rates, rates)
+	snap.at = now
+	snap.ok = true
+}
+
+// telemScore is the expected number of the query's nkeys occurrences
+// worker w's published hit rates predict as resident: zero when the
+// replica has never published or its snapshot aged past the staleness
+// bound.
+func (r *router) telemScore(w, nkeys int, now float64) float64 {
+	snap := &r.telem[w]
+	if !snap.ok || now-snap.at > TelemetryStaleness || len(snap.rates) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, rate := range snap.rates {
+		sum += rate
+	}
+	return sum * float64(nkeys) / float64(len(snap.rates))
 }
 
 // pick selects the replica for a request arriving at time now and
@@ -174,6 +247,26 @@ func (r *router) choose(keys []int64, workers []*worker, now float64, excl []int
 			}
 		}
 		return best
+	case PolicyTelemetry:
+		// Hit-aware scoring against the replica-published view: the
+		// same shape as PolicyHitAware (expected hit occurrences minus
+		// the depth penalty, ties to the shallower queue then the lower
+		// index), but the warmth estimate is what the replicas last
+		// reported rather than the router's own send history.
+		best := -1
+		bestScore := 0.0
+		bestDepth := 0
+		for i, wk := range workers {
+			if !eligible(i) {
+				continue
+			}
+			d := wk.depth(now)
+			score := r.telemScore(i, len(keys), now) - depthPenalty*float64(len(keys))*float64(d)
+			if best < 0 || score > bestScore || (score == bestScore && d < bestDepth) {
+				best, bestScore, bestDepth = i, score, d
+			}
+		}
+		return best
 	}
 	return 0
 }
@@ -196,12 +289,16 @@ func (r *router) estOverlap(w int, keys []int64) int {
 	return r.views[w].overlap(keys)
 }
 
-// invalidate clears the router's cache view of worker w: the replica
-// died and its scratchpad with it, so the send-history view is stale in
-// full. The view re-learns from post-recovery routing.
+// invalidate clears the router's view of worker w: the replica died
+// and its scratchpad with it, so the send-history view is stale in full
+// and the published telemetry describes a cache that no longer exists
+// (a down replica publishes nothing). Both re-learn after recovery.
 func (r *router) invalidate(w int) {
 	if r.views != nil {
 		r.views[w].reset()
+	}
+	if r.telem != nil {
+		r.telem[w].ok = false
 	}
 }
 

@@ -90,6 +90,11 @@ type Options struct {
 	Hedge float64
 	// Admission sheds or degrades load before the queues overflow.
 	Admission AdmissionSpec
+	// Batch enables replica-side request batching (-serve-batch): each
+	// worker services up to Batch.Cap queued queries as one
+	// deduplicated batch (batch.go). The zero spec (or Cap <= 1) keeps
+	// the per-query paths byte-identical to the pre-batching simulator.
+	Batch BatchSpec
 }
 
 // Serving defaults.
@@ -174,6 +179,9 @@ func (o Options) Validate() error {
 	if err := o.Admission.Validate(); err != nil {
 		return err
 	}
+	if err := o.Batch.Validate(); err != nil {
+		return err
+	}
 	// Fault-plan events are checked against the replica count and
 	// topology by Config.Validate (ValidateServe), once both are known.
 	return nil
@@ -216,6 +224,12 @@ type Config struct {
 	// seconds (the MLP inference pass; engine.RunServe derives it from
 	// the model configuration).
 	DenseTime float64
+	// DenseBatch prices the dense forward at batch size n > 1 (the
+	// batched path's roofline: weight-read bytes and kernel launch
+	// amortize across members, FLOPs and activations scale linearly).
+	// nil falls back to n*DenseTime — no amortization, so batching
+	// still wins only on the sparse side.
+	DenseBatch func(n int) float64
 	// Pool bounds the shard managers' fan-out parallelism (nil =
 	// serial).
 	Pool *par.Pool
@@ -274,6 +288,22 @@ type worker struct {
 	hits, misses  int64
 	peakDepth     int
 
+	// Batching state (batched event path only; empty otherwise).
+	// pending holds queries routed here but not yet launched in a
+	// batch; batchPlanned is the earliest scheduled batch-launch event
+	// (+Inf when none is outstanding); the counters feed the report.
+	pending        []pendingReq
+	batchPlanned   float64
+	batches        int64
+	batchedQueries int64
+	maxBatch       int
+
+	// Telemetry state (PolicyTelemetry only; nil otherwise): the
+	// decayed per-table hit rates this replica publishes, and the
+	// virtual time of its last publication.
+	telem   []float64
+	lastPub float64
+
 	// Failure-model state (resilient path only; all zero otherwise).
 	// downs is the merged, ascending schedule of this replica's down
 	// intervals; cpuBusyUntil models the host CPU as a second server
@@ -293,6 +323,15 @@ type worker struct {
 	accMisses    int64
 	accRounds    int64
 	accWall      float64
+}
+
+// pendingReq is one query waiting in a worker's batch: the query, its
+// enqueue time (arrival plus the frontend link hop), and the response
+// hop it will pay on delivery.
+type pendingReq struct {
+	q        *query
+	enq      float64
+	linkDown float64
 }
 
 // downSpan is one scheduled outage of a replica: [from, to) in
@@ -323,7 +362,10 @@ func (w *worker) residentRows() int {
 	return n
 }
 
-// depth returns the queue depth (in-service request included) at time t.
+// depth returns the queue depth (in-service request included) at time
+// t. Queries waiting in an unlaunched batch count too — pending is
+// always empty outside the batched path, so the pre-batching paths see
+// the exact depth they always did.
 func (w *worker) depth(t float64) int {
 	for w.head < len(w.comp) && w.comp[w.head] <= t {
 		w.head++
@@ -332,7 +374,7 @@ func (w *worker) depth(t float64) int {
 		w.comp = append(w.comp[:0], w.comp[w.head:]...)
 		w.head = 0
 	}
-	return len(w.comp) - w.head
+	return len(w.comp) - w.head + len(w.pending)
 }
 
 // Fleet is a built serving deployment, ready to Simulate.
@@ -377,9 +419,13 @@ func NewFleet(cfg Config) (*Fleet, error) {
 	}
 	f.reqKeys = make([]int64, 0, cfg.NumTables*cfg.Lookups)
 	for w := 0; w < cfg.Replicas; w++ {
-		wk := &worker{id: w, node: w % nodes}
+		wk := &worker{id: w, node: w % nodes, batchPlanned: math.Inf(1)}
 		if cfg.Topology != nil {
 			wk.host = cfg.Topology.Nodes[wk.node].Host
+		}
+		if Policy(cfg.Router) == PolicyTelemetry {
+			wk.telem = make([]float64, cfg.NumTables)
+			wk.lastPub = math.Inf(-1)
 		}
 		if err := f.buildScratchpads(wk); err != nil {
 			return nil, err
@@ -404,6 +450,12 @@ func (f *Fleet) buildScratchpads(wk *worker) error {
 	if err != nil {
 		return err
 	}
+	// A batched worker plans up to Cap queries' IDs in one Plan, so the
+	// worst-case reserve is sized for the batch, not the single query.
+	maxPlanIDs := cfg.Lookups
+	if cfg.Batch.Enabled() {
+		maxPlanIDs *= cfg.Batch.Cap
+	}
 	wk.mgrs = wk.mgrs[:0]
 	for t := 0; t < cfg.NumTables; t++ {
 		spCfg := core.Config{
@@ -412,7 +464,7 @@ func (f *Fleet) buildScratchpads(wk *worker) error {
 			PolicySeed: cfg.Seed + int64(7000+wk.id*cfg.NumTables+t),
 			PastWindow: 1,
 		}
-		spCfg.Reserve = core.WorstCaseReserve(spCfg, cfg.Lookups)
+		spCfg.Reserve = core.WorstCaseReserve(spCfg, maxPlanIDs)
 		mgr, err := shard.New(shard.Config{
 			Scratchpad:   spCfg,
 			Shards:       f.shards,
@@ -428,6 +480,14 @@ func (f *Fleet) buildScratchpads(wk *worker) error {
 		wk.mgrs = append(wk.mgrs, mgr)
 	}
 	wk.seq = 0
+	// A rebuilt scratchpad is cold: the replica's decayed hit-rate
+	// estimate restarts from zero and republishes on its first plan.
+	if wk.telem != nil {
+		for i := range wk.telem {
+			wk.telem[i] = 0
+		}
+		wk.lastPub = math.Inf(-1)
+	}
 	return nil
 }
 
@@ -576,11 +636,13 @@ func Run(cfg Config) (*Report, error) {
 // Simulate plays an ascending arrival-time vector through the fleet and
 // returns the report. Exposed separately from Run so tests can inject
 // hand-built arrival vectors. When any failure-model or resilience knob
-// is engaged (Options.Resilient) the event-driven simulator in
-// failure.go runs instead; otherwise this is the exact pre-resilience
-// hot loop, so zero-fault runs are bit-identical to it.
+// is engaged (Options.Resilient), or request batching is on (a batch
+// launch is a future event, so the closed form cannot price it), the
+// event-driven simulator in failure.go runs instead; otherwise this is
+// the exact pre-resilience hot loop, so zero-fault unbatched runs are
+// bit-identical to it.
 func (f *Fleet) Simulate(arrivals []float64) (*Report, error) {
-	if f.cfg.Resilient() {
+	if f.cfg.Resilient() || f.cfg.Batch.Enabled() {
 		return f.simulateResilient(arrivals)
 	}
 	var lat metrics.Series
@@ -617,6 +679,7 @@ func (f *Fleet) Simulate(arrivals []float64) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		f.maybePublish(wk, at)
 		svc := f.ServiceTime(fills, totalIDs, coord)
 		enq := at + linkUp
 		start := enq
@@ -692,11 +755,19 @@ func (f *Fleet) nextRequest() {
 	}
 }
 
-// plan runs one query's Plan/Release/Recycle cycle on every table of
-// the worker and returns the fill and eviction counts plus the modeled
-// cross-shard coordination latency.
+// plan runs one query's (or one batch's — ids[t] carries every member's
+// IDs for table t) Plan/Release/Recycle cycle on every table of the
+// worker and returns the fill and eviction counts plus the modeled
+// cross-shard coordination latency. When the telemetry policy is on,
+// each plan also folds its per-table hit rate into the worker's decayed
+// estimate.
 func (w *worker) plan(ids [][]int64) (fills, evicts int, coord float64, err error) {
 	for t, mgr := range w.mgrs {
+		var prevHits, prevMisses int64
+		if w.telem != nil {
+			st := mgr.Stats()
+			prevHits, prevMisses = st.Hits, st.Misses
+		}
 		res, perr := mgr.Plan(w.seq, ids[t], nil)
 		if perr != nil {
 			return 0, 0, 0, perr
@@ -708,18 +779,39 @@ func (w *worker) plan(ids [][]int64) (fills, evicts int, coord float64, err erro
 			return 0, 0, 0, rerr
 		}
 		mgr.Recycle(res)
+		if w.telem != nil {
+			st := mgr.Stats()
+			if n := (st.Hits - prevHits) + (st.Misses - prevMisses); n > 0 {
+				sample := float64(st.Hits-prevHits) / float64(n)
+				w.telem[t] = (1-TelemetryDecay)*w.telem[t] + TelemetryDecay*sample
+			}
+		}
 	}
 	w.seq++
 	return fills, evicts, coord, nil
+}
+
+// maybePublish pushes the worker's decayed hit rates to the router as a
+// fresh telemetry snapshot, rate-limited to one publication per
+// TelemetryInterval of virtual time (no-op outside PolicyTelemetry).
+func (f *Fleet) maybePublish(wk *worker, now float64) {
+	if wk.telem == nil {
+		return
+	}
+	if now >= wk.lastPub+TelemetryInterval {
+		f.router.publish(wk.id, wk.telem, now)
+		wk.lastPub = now
+	}
 }
 
 // Report digests one serving simulation. The zero value is valid (all
 // counters zero) — engine reports embed it by value so non-serving runs
 // never carry a nil.
 type Report struct {
-	// Router/Replicas echo the deployment shape.
+	// Router/Replicas/Batch echo the deployment shape.
 	Router   Policy
 	Replicas int
+	Batch    BatchSpec
 	// Offered counts generated queries; Served the ones that completed
 	// and delivered a response (degraded CPU-path completions
 	// included); Drops the arrivals bounced off full queues. Together
@@ -759,12 +851,25 @@ type Report struct {
 	// over all workers and tables; Fills/Evictions count row movements.
 	Hits, Misses     int64
 	Fills, Evictions int64
+	// Batches counts the batch launches across the fleet (zero unless
+	// Batch.Enabled); BatchedQueries the queries they carried (their
+	// sum of batch sizes), so BatchedQueries/Batches is the realized
+	// occupancy; MaxBatch the largest batch launched.
+	Batches        int64
+	BatchedQueries int64
+	MaxBatch       int
 	// Latency digests end-to-end latency (queueing + service + routing
-	// links) over served queries only — shed, dropped, and timed-out
-	// queries never deliver a response and are invisible here (see
-	// DropRate for the complementary loss signal). P50/P95/P99 are the
-	// serving tail metrics.
+	// links) over GPU-path served queries only — shed, dropped, and
+	// timed-out queries never deliver a response and are invisible here
+	// (see DropRate for the complementary loss signal), and degraded
+	// CPU-path completions report in DegradedLatency instead, so a slow
+	// fallback cannot smear the primary path's percentiles. P50/P95/P99
+	// are the serving tail metrics.
 	Latency metrics.Summary
+	// DegradedLatency digests the Degraded (CPU fallback) completions'
+	// end-to-end latency in its own percentile block (zero Summary when
+	// nothing degraded).
+	DegradedLatency metrics.Summary
 	// CoordTime totals the cross-shard Plan coordination latency paid
 	// inside service times (zero for unsharded or co-located workers).
 	CoordTime float64
@@ -799,6 +904,9 @@ type WorkerReport struct {
 	// Degraded counts the queries this replica answered on the CPU
 	// fallback path (a subset of Served).
 	Degraded int64
+	// Batches counts this replica's batch launches (zero unless
+	// batching is on).
+	Batches int64
 }
 
 // HitRate returns the fleet's occurrence-level cache hit rate.

@@ -184,14 +184,17 @@ type ServeOptions = serve.Options
 // RouterPolicy names a serving routing policy.
 type RouterPolicy = serve.Policy
 
-// The four routing policies, in sophistication order: random spreads
-// blindly, roundrobin evenly, leastloaded by queue depth, and hitaware
-// by estimated cache overlap (tie-broken by queue depth).
+// The routing policies, in sophistication order: random spreads
+// blindly, roundrobin evenly, leastloaded by queue depth, hitaware by
+// estimated cache overlap (tie-broken by queue depth), and
+// hitaware-telemetry by the replicas' own published decayed hit rates
+// instead of the router's send history.
 const (
 	RouterRandom     = serve.PolicyRandom
 	RouterRoundRobin = serve.PolicyRoundRobin
 	RouterLeastLoad  = serve.PolicyLeastLoaded
 	RouterHitAware   = serve.PolicyHitAware
+	RouterTelemetry  = serve.PolicyTelemetry
 )
 
 // ParseRouterPolicy resolves a routing policy name ("" = hitaware).
@@ -245,6 +248,16 @@ const (
 // "newest|cheapest[:<threshold>][:degrade]", or the bare "degrade".
 // "" parses to the inactive zero spec.
 func ParseAdmission(s string) (AdmissionSpec, error) { return serve.ParseAdmission(s) }
+
+// BatchSpec configures replica-side request batching (see
+// serve.BatchSpec): each worker services up to Cap queued queries as
+// one deduplicated batch, holding an undersized batch open at most
+// Delay seconds. The zero spec (and Cap <= 1) disables batching.
+type BatchSpec = serve.BatchSpec
+
+// ParseBatch parses the -serve-batch flag grammar: "<cap>[:<delay-ms>]",
+// e.g. "8" or "8:0.25". "" and "1" parse to the disabled zero spec.
+func ParseBatch(s string) (BatchSpec, error) { return serve.ParseBatch(s) }
 
 // PolicyKind selects the scratchpad replacement policy.
 type PolicyKind = cache.PolicyKind
